@@ -1,0 +1,577 @@
+(* The evaluation harness: regenerates every table and figure of the
+   paper's evaluation (Section VI) on the simulated board.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- --fig9 --fig10 ...   -- selected pieces
+
+   Absolute numbers differ from the paper (the substrate is a simulator,
+   not the authors' ODROID XU3); the reproduction targets are the shapes:
+   which scheme wins, rough factors, where sensitivities bend. See
+   EXPERIMENTS.md for the side-by-side reading. *)
+
+open Yukta
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let scheme_abbrev = function
+  | Runtime.Coordinated_heuristic -> "CoordHeur"
+  | Runtime.Decoupled_heuristic -> "DecHeur"
+  | Runtime.Hw_ssv_os_heuristic -> "HWssv+OSheur"
+  | Runtime.Hw_ssv_os_ssv -> "HWssv+OSssv"
+  | Runtime.Lqg_decoupled -> "DecLQG"
+  | Runtime.Lqg_monolithic -> "MonoLQG"
+
+(* ------------------------------------------------------------------ *)
+(* Tables II-IV: the controller specifications                         *)
+(* ------------------------------------------------------------------ *)
+
+let print_signal_table (spec : Design.spec) =
+  Printf.printf "inputs (signal, range, step, weight):\n";
+  Array.iter
+    (fun (i : Signal.input) ->
+      Printf.printf "  %-14s [%.1f, %.1f] step %.1f  weight %.0f\n"
+        i.Signal.name i.Signal.channel.Control.Quantize.minimum
+        i.Signal.channel.Control.Quantize.maximum
+        i.Signal.channel.Control.Quantize.step i.Signal.weight)
+    spec.Design.inputs;
+  Printf.printf "outputs (signal, range, bound):\n";
+  Array.iter
+    (fun (o : Signal.output) ->
+      Printf.printf "  %-18s [%.2f, %.2f]  +-%.0f%%%s\n" o.Signal.name
+        o.Signal.lo o.Signal.hi
+        (100.0 *. o.Signal.bound_fraction)
+        (if o.Signal.critical then "  (critical)" else ""))
+    spec.Design.outputs;
+  Printf.printf "external signals: %s\n"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map (fun e -> e.Signal.name) spec.Design.externals)));
+  Printf.printf "uncertainty guardband: +-%.0f%%\n"
+    (100.0 *. spec.Design.uncertainty)
+
+let table2 () =
+  section "Table II: hardware controller parameters";
+  Printf.printf
+    "goal: minimize ExD subject to Pbig < %.2f W, Plittle < %.2f W, T < %.0f C\n"
+    Hw_layer.power_limit_big Hw_layer.power_limit_little Hw_layer.temp_limit;
+  print_signal_table (Hw_layer.spec ())
+
+let table3 () =
+  section "Table III: software controller parameters";
+  Printf.printf "goal: minimize ExD (caps delegated to the hardware layer)\n";
+  print_signal_table (Sw_layer.spec ())
+
+let table4 () =
+  section "Table IV: the two-layer schemes";
+  List.iter
+    (fun s -> Printf.printf "  %-14s %s\n" (scheme_abbrev s) (Runtime.scheme_name s))
+    Runtime.all_schemes
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: ExD and execution time, 4 schemes x full suite            *)
+(* ------------------------------------------------------------------ *)
+
+let fig9_schemes =
+  [
+    Runtime.Coordinated_heuristic;
+    Runtime.Decoupled_heuristic;
+    Runtime.Hw_ssv_os_heuristic;
+    Runtime.Hw_ssv_os_ssv;
+  ]
+
+let suite_rows schemes =
+  Experiment.run_suite ~schemes (Experiment.suite_entries ())
+
+let print_rows title rows schemes value =
+  section title;
+  Printf.printf "%-14s" "app";
+  List.iter (fun s -> Printf.printf " %12s" (scheme_abbrev s)) schemes;
+  Printf.printf "\n";
+  List.iter
+    (fun (r : Experiment.normalized_row) ->
+      Printf.printf "%-14s" r.Experiment.name;
+      List.iter
+        (fun s -> Printf.printf " %12.3f" (List.assoc s (value r)))
+        schemes;
+      Printf.printf "\n")
+    rows;
+  let spec_names = List.map (fun w -> w.Board.Workload.name) Board.Workload.spec in
+  let parsec_names =
+    List.map (fun w -> w.Board.Workload.name) Board.Workload.parsec
+  in
+  let avg = Experiment.averages rows ~spec_names ~parsec_names ~value in
+  let has_spec = List.exists (fun r -> List.mem r.Experiment.name spec_names) rows in
+  let has_parsec =
+    List.exists (fun r -> List.mem r.Experiment.name parsec_names) rows
+  in
+  let labels =
+    (if has_spec then [ ("SAv", fun (x, _, _) -> x) ] else [])
+    @ (if has_parsec then [ ("PAv", fun (_, x, _) -> x) ] else [])
+    @ [ ("Avg", fun (_, _, x) -> x) ]
+  in
+  List.iter
+    (fun label_pick ->
+      let label, pick = label_pick in
+      Printf.printf "%-14s" label;
+      List.iter
+        (fun s ->
+          let sav, pav, a = avg s in
+          Printf.printf " %12.3f" (pick (sav, pav, a)))
+        schemes;
+      Printf.printf "\n")
+    labels
+
+let fig9 ?rows () =
+  let rows = match rows with Some r -> r | None -> suite_rows fig9_schemes in
+  print_rows "Figure 9(a): ExD normalized to Coordinated heuristic" rows
+    fig9_schemes (fun r -> r.Experiment.exd);
+  print_rows "Figure 9(b): execution time normalized to Coordinated heuristic"
+    rows fig9_schemes (fun r -> r.Experiment.time);
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures 10 and 11: blackscholes traces                              *)
+(* ------------------------------------------------------------------ *)
+
+let print_trace title pick schemes =
+  section title;
+  let traces =
+    List.map
+      (fun s ->
+        let r =
+          Runtime.run ~collect_trace:true s
+            [ Board.Workload.by_name "blackscholes" ]
+        in
+        (s, r))
+      schemes
+  in
+  Printf.printf "%-8s" "time(s)";
+  List.iter (fun (s, _) -> Printf.printf " %12s" (scheme_abbrev s)) traces;
+  Printf.printf "\n";
+  let len =
+    List.fold_left
+      (fun acc (_, r) -> max acc (Array.length r.Runtime.trace))
+      0 traces
+  in
+  let stride = max 1 (len / 40) in
+  let i = ref 0 in
+  while !i < len do
+    let t = Float.of_int !i *. 0.5 in
+    Printf.printf "%-8.1f" t;
+    List.iter
+      (fun (_, r) ->
+        if !i < Array.length r.Runtime.trace then
+          Printf.printf " %12.2f" (pick r.Runtime.trace.(!i))
+        else Printf.printf " %12s" "-")
+      traces;
+    Printf.printf "\n";
+    i := !i + stride
+  done;
+  List.iter
+    (fun (s, r) ->
+      let m = r.Runtime.metrics in
+      Printf.printf "# %-14s completes at %.0f s (energy %.0f J, %d trips)\n"
+        (scheme_abbrev s) m.Board.Xu3.execution_time m.Board.Xu3.total_energy
+        m.Board.Xu3.trips)
+    traces
+
+let fig10 () =
+  print_trace
+    "Figure 10: big-cluster power (W) vs time, blackscholes (limit 3.3 W)"
+    (fun p -> p.Runtime.power_big)
+    fig9_schemes
+
+let fig11 () =
+  print_trace "Figure 11: performance (BIPS) vs time, blackscholes"
+    (fun p -> p.Runtime.bips)
+    fig9_schemes
+
+(* ------------------------------------------------------------------ *)
+(* Figures 12-13: LQG comparison                                       *)
+(* ------------------------------------------------------------------ *)
+
+let lqg_schemes =
+  [
+    Runtime.Coordinated_heuristic;
+    Runtime.Lqg_decoupled;
+    Runtime.Lqg_monolithic;
+    Runtime.Hw_ssv_os_ssv;
+  ]
+
+let fig12_13 () =
+  let rows = suite_rows lqg_schemes in
+  print_rows "Figure 12: ExD, LQG-based designs vs Yukta" rows lqg_schemes
+    (fun r -> r.Experiment.exd);
+  print_rows "Figure 13: execution time, LQG-based designs vs Yukta" rows
+    lqg_schemes (fun r -> r.Experiment.time)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14: heterogeneous workloads                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig14 () =
+  let schemes = fig9_schemes @ [ Runtime.Lqg_decoupled; Runtime.Lqg_monolithic ] in
+  let rows = Experiment.run_suite ~schemes (Experiment.mix_entries ()) in
+  print_rows "Figure 14: ExD on heterogeneous mixes" rows schemes (fun r ->
+      r.Experiment.exd)
+
+(* ------------------------------------------------------------------ *)
+(* Section VI-D: controller implementation cost                        *)
+(* ------------------------------------------------------------------ *)
+
+let cost () =
+  section "Section VI-D: hardware controller implementation cost";
+  let hw = Designs.hw () in
+  let c = Controller.cost hw.Design.controller in
+  Printf.printf
+    "state dimension N = %d, inputs I = %d, outputs+externals O+E = %d\n"
+    c.Controller.states c.Controller.inputs c.Controller.outputs_and_externals;
+  Printf.printf "multiply-accumulates per invocation: %d (~%d operations)\n"
+    c.Controller.multiply_accumulates
+    (2 * c.Controller.multiply_accumulates);
+  Printf.printf "coefficient + state storage: %d bytes (~%.1f KB)\n"
+    c.Controller.storage_bytes
+    (Float.of_int c.Controller.storage_bytes /. 1024.0);
+  (* Wall-clock cost of one invocation, measured with Bechamel. *)
+  let open Bechamel in
+  let ctrl = hw.Design.controller in
+  let meas = Hw_layer.measurements in
+  ignore meas;
+  let measurements = [| 5.0; 2.5; 0.25; 65.0 |] in
+  let targets = [| 6.0; 3.0; 0.3; 77.0 |] in
+  let externals = [| 6.0; 1.5; 1.0 |] in
+  let step_test =
+    Test.make ~name:"controller step"
+      (Staged.stage (fun () ->
+           ignore (Controller.step ctrl ~measurements ~targets ~externals)))
+  in
+  let mu_test =
+    let m =
+      Linalg.Cmat.of_real (Linalg.Mat.random ~seed:3 7 7)
+    in
+    let s = [ Control.Ssv.Full (4, 4); Control.Ssv.Full (3, 3) ] in
+    Test.make ~name:"mu upper bound (7x7)"
+      (Staged.stage (fun () -> ignore (Control.Ssv.mu_upper s m)))
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                     ~predictors:[| Measure.run |])
+        (Toolkit.Instance.monotonic_clock) raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] ->
+          Printf.printf "  %-24s %10.2f ns/invocation\n" name est
+        | _ -> Printf.printf "  %-24s (no estimate)\n" name)
+      results
+  in
+  benchmark step_test;
+  benchmark mu_test
+
+(* ------------------------------------------------------------------ *)
+(* Figure 15: sensitivity to output deviation bounds                   *)
+(* ------------------------------------------------------------------ *)
+
+let bound_variants = [ (0.20, "+-20% (+-1 BIPS)"); (0.30, "+-30% (+-1.5 BIPS)"); (0.50, "+-50% (+-2.5 BIPS)") ]
+
+let variant_designs perf_bound =
+  let hw = Designs.design_hw_with (Hw_layer.spec ~perf_bound ()) in
+  (* The OS controller bounds scale proportionally (Section VI-E1). *)
+  let sw = Designs.design_sw_with (Sw_layer.spec ~bound:perf_bound ()) in
+  (hw, sw)
+
+let fig15 () =
+  section "Figure 15(a): performance under fixed targets, varying bounds";
+  (* Fixed, mutually consistent targets (the performance this board
+     delivers at 2.5 W): perf 8 BIPS, Pbig 2.5 W, Plittle 0.2 W, T 70 C;
+     OS: perf_little 1.5, perf_big 6.5, dSC 1. *)
+  let hw_targets = [| 8.0; 2.5; 0.2; 70.0 |] in
+  let sw_targets = [| 1.5; 6.5; 1.0 |] in
+  let traces =
+    List.map
+      (fun (b, label) ->
+        let hw, sw = variant_designs b in
+        let tr =
+          Runtime.run_fixed_targets ~max_time:100.0 ~hw_design:hw ~sw_design:sw
+            ~hw_targets ~sw_targets
+            [ Board.Workload.by_name "blackscholes" ]
+        in
+        (label, tr))
+      bound_variants
+  in
+  Printf.printf "%-8s" "time(s)";
+  List.iter (fun (l, _) -> Printf.printf " %20s" l) traces;
+  Printf.printf "   (target 8.0 BIPS)\n";
+  let len =
+    List.fold_left (fun acc (_, t) -> max acc (Array.length t)) 0 traces
+  in
+  let stride = max 1 (len / 25) in
+  let i = ref 0 in
+  while !i < len do
+    Printf.printf "%-8.1f" (Float.of_int !i *. 0.5);
+    List.iter
+      (fun (_, t) ->
+        if !i < Array.length t then
+          Printf.printf " %20.2f" t.(!i).Runtime.bips
+        else Printf.printf " %20s" "-")
+      traces;
+    Printf.printf "\n";
+    i := !i + stride
+  done;
+  (* Tracking-quality summary: rms deviation from the target in steady
+     state (after 25 s). *)
+  List.iter
+    (fun (l, t) ->
+      let sum = ref 0.0 and n = ref 0 in
+      Array.iteri
+        (fun i p ->
+          if i > 50 then begin
+            let d = p.Runtime.bips -. 8.0 in
+            sum := !sum +. (d *. d);
+            incr n
+          end)
+        t;
+      if !n > 0 then
+        Printf.printf "# %-22s rms deviation %.3f BIPS\n" l
+          (Float.sqrt (!sum /. Float.of_int !n)))
+    traces;
+  section "Figure 15(b): ExD vs bounds (suite average, normalized)";
+  let baseline_rows =
+    Experiment.run_suite ~schemes:[ Runtime.Coordinated_heuristic ]
+      (Experiment.suite_entries ())
+  in
+  ignore baseline_rows;
+  List.iter
+    (fun (b, label) ->
+      let hw, sw = variant_designs b in
+      let schemes = [ Runtime.Coordinated_heuristic ] in
+      ignore schemes;
+      (* Run Yukta-full with the variant designs against the baseline. *)
+      let total_ratio = ref 0.0 and n = ref 0 in
+      List.iter
+        (fun entry ->
+          let name, workloads = entry in
+          ignore name;
+          let base =
+            (Runtime.run Runtime.Coordinated_heuristic workloads).Runtime.metrics
+          in
+          let driver = Runtime.yukta_full_driver hw sw in
+          let r = Runtime.run_driver driver workloads in
+          total_ratio :=
+            !total_ratio
+            +. (r.Runtime.metrics.Board.Xu3.energy_delay
+                /. base.Board.Xu3.energy_delay);
+          incr n)
+        (Experiment.suite_entries ());
+      Printf.printf "  bounds %-22s normalized ExD = %.3f\n" label
+        (!total_ratio /. Float.of_int !n))
+    bound_variants
+
+(* ------------------------------------------------------------------ *)
+(* Figure 16: sensitivity to the uncertainty guardband                 *)
+(* ------------------------------------------------------------------ *)
+
+let guardbands = [ 0.40; 1.0; 2.5; 5.0 ]
+
+let fig16 () =
+  section "Figure 16(a): guaranteed deviation bounds vs guardband";
+  Printf.printf
+    "%-12s %10s %10s  (bounds normalized to the +-40%% design)\n"
+    "guardband" "mu peak" "bound xN";
+  let reference = ref None in
+  List.iter
+    (fun g ->
+      let hw = Designs.design_hw_with (Hw_layer.spec ~uncertainty:g ()) in
+      let scale = Float.max 1.0 hw.Design.mu_peak in
+      let ref_scale =
+        match !reference with
+        | None ->
+          reference := Some scale;
+          scale
+        | Some s -> s
+      in
+      Printf.printf "+-%-10.0f%% %10.3f %10.3f\n" (100.0 *. g)
+        hw.Design.mu_peak (scale /. ref_scale))
+    guardbands;
+  section "Figure 16(b): ExD vs guardband (suite average, normalized)";
+  List.iter
+    (fun g ->
+      let hw = Designs.design_hw_with (Hw_layer.spec ~uncertainty:g ()) in
+      let sw = Designs.sw () in
+      let total_ratio = ref 0.0 and n = ref 0 in
+      List.iter
+        (fun (_, workloads) ->
+          let base =
+            (Runtime.run Runtime.Coordinated_heuristic workloads).Runtime.metrics
+          in
+          let driver = Runtime.yukta_full_driver hw sw in
+          let r = Runtime.run_driver driver workloads in
+          total_ratio :=
+            !total_ratio
+            +. (r.Runtime.metrics.Board.Xu3.energy_delay
+                /. base.Board.Xu3.energy_delay);
+          incr n)
+        (Experiment.suite_entries ());
+      Printf.printf "  guardband +-%-6.0f%% normalized ExD = %.3f\n"
+        (100.0 *. g)
+        (!total_ratio /. Float.of_int !n))
+    guardbands
+
+(* ------------------------------------------------------------------ *)
+(* Figure 17: sensitivity to input weights                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig17 () =
+  section "Figure 17: big-cluster power vs time for input weights (target 2.5 W)";
+  let weights = [ 0.5; 1.0; 2.0 ] in
+  let hw_targets = [| 5.5; 2.5; 0.2; 70.0 |] in
+  let sw_targets = [| 1.0; 4.5; 1.0 |] in
+  let traces =
+    List.map
+      (fun w ->
+        let hw = Designs.design_hw_with (Hw_layer.spec ~input_weight:w ()) in
+        let sw = Designs.sw () in
+        let tr =
+          Runtime.run_fixed_targets ~max_time:100.0 ~hw_design:hw ~sw_design:sw
+            ~hw_targets ~sw_targets
+            [ Board.Workload.by_name "blackscholes" ]
+        in
+        (w, tr))
+      weights
+  in
+  Printf.printf "%-8s" "time(s)";
+  List.iter (fun (w, _) -> Printf.printf " %12s" (Printf.sprintf "weight %.1f" w)) traces;
+  Printf.printf "   (target 2.5 W)\n";
+  let len =
+    List.fold_left (fun acc (_, t) -> max acc (Array.length t)) 0 traces
+  in
+  let stride = max 1 (len / 30) in
+  let i = ref 0 in
+  while !i < len do
+    Printf.printf "%-8.1f" (Float.of_int !i *. 0.5);
+    List.iter
+      (fun (_, t) ->
+        if !i < Array.length t then
+          Printf.printf " %12.2f" t.(!i).Runtime.power_big
+        else Printf.printf " %12s" "-")
+      traces;
+    Printf.printf "\n";
+    i := !i + stride
+  done;
+  List.iter
+    (fun (w, t) ->
+      (* Oscillation measure: mean absolute epoch-to-epoch power change in
+         steady state. *)
+      let acc = ref 0.0 and n = ref 0 in
+      Array.iteri
+        (fun i p ->
+          if i > 40 && i < Array.length t then begin
+            acc := !acc +. Float.abs (p.Runtime.power_big -. t.(i - 1).Runtime.power_big);
+            incr n
+          end)
+        t;
+      if !n > 0 then
+        Printf.printf "# weight %.1f: mean |dP| per epoch = %.3f W\n" w
+          (!acc /. Float.of_int !n))
+    traces
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md section 4)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "Ablation: value of coordination, optimizer, and sensors";
+  let entries = Experiment.suite_entries () in
+  let avg_ratio driver =
+    let total = ref 0.0 and n = ref 0 in
+    List.iter
+      (fun (_, workloads) ->
+        let base =
+          (Runtime.run Runtime.Coordinated_heuristic workloads).Runtime.metrics
+        in
+        let r = Runtime.run_driver (driver ()) workloads in
+        total :=
+          !total
+          +. (r.Runtime.metrics.Board.Xu3.energy_delay
+              /. base.Board.Xu3.energy_delay);
+        incr n)
+      entries;
+    !total /. Float.of_int !n
+  in
+  let full () = Runtime.yukta_full_driver (Designs.hw ()) (Designs.sw ()) in
+  Printf.printf "  Yukta full:                         ExD = %.3f\n"
+    (avg_ratio full);
+  (* Without external signals: controllers synthesized with the externals
+     zeroed at runtime (the information channel is cut). *)
+  let no_ext () = Runtime.yukta_full_no_externals_driver (Designs.hw ()) (Designs.sw ()) in
+  Printf.printf "  ... external signals zeroed:        ExD = %.3f\n"
+    (avg_ratio no_ext);
+  let no_opt () = Runtime.yukta_full_fixed_targets_driver (Designs.hw ()) (Designs.sw ()) in
+  Printf.printf "  ... optimizer off (fixed targets):  ExD = %.3f\n"
+    (avg_ratio no_opt);
+  (* Quantization-aware synthesis vs the continuous-input assumption of
+     the non-SSV designs (the Section VI-B failure mode). *)
+  let hw_no_quant =
+    let r = Designs.get_records () in
+    let spec = Hw_layer.spec () in
+    let model =
+      Design.identify spec ~u:r.Training.hw_u ~y:r.Training.hw_y
+    in
+    Design.synthesize ~ignore_quantization:true spec ~model
+  in
+  let no_quant () = Runtime.yukta_full_driver hw_no_quant (Designs.sw ()) in
+  Printf.printf "  ... quantization-unaware HW design: ExD = %.3f\n"
+    (avg_ratio no_quant);
+  (* Power-sensor refresh period. *)
+  let avg_ratio_period period =
+    let total = ref 0.0 and n = ref 0 in
+    List.iter
+      (fun (_, workloads) ->
+        let base =
+          (Runtime.run Runtime.Coordinated_heuristic workloads).Runtime.metrics
+        in
+        let r =
+          Runtime.run_driver ~sensor_period:period (full ()) workloads
+        in
+        total :=
+          !total
+          +. (r.Runtime.metrics.Board.Xu3.energy_delay
+              /. base.Board.Xu3.energy_delay);
+        incr n)
+      entries;
+    !total /. Float.of_int !n
+  in
+  Printf.printf "  ... ideal power sensor (10 ms):     ExD = %.3f\n"
+    (avg_ratio_period 0.01);
+  Printf.printf "  ... slow power sensor (1 s):        ExD = %.3f\n"
+    (avg_ratio_period 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let has f = List.mem f args in
+  let all = args = [] || has "--all" in
+  if all || has "--tables" then begin
+    table2 ();
+    table3 ();
+    table4 ()
+  end;
+  if all || has "--fig9" then ignore (fig9 ());
+  if all || has "--fig10" then fig10 ();
+  if all || has "--fig11" then fig11 ();
+  if all || has "--fig12" || has "--fig13" then fig12_13 ();
+  if all || has "--fig14" then fig14 ();
+  if all || has "--cost" then cost ();
+  if all || has "--fig15" then fig15 ();
+  if all || has "--fig16" then fig16 ();
+  if all || has "--fig17" then fig17 ();
+  if all || has "--ablation" then ablation ()

@@ -1,0 +1,44 @@
+(* Development tool: dump the HW SSV layer's targets, measurements and
+   commands epoch by epoch. *)
+
+open Board
+
+let () =
+  let app = if Array.length Sys.argv > 1 then Sys.argv.(1) else "blackscholes" in
+  let hw = Yukta.Designs.hw () in
+  let ctrl = hw.Yukta.Design.controller in
+  let opt = Yukta.Hw_layer.make_optimizer () in
+  Yukta.Controller.reset ctrl;
+  let board = Xu3.create [ Workload.by_name app ] in
+  let ema = ref 0.0 and primed = ref false in
+  for i = 1 to 420 do
+    if not (Xu3.finished board) then begin
+      let o = Xu3.run_epoch board 0.5 in
+      let pl =
+        Yukta.Heuristics.os_coordinated ~config:(Xu3.config board) ~outputs:o
+      in
+      Xu3.set_placement board pl;
+      let v =
+        (o.Xu3.power_big +. o.Xu3.power_little)
+        /. (Float.max 0.2 o.Xu3.bips ** 2.0)
+      in
+      if !primed then ema := (0.7 *. !ema) +. (0.3 *. v)
+      else (ema := v; primed := true);
+      let meas = Yukta.Hw_layer.measurements o in
+      let targets =
+        if i mod 5 = 0 then
+          Yukta.Optimizer.update opt ~objective:!ema ~measurements:meas
+        else Yukta.Optimizer.targets opt
+      in
+      let u =
+        Yukta.Controller.step ctrl ~measurements:meas ~targets
+          ~externals:(Yukta.Hw_layer.externals_of_placement (Xu3.placement board))
+      in
+      let raw = Yukta.Controller.last_raw_command ctrl in
+      Xu3.set_config board (Yukta.Hw_layer.config_of_command u);
+      Printf.printf
+        "%3d t=%5.1f | tgt p=%4.2f P=%4.2f | meas p=%5.2f P=%4.2f Pl=%5.3f T=%4.1f | raw=[%5.2f %5.2f %5.2f %5.2f] u=[%g %g %g %g] obj=%.4f\n"
+        i (Xu3.time board) targets.(0) targets.(1) meas.(0) meas.(1) meas.(2)
+        meas.(3) raw.(0) raw.(1) raw.(2) raw.(3) u.(0) u.(1) u.(2) u.(3) !ema
+    end
+  done

@@ -1,0 +1,58 @@
+(* Development tool: dump the SW SSV layer's commands epoch by epoch while
+   the HW SSV layer also runs (the full Yukta scheme). *)
+
+open Board
+
+let () =
+  let app = if Array.length Sys.argv > 1 then Sys.argv.(1) else "blackscholes" in
+  let hw = Yukta.Designs.hw () and sw = Yukta.Designs.sw () in
+  let hw_ctrl = hw.Yukta.Design.controller in
+  let sw_ctrl = sw.Yukta.Design.controller in
+  Yukta.Controller.reset hw_ctrl;
+  Yukta.Controller.reset sw_ctrl;
+  let hw_opt = Yukta.Hw_layer.make_optimizer () in
+  let sw_opt = Yukta.Sw_layer.make_optimizer () in
+  let board = Xu3.create [ Workload.by_name app ] in
+  let ema = ref 0.0 and primed = ref false in
+  for i = 1 to 240 do
+    if not (Xu3.finished board) then begin
+      let o = Xu3.run_epoch board 0.5 in
+      let v =
+        (o.Xu3.power_big +. o.Xu3.power_little)
+        /. (Float.max 0.2 o.Xu3.bips ** 2.0)
+      in
+      if !primed then ema := (0.5 *. !ema) +. (0.5 *. v)
+      else (ema := v; primed := true);
+      (* SW layer *)
+      let sw_meas = Yukta.Sw_layer.measurements o in
+      let sw_t =
+        if i mod 5 = 0 then
+          Yukta.Optimizer.update sw_opt ~objective:!ema ~measurements:sw_meas
+        else Yukta.Optimizer.targets sw_opt
+      in
+      let u_sw =
+        Yukta.Controller.step sw_ctrl ~measurements:sw_meas ~targets:sw_t
+          ~externals:(Yukta.Sw_layer.externals_of_config (Xu3.config board))
+      in
+      Xu3.set_placement board (Yukta.Sw_layer.placement_of_command u_sw);
+      (* HW layer *)
+      let hw_meas = Yukta.Hw_layer.measurements o in
+      let hw_t =
+        if i mod 5 = 0 then
+          Yukta.Optimizer.update hw_opt ~objective:!ema ~measurements:hw_meas
+        else Yukta.Optimizer.targets hw_opt
+      in
+      let u_hw =
+        Yukta.Controller.step hw_ctrl ~measurements:hw_meas ~targets:hw_t
+          ~externals:
+            (Yukta.Hw_layer.externals_of_placement (Xu3.placement board))
+      in
+      Xu3.set_config board (Yukta.Hw_layer.config_of_command u_hw);
+      if i mod 4 = 0 then
+        Printf.printf
+          "%3d | swt=[%4.1f %4.1f %4.1f] swm=[%4.2f %4.2f %5.2f] pl=[tb=%g tpcb=%.1f tpcl=%.1f] | P=%4.2f p=%5.2f u=[%g %g %g %g] obj=%.4f\n"
+          i sw_t.(0) sw_t.(1) sw_t.(2) sw_meas.(0) sw_meas.(1) sw_meas.(2)
+          u_sw.(0) u_sw.(1) u_sw.(2) hw_meas.(1) hw_meas.(0) u_hw.(0) u_hw.(1)
+          u_hw.(2) u_hw.(3) !ema
+    end
+  done

@@ -1,0 +1,61 @@
+(* Development tool: exhaustive static configuration sweep for one
+   workload phase — the ground-truth E x D landscape controllers search. *)
+
+open Board
+
+let () =
+  let app = if Array.length Sys.argv > 1 then Sys.argv.(1) else "blackscholes" in
+  let w = Workload.by_name app in
+  (* Evaluate steady state of a held configuration on the dominant phase. *)
+  let eval bc fb lc fl tb tpc_b tpc_l =
+    let board = Xu3.create [ w ] in
+    Xu3.set_config board
+      { Xu3.big_cores = bc; little_cores = lc; freq_big = fb; freq_little = fl };
+    Xu3.set_placement board
+      { Xu3.threads_big = tb; tpc_big = tpc_b; tpc_little = tpc_l };
+    (* Skip the serial prologue, then measure 10 s of steady state. *)
+    Xu3.step board 15.0;
+    ignore (Xu3.observe board);
+    let e0 = Xu3.energy board and t0 = Xu3.time board in
+    Xu3.step board 10.0;
+    let o = Xu3.observe board in
+    let p = (Xu3.energy board -. e0) /. (Xu3.time board -. t0) in
+    let rate = p /. (Float.max 0.2 o.Xu3.bips ** 2.0) in
+    (rate, o.Xu3.bips, p, o.Xu3.power_big, o.Xu3.power_little, Xu3.trip_count board)
+  in
+  let results = ref [] in
+  List.iter
+    (fun bc ->
+      List.iter
+        (fun fb ->
+          List.iter
+            (fun lc ->
+              List.iter
+                (fun fl ->
+                  List.iter
+                    (fun tb ->
+                      List.iter
+                        (fun tpc ->
+                          let rate, bips, p, pb, pl, trips =
+                            eval bc fb lc fl tb tpc tpc
+                          in
+                          (* Disqualify configs that live above the caps. *)
+                          if pb <= 3.3 && pl <= 0.33 && trips = 0 then
+                            results :=
+                              (rate, (bc, fb, lc, fl, tb, tpc, bips, p))
+                              :: !results)
+                        [ 1.0; 2.0 ])
+                    [ 4; 5; 6; 7; 8 ])
+                [ 0.6; 1.0; 1.4 ])
+            [ 1; 2; 4 ])
+        [ 1.0; 1.2; 1.4; 1.6; 1.8; 2.0 ])
+    [ 2; 3; 4 ];
+  let sorted = List.sort compare !results in
+  Printf.printf "%s: best static configurations (rate = W/BIPS^2)\n" app;
+  List.iteri
+    (fun i (rate, (bc, fb, lc, fl, tb, tpc, bips, p)) ->
+      if i < 12 then
+        Printf.printf
+          "  rate=%.5f  bc=%d fb=%.1f lc=%d fl=%.1f tb=%d tpc=%.0f  bips=%5.2f P=%4.2f\n"
+          rate bc fb lc fl tb tpc bips p)
+    sorted

@@ -1,0 +1,39 @@
+(* Development tool: model quality and synthesis feasibility diagnostics. *)
+
+open Linalg
+
+let () =
+  let r = Yukta.Designs.get_records () in
+  let check name spec u y =
+    let model = Yukta.Design.identify spec ~u ~y in
+    let u_n, y_n = Yukta.Design.normalize_records spec ~u ~y in
+    (* One-step prediction fit of a refit (same data) ARX for reference. *)
+    let arx = Sysid.Arx.fit ~na:4 ~nb:4 ~u:u_n ~y:y_n in
+    let pred = Sysid.Arx.predict_one_step arx ~u:u_n ~y:y_n in
+    let fit = Sysid.Validate.fit_percent ~actual:y_n ~predicted:pred in
+    Printf.printf "%s: model order=%d stable=%b rho=%.3f\n" name
+      (Control.Ss.order model)
+      (Control.Ss.is_stable model)
+      (Eig.spectral_radius model.Control.Ss.a);
+    Array.iteri (fun i f -> Printf.printf "  output %d fit%% = %.1f\n" i f) fit;
+    (* Static gains of the model: input columns vs outputs. *)
+    Printf.printf "  dcgain =\n%s\n"
+      (Format.asprintf "%a" Mat.pp (Control.Ss.dcgain model));
+    model
+  in
+  let hw_spec = Yukta.Hw_layer.spec () in
+  let hw_model = check "HW" hw_spec r.Yukta.Training.hw_u r.Yukta.Training.hw_y in
+  let sw_spec = Yukta.Sw_layer.spec () in
+  let _ = check "SW" sw_spec r.Yukta.Training.sw_u r.Yukta.Training.sw_y in
+  (* Gamma feasibility: plant with tiny vs full guardband. *)
+  List.iter
+    (fun unc ->
+      let spec = Yukta.Hw_layer.spec ~uncertainty:unc () in
+      let plant, _ = Yukta.Design.generalized_plant spec ~model:hw_model in
+      match Control.Hinf.synthesize plant with
+      | { Control.Hinf.gamma; achieved_norm; _ } ->
+        Printf.printf "HW uncertainty=%.2f: gamma=%.3f achieved=%.3f\n%!" unc
+          gamma achieved_norm
+      | exception Control.Hinf.Synthesis_failed m ->
+        Printf.printf "HW uncertainty=%.2f: FAILED (%s)\n%!" unc m)
+    [ 0.01; 0.10; 0.40 ]

@@ -1,0 +1,29 @@
+(* Development tool: epoch-by-epoch trace of one scheme on one workload. *)
+
+let () =
+  let scheme_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "coord" in
+  let app = if Array.length Sys.argv > 2 then Sys.argv.(2) else "blackscholes" in
+  let scheme =
+    match scheme_name with
+    | "coord" -> Yukta.Runtime.Coordinated_heuristic
+    | "dec" -> Yukta.Runtime.Decoupled_heuristic
+    | "ssv1" -> Yukta.Runtime.Hw_ssv_os_heuristic
+    | "ssv2" -> Yukta.Runtime.Hw_ssv_os_ssv
+    | "lqgd" -> Yukta.Runtime.Lqg_decoupled
+    | "lqgm" -> Yukta.Runtime.Lqg_monolithic
+    | _ -> failwith "unknown scheme"
+  in
+  let w = Board.Workload.by_name app in
+  let r = Yukta.Runtime.run ~collect_trace:true scheme [ w ] in
+  Printf.printf "# time pbig psensor plittle bips temp fbig bigcores\n";
+  Array.iteri
+    (fun i (p : Yukta.Runtime.trace_point) ->
+      if i mod 4 = 0 then
+        Printf.printf "%7.1f %5.2f %5.2f %5.3f %6.2f %5.1f %4.1f %d\n" p.time
+          p.power_big p.power_big_sensor p.power_little p.bips p.temperature
+          p.freq_big p.big_cores)
+    r.Yukta.Runtime.trace;
+  let m = r.Yukta.Runtime.metrics in
+  Printf.printf "# time=%.1f energy=%.1f exd=%.1f trips=%d\n"
+    m.Board.Xu3.execution_time m.Board.Xu3.total_energy m.Board.Xu3.energy_delay
+    m.Board.Xu3.trips

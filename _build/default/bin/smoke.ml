@@ -1,0 +1,38 @@
+(* End-to-end smoke run: training, identification, mu-synthesis, and one
+   workload under every scheme, with wall-clock timings. Used during
+   development and as a quick health check; the real evaluation lives in
+   bench/main.exe. *)
+
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%6.1fs] %s\n%!" (Unix.gettimeofday () -. t0) label;
+  r
+
+let () =
+  let records = timed "training data" (fun () -> Yukta.Designs.get_records ()) in
+  Printf.printf "  hw record: %d epochs\n%!" (Array.length records.Yukta.Training.hw_u);
+  let hw = timed "hw mu-synthesis" (fun () -> Yukta.Designs.hw ()) in
+  Printf.printf "  hw: mu=%.3f gamma=%.3f order=%d\n%!" hw.Yukta.Design.mu_peak
+    hw.Yukta.Design.gamma
+    (Yukta.Controller.order hw.Yukta.Design.controller);
+  let sw = timed "sw mu-synthesis" (fun () -> Yukta.Designs.sw ()) in
+  Printf.printf "  sw: mu=%.3f gamma=%.3f order=%d\n%!" sw.Yukta.Design.mu_peak
+    sw.Yukta.Design.gamma
+    (Yukta.Controller.order sw.Yukta.Design.controller);
+  ignore (timed "lqg hw" (fun () -> Yukta.Designs.lqg_hw ()));
+  ignore (timed "lqg sw" (fun () -> Yukta.Designs.lqg_sw ()));
+  ignore (timed "lqg monolithic" (fun () -> Yukta.Designs.lqg_monolithic ()));
+  let app = Board.Workload.by_name "blackscholes" in
+  List.iter
+    (fun scheme ->
+      let r =
+        timed (Yukta.Runtime.scheme_name scheme) (fun () ->
+            Yukta.Runtime.run scheme [ app ])
+      in
+      let m = r.Yukta.Runtime.metrics in
+      Printf.printf "  %-28s time=%7.1fs energy=%8.1fJ exd=%10.1f trips=%d done=%b\n%!"
+        (Yukta.Runtime.scheme_name scheme)
+        m.Board.Xu3.execution_time m.Board.Xu3.total_energy
+        m.Board.Xu3.energy_delay m.Board.Xu3.trips r.Yukta.Runtime.completed)
+    Yukta.Runtime.all_schemes

@@ -1,0 +1,136 @@
+(* Command-line driver for the Yukta reproduction.
+
+     yukta_cli apps                      list workloads
+     yukta_cli schemes                   list controller schemes
+     yukta_cli run -s yukta -a mcf       run a scheme on a workload
+     yukta_cli trace -s coord -a x264    CSV trace to stdout
+     yukta_cli design                    synthesize & describe the designs *)
+
+open Cmdliner
+open Yukta
+
+let scheme_assoc =
+  [
+    ("coord", Runtime.Coordinated_heuristic);
+    ("decoupled", Runtime.Decoupled_heuristic);
+    ("hw-ssv", Runtime.Hw_ssv_os_heuristic);
+    ("yukta", Runtime.Hw_ssv_os_ssv);
+    ("lqg-dec", Runtime.Lqg_decoupled);
+    ("lqg-mono", Runtime.Lqg_monolithic);
+  ]
+
+let scheme_conv =
+  let parse s =
+    match List.assoc_opt s scheme_assoc with
+    | Some v -> Ok v
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown scheme %S (one of: %s)" s
+              (String.concat ", " (List.map fst scheme_assoc))))
+  in
+  let print fmt v =
+    let name, _ = List.find (fun (_, s) -> s = v) scheme_assoc in
+    Format.pp_print_string fmt name
+  in
+  Arg.conv (parse, print)
+
+let workloads_of_name name =
+  match List.assoc_opt name Board.Workload.mixes with
+  | Some jobs -> jobs
+  | None -> [ Board.Workload.by_name name ]
+
+let app_arg =
+  let doc = "Workload: a PARSEC/SPEC name (see `apps`) or a mix (blmc, ...)." in
+  Arg.(value & opt string "blackscholes" & info [ "a"; "app" ] ~docv:"APP" ~doc)
+
+let scheme_arg =
+  let doc = "Controller scheme (see `schemes`)." in
+  Arg.(
+    value
+    & opt scheme_conv Runtime.Hw_ssv_os_ssv
+    & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let apps_cmd =
+  let run () =
+    print_endline "evaluation suite:";
+    List.iter
+      (fun w ->
+        Printf.printf "  %-14s %6.0f Ginst, up to %d threads\n"
+          w.Board.Workload.name
+          (Board.Workload.total_ginsts w)
+          (Board.Workload.max_threads w))
+      Board.Workload.evaluation_suite;
+    print_endline "heterogeneous mixes: blmc, stga, blst, mcga";
+    print_endline
+      "training set: swaptions, vips, astar, perlbench, milc, namd"
+  in
+  Cmd.v (Cmd.info "apps" ~doc:"List workloads") Term.(const run $ const ())
+
+let schemes_cmd =
+  let run () =
+    List.iter
+      (fun (key, s) -> Printf.printf "  %-10s %s\n" key (Runtime.scheme_name s))
+      scheme_assoc
+  in
+  Cmd.v (Cmd.info "schemes" ~doc:"List controller schemes")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run scheme app =
+    let workloads = workloads_of_name app in
+    Printf.printf "running %s on %s...\n%!" (Runtime.scheme_name scheme) app;
+    let r = Runtime.run scheme workloads in
+    let m = r.Runtime.metrics in
+    Printf.printf "completed: %b\n" r.Runtime.completed;
+    Printf.printf "execution time: %.1f s\n" m.Board.Xu3.execution_time;
+    Printf.printf "energy:         %.1f J\n" m.Board.Xu3.total_energy;
+    Printf.printf "E x D:          %.0f J.s\n" m.Board.Xu3.energy_delay;
+    Printf.printf "emergency trips: %d\n" m.Board.Xu3.trips
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one scheme on one workload")
+    Term.(const run $ scheme_arg $ app_arg)
+
+let trace_cmd =
+  let run scheme app =
+    let workloads = workloads_of_name app in
+    let r = Runtime.run ~collect_trace:true scheme workloads in
+    print_endline
+      "time_s,power_big_w,power_big_sensor_w,power_little_w,bips,temp_c,freq_big_ghz,big_cores";
+    Array.iter
+      (fun (p : Runtime.trace_point) ->
+        Printf.printf "%.1f,%.3f,%.3f,%.3f,%.3f,%.1f,%.1f,%d\n" p.Runtime.time
+          p.Runtime.power_big p.Runtime.power_big_sensor p.Runtime.power_little
+          p.Runtime.bips p.Runtime.temperature p.Runtime.freq_big
+          p.Runtime.big_cores)
+      r.Runtime.trace
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run one scheme and print a CSV trace to stdout")
+    Term.(const run $ scheme_arg $ app_arg)
+
+let design_cmd =
+  let run () =
+    Printf.printf "synthesizing (cached under .yukta_cache)...\n%!";
+    let describe name (syn : Design.synthesis) =
+      let c = Controller.cost syn.Design.controller in
+      Printf.printf
+        "%s: %d states, %d inputs, %d outputs+externals; mu peak %.3f, gamma %.3f\n"
+        name c.Controller.states c.Controller.inputs
+        c.Controller.outputs_and_externals syn.Design.mu_peak syn.Design.gamma
+    in
+    describe "hardware layer" (Designs.hw ());
+    describe "software layer" (Designs.sw ())
+  in
+  Cmd.v
+    (Cmd.info "design" ~doc:"Synthesize and describe the default controllers")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "yukta_cli" ~version:"1.0"
+      ~doc:"Multilayer SSV resource control on a simulated big.LITTLE board"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ apps_cmd; schemes_cmd; run_cmd; trace_cmd; design_cmd ]))

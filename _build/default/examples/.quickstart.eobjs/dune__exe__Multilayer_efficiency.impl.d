@@ -1,0 +1,1 @@
+examples/multilayer_efficiency.ml: Array Board Designs Hw_layer List Printf Runtime Sys Yukta

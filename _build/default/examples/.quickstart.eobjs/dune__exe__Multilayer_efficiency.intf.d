@@ -1,0 +1,1 @@
+examples/multilayer_efficiency.mli:

@@ -1,0 +1,1 @@
+examples/power_capping.ml: Array Board Designs Float Hw_layer List Printf Runtime Signal Sys Yukta

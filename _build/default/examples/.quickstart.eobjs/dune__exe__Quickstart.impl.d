@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Control Controller Design Printf Signal Sysid Yukta

@@ -1,0 +1,1 @@
+examples/robust_analysis.ml: Array Control Controller Design Designs Hinf Hw_layer Linalg Printf Signal Ss Ssv Yukta

@@ -1,0 +1,1 @@
+examples/sysid_workflow.ml: Array Control Design Format Hw_layer Linalg Printf String Sysid Training Yukta

@@ -1,0 +1,1 @@
+examples/sysid_workflow.mli:

@@ -1,0 +1,1 @@
+examples/three_layers.ml: Array Board Control Controller Design Designs List Printf Runtime Signal Sysid Workload Xu3 Yukta

@@ -1,0 +1,72 @@
+(* Quickstart: design an SSV controller for a small system and run it.
+
+     dune exec examples/quickstart.exe
+
+   The flow is the one every Yukta layer follows (Figure 3): declare the
+   signals, identify a model from input/output records, run mu-synthesis,
+   and invoke the resulting controller every sampling period. Here the
+   "system" is a synthetic first-order plant so the example runs in
+   milliseconds; see multilayer_efficiency.ml for the full board. *)
+
+open Yukta
+
+let () =
+  (* 1. Declare the layer's signals: one knob with discrete settings, one
+     goal with a deviation bound. *)
+  let knob =
+    Signal.input ~name:"knob" ~minimum:0.0 ~maximum:10.0 ~step:0.5 ~weight:1.0
+  in
+  let goal = Signal.output ~name:"goal" ~lo:0.0 ~hi:20.0 ~bound_fraction:0.1 () in
+  let spec =
+    {
+      Design.layer = "quickstart";
+      inputs = [| knob |];
+      outputs = [| goal |];
+      externals = [||];
+      uncertainty = 0.30;  (* +-30% guardband *)
+      period = 0.5;
+    }
+  in
+
+  (* 2. The true system (normally this is the physical platform): a slow
+     first-order response, goal ~ 18 * knob_fraction at steady state, plus
+     behaviour the model will not capture (the guardband's job). *)
+  let state = ref 0.0 in
+  let plant knob_value =
+    let target = 1.8 *. knob_value in
+    state := (0.7 *. !state) +. (0.3 *. target);
+    !state
+  in
+
+  (* 3. Collect training records by exciting the knob. *)
+  let exc = { Sysid.Excitation.seed = 42; hold = 3 } in
+  let levels = Control.Quantize.levels knob.Signal.channel in
+  let u_seq = Sysid.Excitation.multilevel exc ~levels ~length:300 in
+  let u = Array.map (fun v -> [| v |]) u_seq in
+  let y = Array.map (fun v -> [| plant v.(0) |]) u in
+
+  (* 4. Identify and synthesize. *)
+  let syn = Design.design ~order:2 ~dk_iterations:2 spec ~u ~y in
+  Printf.printf "synthesized: %d states, mu peak %.3f, gamma %.3f\n"
+    (Controller.order syn.Design.controller)
+    syn.Design.mu_peak syn.Design.gamma;
+  Printf.printf "guaranteed deviation bound: +-%.2f (designer asked +-%.2f)\n"
+    syn.Design.guaranteed_bounds.(0)
+    (Signal.bound_absolute goal);
+
+  (* 5. Run the closed loop: track a setpoint of 12, then step to 6. *)
+  state := 0.0;
+  let ctrl = syn.Design.controller in
+  Controller.reset ctrl;
+  let y_now = ref (plant 0.0) in
+  Printf.printf "\n%6s %8s %8s %8s\n" "step" "target" "goal" "knob";
+  for t = 1 to 24 do
+    let target = if t <= 12 then 12.0 else 6.0 in
+    let u =
+      Controller.step ctrl ~measurements:[| !y_now |] ~targets:[| target |]
+        ~externals:[||]
+    in
+    y_now := plant u.(0);
+    if t mod 2 = 0 then
+      Printf.printf "%6d %8.1f %8.2f %8.1f\n" t target !y_now u.(0)
+  done

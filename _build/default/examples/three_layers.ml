@@ -1,0 +1,112 @@
+(* Scalability to several layers (Section III-D).
+
+     dune exec examples/three_layers.exe
+
+   The paper envisions each layer's controller talking only to its
+   neighbours: an application-layer controller above the OS reads the
+   hardware frequency as an external signal (which already embodies the
+   layers below it) and actuates an application knob. Here a video
+   pipeline adjusts its quality level (work per frame) to hold a frame
+   target while the two-layer Yukta system underneath manages power,
+   placement and thermals — three coordinated SSV controllers in total. *)
+
+open Yukta
+open Board
+
+(* Frames cost work proportional to the quality level; the frame rate is
+   whatever the board's throughput sustains at that cost. *)
+let ginst_per_frame quality = 0.04 +. (0.05 *. quality)
+
+let fps ~bips ~quality = bips /. ginst_per_frame quality
+
+let quality_knob =
+  Signal.input ~name:"quality" ~minimum:1.0 ~maximum:5.0 ~step:0.5 ~weight:1.0
+
+let fps_output =
+  Signal.output ~name:"fps" ~lo:0.0 ~hi:120.0 ~bound_fraction:0.1 ()
+
+let app_spec =
+  {
+    Design.layer = "application";
+    inputs = [| quality_knob |];
+    outputs = [| fps_output |];
+    externals =
+      [|
+        {
+          Signal.name = "freq_big";
+          info =
+            Signal.From_input
+              (Control.Quantize.make ~minimum:0.2 ~maximum:2.0 ~step:0.1);
+        };
+      |];
+    uncertainty = 0.45;  (* two layers of interference below us *)
+    period = 0.5;
+  }
+
+let () =
+  Printf.printf "loading the two lower-layer designs (cached)...\n%!";
+  let hw = Designs.hw () and sw = Designs.sw () in
+
+  (* --- Train the application layer on the live three-layer stack. --- *)
+  Printf.printf "training the application layer on the running system...\n%!";
+  let board = Xu3.create [ Workload.by_name "x264" ] in
+  let driver = Runtime.yukta_full_driver hw sw in
+  driver.Runtime.reset ();
+  let exc = { Sysid.Excitation.seed = 11; hold = 3 } in
+  let quality_seq =
+    Sysid.Excitation.multilevel exc
+      ~levels:(Control.Quantize.levels quality_knob.Signal.channel)
+      ~length:200
+  in
+  let u_rec = ref [] and y_rec = ref [] in
+  Array.iter
+    (fun q ->
+      if not (Xu3.finished board) then begin
+        let o = Xu3.run_epoch board 0.5 in
+        driver.Runtime.act board o;
+        let f = (Xu3.effective_config board).Xu3.freq_big in
+        u_rec := [| q; f |] :: !u_rec;
+        y_rec := [| fps ~bips:o.Xu3.bips ~quality:q |] :: !y_rec
+      end)
+    quality_seq;
+  let u = Array.of_list (List.rev !u_rec) in
+  let y = Array.of_list (List.rev !y_rec) in
+  Printf.printf "  %d training epochs\n%!" (Array.length u);
+
+  Printf.printf "mu-synthesis of the application controller...\n%!";
+  let app = Design.design ~order:2 ~dk_iterations:2 app_spec ~u ~y in
+  Printf.printf "  %d states, mu peak %.2f\n"
+    (Controller.order app.Design.controller)
+    app.Design.mu_peak;
+
+  (* --- Run the three-layer closed loop. --- *)
+  let target_fps = 30.0 in
+  Printf.printf "\nrunning three layers (frame target %.0f fps):\n" target_fps;
+  Printf.printf "%8s %8s %8s %8s %8s\n" "time(s)" "fps" "quality" "Pbig(W)"
+    "freq";
+  let board = Xu3.create [ Workload.by_name "x264" ] in
+  driver.Runtime.reset ();
+  Controller.reset app.Design.controller;
+  let quality = ref 3.0 in
+  let epoch = ref 0 in
+  while (not (Xu3.finished board)) && !epoch < 200 do
+    incr epoch;
+    let o = Xu3.run_epoch board 0.5 in
+    (* Lower two layers act as before. *)
+    driver.Runtime.act board o;
+    (* Application layer: hold the frame rate by trading quality. *)
+    let f = fps ~bips:o.Xu3.bips ~quality:!quality in
+    let u =
+      Controller.step app.Design.controller ~measurements:[| f |]
+        ~targets:[| target_fps |]
+        ~externals:[| (Xu3.effective_config board).Xu3.freq_big |]
+    in
+    quality := u.(0);
+    if !epoch mod 12 = 0 then
+      Printf.printf "%8.1f %8.1f %8.1f %8.2f %8.1f\n"
+        (Xu3.time board) f !quality o.Xu3.power_big
+        (Xu3.effective_config board).Xu3.freq_big
+  done;
+  Printf.printf
+    "\nThe application layer only ever talked to its neighbour (freq_big);\n\
+     the hardware limits were enforced two layers down, unseen from here.\n"

@@ -1,0 +1,1 @@
+lib/board/dvfs.ml: Array Control Float

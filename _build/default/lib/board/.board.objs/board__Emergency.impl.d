@@ -1,0 +1,1 @@
+lib/board/emergency.ml: Float

@@ -1,0 +1,1 @@
+lib/board/perf.ml: Dvfs Float

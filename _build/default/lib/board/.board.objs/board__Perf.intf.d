@@ -1,0 +1,1 @@
+lib/board/perf.mli: Dvfs

@@ -1,0 +1,1 @@
+lib/board/power.ml: Dvfs Float

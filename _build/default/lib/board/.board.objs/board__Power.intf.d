@@ -1,0 +1,1 @@
+lib/board/power.mli: Dvfs

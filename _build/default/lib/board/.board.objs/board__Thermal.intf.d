@@ -1,0 +1,1 @@
+lib/board/thermal.mli:

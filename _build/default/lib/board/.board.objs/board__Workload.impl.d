@@ -1,0 +1,1 @@
+lib/board/workload.ml: Array List Printf Random

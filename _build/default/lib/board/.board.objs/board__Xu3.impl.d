@@ -1,0 +1,1 @@
+lib/board/xu3.ml: Dvfs Emergency Float List Perf Power Sensors Thermal Workload

@@ -1,0 +1,1 @@
+lib/board/xu3.mli: Workload

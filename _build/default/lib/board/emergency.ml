@@ -1,0 +1,104 @@
+type action = {
+  cap_freq_big : float option;
+  cap_freq_little : float option;
+  cap_big_cores : int option;
+}
+
+type t = {
+  mutable over_power_big_s : float;    (* Continuous time above threshold. *)
+  mutable over_power_little_s : float;
+  mutable thermal_cooldown : float;    (* Remaining thermal clamp time. *)
+  mutable power_cooldown_big : float;
+  mutable power_cooldown_little : float;
+  mutable trips : int;
+  mutable last_trip_time : float;      (* For escalation. *)
+  mutable escalation : float;          (* Clamp-duration multiplier. *)
+  mutable clock : float;
+}
+
+let thermal_trip = 85.0
+
+let power_trip_big = 4.2
+
+let power_trip_little = 0.40
+
+(* Sustained-overage window before a power trip fires. *)
+let power_patience = 0.6
+
+let thermal_clamp_s = 3.0
+
+let power_clamp_s = 2.5
+
+(* Repeated trips escalate: a controller that keeps slamming into the
+   protection machinery gets clamped for progressively longer, as the
+   vendor trip tables do. The multiplier decays back once trips stop. *)
+let escalation_window = 6.0
+
+let escalation_max = 4.0
+
+let create () =
+  {
+    over_power_big_s = 0.0;
+    over_power_little_s = 0.0;
+    thermal_cooldown = 0.0;
+    power_cooldown_big = 0.0;
+    power_cooldown_little = 0.0;
+    trips = 0;
+    last_trip_time = neg_infinity;
+    escalation = 1.0;
+    clock = 0.0;
+  }
+
+let register_trip t =
+  t.trips <- t.trips + 1;
+  if t.clock -. t.last_trip_time < escalation_window then
+    t.escalation <- Float.min escalation_max (t.escalation *. 1.5)
+  else t.escalation <- 1.0;
+  t.last_trip_time <- t.clock
+
+let step t ~dt ~temperature ~power_big ~power_little =
+  t.clock <- t.clock +. dt;
+  (* Cooldowns tick first. *)
+  t.thermal_cooldown <- Float.max 0.0 (t.thermal_cooldown -. dt);
+  t.power_cooldown_big <- Float.max 0.0 (t.power_cooldown_big -. dt);
+  t.power_cooldown_little <- Float.max 0.0 (t.power_cooldown_little -. dt);
+  (* Thermal trip is immediate. *)
+  if temperature >= thermal_trip && t.thermal_cooldown = 0.0 then begin
+    register_trip t;
+    t.thermal_cooldown <- thermal_clamp_s *. t.escalation
+  end;
+  (* Power trips need sustained overage. *)
+  if power_big > power_trip_big then
+    t.over_power_big_s <- t.over_power_big_s +. dt
+  else t.over_power_big_s <- 0.0;
+  if t.over_power_big_s >= power_patience && t.power_cooldown_big = 0.0 then begin
+    register_trip t;
+    t.power_cooldown_big <- power_clamp_s *. t.escalation;
+    t.over_power_big_s <- 0.0
+  end;
+  if power_little > power_trip_little then
+    t.over_power_little_s <- t.over_power_little_s +. dt
+  else t.over_power_little_s <- 0.0;
+  if t.over_power_little_s >= power_patience && t.power_cooldown_little = 0.0
+  then begin
+    register_trip t;
+    t.power_cooldown_little <- power_clamp_s *. t.escalation;
+    t.over_power_little_s <- 0.0
+  end;
+  {
+    cap_freq_big =
+      (if t.thermal_cooldown > 0.0 then Some 0.5
+       else if t.power_cooldown_big > 0.0 then Some 0.6
+       else None);
+    cap_freq_little =
+      (if t.thermal_cooldown > 0.0 then Some 0.3
+       else if t.power_cooldown_little > 0.0 then Some 0.4
+       else None);
+    cap_big_cores = (if t.thermal_cooldown > 0.0 then Some 2 else None);
+  }
+
+let tripped t =
+  t.thermal_cooldown > 0.0 || t.power_cooldown_big > 0.0
+  || t.power_cooldown_little > 0.0
+
+let trip_count t = t.trips

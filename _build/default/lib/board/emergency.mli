@@ -1,0 +1,45 @@
+(** The board's built-in emergency power/thermal heuristics.
+
+    The Exynos TMU driver and the power-limit firmware trip when
+    temperature or cluster power stay above preset thresholds; tripping
+    clamps the cluster frequency hard (and, for thermal trips, also caps
+    the core count) until a cooldown elapses. The paper deliberately keeps
+    its controllers below the trip thresholds (its power limits of
+    0.33/3.3 W and 79C are chosen just under them); controllers that
+    overshoot — the Decoupled heuristic above all — ping-pong against this
+    machinery, which is the source of the oscillations in Figure 10. *)
+
+type t
+
+type action = {
+  cap_freq_big : float option;     (** Forced big frequency, if tripped. *)
+  cap_freq_little : float option;
+  cap_big_cores : int option;      (** Forced core cap (thermal trip). *)
+}
+
+val thermal_trip : float
+(** 85 C: hard thermal trip threshold. *)
+
+val power_trip_big : float
+(** 4.2 W sustained trips the big cluster limiter. *)
+
+val power_trip_little : float
+(** 0.40 W sustained trips the little cluster limiter. *)
+
+val create : unit -> t
+
+val step :
+  t ->
+  dt:float ->
+  temperature:float ->
+  power_big:float ->
+  power_little:float ->
+  action
+(** Advance the trip state machine by [dt] and return the currently
+    enforced caps (all [None] when not tripped). *)
+
+val tripped : t -> bool
+
+val trip_count : t -> int
+(** Total trips since creation — a proxy for how badly a controller
+    fights the emergency machinery. *)

@@ -1,0 +1,51 @@
+let ipc_peak = function Dvfs.Big -> 2.0 | Dvfs.Little -> 0.9
+
+(* Memory saturation coefficient: how fast effective IPC degrades as
+   frequency grows for memory-bound work. The big core generates more
+   outstanding traffic per GHz. *)
+let mem_beta = function Dvfs.Big -> 0.5 | Dvfs.Little -> 0.4
+
+(* Throughput lost per extra thread multiplexed on a core (context
+   switches, cache thrash). *)
+let multiplex_penalty = 0.18
+
+let core_throughput ~kind ~freq ~mem_intensity ~ipc_scale ~threads_on_core =
+  if threads_on_core <= 0.0 then 0.0
+  else begin
+    let ipc_eff =
+      ipc_peak kind *. ipc_scale
+      /. (1.0 +. (mem_intensity *. mem_beta kind *. freq))
+    in
+    let sharing =
+      Float.max 0.5 (1.0 -. (multiplex_penalty *. (threads_on_core -. 1.0)))
+    in
+    ipc_eff *. freq *. sharing
+  end
+
+let cluster_throughput ~kind ~freq ~cores_on ~threads ~threads_per_core
+    ~mem_intensity ~ipc_scale =
+  if threads <= 0 || cores_on <= 0 then (0.0, 0)
+  else begin
+    let tpc = Float.max 1.0 threads_per_core in
+    let cores_wanted =
+      int_of_float (ceil (Float.of_int threads /. tpc))
+    in
+    let busy = min cores_on (max 1 cores_wanted) in
+    let actual_tpc = Float.of_int threads /. Float.of_int busy in
+    let per_core =
+      core_throughput ~kind ~freq ~mem_intensity ~ipc_scale
+        ~threads_on_core:actual_tpc
+    in
+    (per_core *. Float.of_int busy, busy)
+  end
+
+let speedup_big_over_little ~mem_intensity =
+  let big =
+    core_throughput ~kind:Dvfs.Big ~freq:(Dvfs.f_max Dvfs.Big)
+      ~mem_intensity ~ipc_scale:1.0 ~threads_on_core:1.0
+  in
+  let little =
+    core_throughput ~kind:Dvfs.Little ~freq:(Dvfs.f_max Dvfs.Little)
+      ~mem_intensity ~ipc_scale:1.0 ~threads_on_core:1.0
+  in
+  big /. little

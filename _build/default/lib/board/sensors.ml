@@ -1,0 +1,49 @@
+type t = {
+  noise : float;
+  period : float;
+  rng : Random.State.t;
+  mutable last_update : float;
+  mutable held_big : float;
+  mutable held_little : float;
+  mutable initialized : bool;
+}
+
+let power_update_period = 0.26
+
+let create ?(noise = 0.0) ?(seed = 17) ?(period = power_update_period) () =
+  if period <= 0.0 then invalid_arg "Sensors.create: period must be positive";
+  {
+    noise;
+    period;
+    rng = Random.State.make [| seed |];
+    last_update = 0.0;
+    held_big = 0.0;
+    held_little = 0.0;
+    initialized = false;
+  }
+
+let corrupt t x =
+  if t.noise = 0.0 then x
+  else begin
+    (* Sum of three uniforms approximates a Gaussian well enough here. *)
+    let u () = Random.State.float t.rng 2.0 -. 1.0 in
+    let g = (u () +. u () +. u ()) /. 1.732 in
+    Float.max 0.0 (x *. (1.0 +. (t.noise *. g)))
+  end
+
+let observe_power t ~time ~power_big ~power_little =
+  if (not t.initialized) || time -. t.last_update >= t.period then begin
+    t.held_big <- corrupt t power_big;
+    t.held_little <- corrupt t power_little;
+    t.last_update <- time;
+    t.initialized <- true
+  end;
+  (t.held_big, t.held_little)
+
+let reset t =
+  t.last_update <- 0.0;
+  t.held_big <- 0.0;
+  t.held_little <- 0.0;
+  t.initialized <- false
+
+let read t = (t.held_big, t.held_little)

@@ -1,0 +1,26 @@
+(** Sensor emulation.
+
+    The ODROID XU3's INA231 power sensors refresh every 260 ms; a
+    controller sampling faster sees held values. Temperature is available
+    on demand from the on-chip TMU, and instruction counts come from the
+    per-core PMU via the perf API (we model them as exact over a window).
+    Optional multiplicative noise models sensor error. *)
+
+type t
+
+val create : ?noise:float -> ?seed:int -> ?period:float -> unit -> t
+(** [noise] is the relative 1-sigma error on power readings (default 0);
+    [period] the refresh interval (default {!power_update_period}). *)
+
+val power_update_period : float
+(** 0.26 s. *)
+
+val observe_power :
+  t -> time:float -> power_big:float -> power_little:float -> float * float
+(** Feed the true instantaneous cluster powers at the given simulation
+    time; returns the (held) sensor readings. *)
+
+val reset : t -> unit
+
+val read : t -> float * float
+(** Last held power readings without feeding new samples (pure read). *)

@@ -1,0 +1,41 @@
+type t = { mutable hotspot : float; mutable package : float }
+
+let ambient = 30.0
+
+(* Thermal resistances (C/W) and time constants (s). The hot-spot node
+   weighs the big cluster fully and the little cluster at half (it sits
+   off the hot spot); the package node sees total power. *)
+let r_hot = 7.5
+
+let r_pkg = 6.2
+
+let tau_hot = 2.5
+
+let tau_pkg = 18.0
+
+let little_weight = 0.5
+
+let create () = { hotspot = 0.0; package = 0.0 }
+
+let weighted power_big power_little = power_big +. (little_weight *. power_little)
+
+let step t ~power_big ~power_little ~dt =
+  if dt <= 0.0 then invalid_arg "Thermal.step: dt must be positive";
+  let target_hot = r_hot *. weighted power_big power_little in
+  let target_pkg = r_pkg *. (power_big +. power_little) in
+  (* Exact first-order update over dt (stable for any dt). *)
+  let blend tau current target =
+    let a = exp (-.dt /. tau) in
+    (a *. current) +. ((1.0 -. a) *. target)
+  in
+  t.hotspot <- blend tau_hot t.hotspot target_hot;
+  t.package <- blend tau_pkg t.package target_pkg
+
+let temperature t = ambient +. t.hotspot +. t.package
+
+let steady_state ~power_big ~power_little =
+  ambient
+  +. (r_hot *. weighted power_big power_little)
+  +. (r_pkg *. (power_big +. power_little))
+
+let copy t = { hotspot = t.hotspot; package = t.package }

@@ -1,0 +1,27 @@
+(** Two-node RC thermal model of the board.
+
+    The hot spot sits on the big cluster: a fast node (seconds) tracks the
+    power-weighted die heating and a slow node (tens of seconds) tracks
+    package/heat-sink warm-up. Calibrated so that running exactly at the
+    paper's power limits (3.3 W big + 0.33 W little) settles just below
+    the 79C thermal limit, while an unconstrained burst overshoots and
+    forces the emergency heuristics to act. *)
+
+type t
+
+val ambient : float
+(** 30 C. *)
+
+val create : unit -> t
+(** Board at ambient. *)
+
+val step : t -> power_big:float -> power_little:float -> dt:float -> unit
+(** Advance the RC network by [dt] seconds under the given cluster powers. *)
+
+val temperature : t -> float
+(** Current hot-spot temperature (C). *)
+
+val steady_state : power_big:float -> power_little:float -> float
+(** Temperature reached if the given powers were held forever. *)
+
+val copy : t -> t

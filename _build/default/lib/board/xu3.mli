@@ -1,0 +1,116 @@
+(** The big.LITTLE board simulator.
+
+    This is the substitute for the physical ODROID XU3: a discrete-time
+    simulation (10 ms internal step) of an 8-core big.LITTLE processor
+    running a list of jobs, exposing exactly the knobs and signals the
+    paper's controllers use.
+
+    {b Actuation} (quantized like the real board): number of powered cores
+    per cluster (1-4), per-cluster frequency (DVFS tables), and the thread
+    placement triple — #threads on the big cluster, average threads per
+    non-idle core in each cluster. Frequency changes and hotplug events
+    cost dead time; placement changes cost migration time.
+
+    {b Observation}: window-averaged BIPS per cluster (perf counters),
+    cluster power through 260 ms sensors, instantaneous hot-spot
+    temperature, and bookkeeping (energy, time, emergency trips).
+
+    {b Built-in protection}: the emergency heuristics of {!Emergency}
+    clamp frequency when power or temperature exceed the trip thresholds,
+    exactly the machinery a bad controller ping-pongs against.
+
+    Threads of concurrent jobs are assumed statistically interchangeable
+    across cores (uniform mixing); this loses per-thread placement detail
+    but preserves the aggregate dynamics the controllers observe. *)
+
+type config = {
+  big_cores : int;
+  little_cores : int;
+  freq_big : float;
+  freq_little : float;
+}
+
+type placement = {
+  threads_big : int;   (** Threads assigned to the big cluster; the rest run
+                           little. Clamped to the live thread count. *)
+  tpc_big : float;     (** Threads per non-idle big core (>= 1). *)
+  tpc_little : float;
+}
+
+type outputs = {
+  bips : float;          (** Total performance over the last window. *)
+  bips_big : float;
+  bips_little : float;
+  power_big : float;     (** Power sensor reading (held between updates). *)
+  power_little : float;
+  temperature : float;
+  threads_active : int;
+  spare_big : float;     (** Spare compute capacity, Eq. 2 of the paper. *)
+  spare_little : float;
+}
+
+type t
+
+val create :
+  ?sensor_noise:float -> ?seed:int -> ?sensor_period:float -> Workload.t list -> t
+(** Board at ambient, jobs loaded, default config (2+2 cores at mid
+    frequency, threads split evenly). [sensor_period] overrides the power
+    sensor's 260 ms refresh (sensitivity studies). *)
+
+val default_config : config
+
+val set_config : t -> config -> unit
+(** Request a hardware configuration; values are clamped/quantized to the
+    board's tables, and changes incur transition dead time. *)
+
+val set_placement : t -> placement -> unit
+
+val config : t -> config
+(** The currently requested configuration (before emergency clamping). *)
+
+val effective_config : t -> config
+(** What the hardware is actually running (after emergency clamping). *)
+
+val placement : t -> placement
+
+val step : t -> float -> unit
+(** Advance the simulation by the given number of seconds (internally in
+    10 ms ticks). No-op once finished. *)
+
+val run_epoch : t -> float -> outputs
+(** Advance one control epoch (e.g. 0.5 s) and return the signals a
+    controller samples at its end. *)
+
+val observe : t -> outputs
+(** Signals over the window since the last [observe]/[run_epoch]. *)
+
+val finished : t -> bool
+
+val time : t -> float
+
+val energy : t -> float
+(** Joules consumed by the two clusters so far. *)
+
+val trip_count : t -> int
+
+val progress : t -> float
+(** Fraction of total instructions retired, 0-1. *)
+
+(** {1 Metrics} *)
+
+type metrics = {
+  execution_time : float;
+  total_energy : float;
+  energy_delay : float;  (** E x D. *)
+  trips : int;
+}
+
+val metrics : t -> metrics
+(** Valid once [finished]; meaningful anytime as "so far". *)
+
+val spare_capacity : cores_on:int -> busy:int -> threads:int -> float
+(** Eq. 2: [#idle_cores_on - (#threads - #cores_on)]. *)
+
+val true_power : t -> float * float
+(** Instantaneous (big, little) cluster power of the last simulation tick
+    — the ground truth behind the sensors; used for trace figures. *)

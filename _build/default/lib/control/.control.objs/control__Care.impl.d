@@ -1,0 +1,1 @@
+lib/control/care.ml: Float Linalg Lu Mat Qr

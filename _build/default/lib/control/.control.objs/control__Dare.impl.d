@@ -1,0 +1,1 @@
+lib/control/dare.ml: Float Linalg Lu Mat

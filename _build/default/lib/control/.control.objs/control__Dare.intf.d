@@ -1,0 +1,1 @@
+lib/control/dare.mli: Linalg

@@ -1,0 +1,1 @@
+lib/control/discretize.ml: Expm Float Linalg Lu Mat Ss

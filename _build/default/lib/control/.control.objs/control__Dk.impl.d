@@ -1,0 +1,1 @@
+lib/control/dk.ml: Array Hinf Linalg List Mat Ss Ssv Vec

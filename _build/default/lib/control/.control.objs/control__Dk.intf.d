@@ -1,0 +1,1 @@
+lib/control/dk.mli: Hinf Ss Ssv

@@ -1,0 +1,1 @@
+lib/control/hinf.ml: Array Care Discretize Eig Float Linalg Lu Mat Option Ss Svd

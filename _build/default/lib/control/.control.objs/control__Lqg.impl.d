@@ -1,0 +1,1 @@
+lib/control/lqg.ml: Dare Linalg Lu Mat Ss

@@ -1,0 +1,1 @@
+lib/control/lqg.mli: Linalg Ss

@@ -1,0 +1,1 @@
+lib/control/lyap.ml: Float Linalg Lu Mat Ss

@@ -1,0 +1,1 @@
+lib/control/lyap.mli: Linalg Ss

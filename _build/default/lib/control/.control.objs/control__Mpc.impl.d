@@ -1,0 +1,1 @@
+lib/control/mpc.ml: Array Linalg Lqg Lu Mat Ss Vec

@@ -1,0 +1,1 @@
+lib/control/mpc.mli: Linalg Ss

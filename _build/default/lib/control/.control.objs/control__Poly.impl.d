@@ -1,0 +1,1 @@
+lib/control/poly.ml: Array Complex Eig Float Format Linalg List Mat

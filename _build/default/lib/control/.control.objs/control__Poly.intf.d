@@ -1,0 +1,1 @@
+lib/control/poly.mli: Complex Format

@@ -1,0 +1,1 @@
+lib/control/quantize.ml: Array Float Linalg

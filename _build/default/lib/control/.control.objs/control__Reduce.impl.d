@@ -1,0 +1,1 @@
+lib/control/reduce.ml: Array Eig Float Linalg Lyap Mat Ss Svd Vec

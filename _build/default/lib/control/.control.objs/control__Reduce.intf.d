@@ -1,0 +1,1 @@
+lib/control/reduce.mli: Linalg Ss

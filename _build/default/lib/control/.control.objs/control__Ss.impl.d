@@ -1,0 +1,1 @@
+lib/control/ss.ml: Array Cmat Complex Eig Float Format Linalg Lu Mat Printf Svd Vec

@@ -1,0 +1,1 @@
+lib/control/ss.mli: Complex Format Linalg

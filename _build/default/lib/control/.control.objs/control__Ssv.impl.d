@@ -1,0 +1,1 @@
+lib/control/ssv.ml: Array Cmat Complex Eig Float Linalg List Mat Random Ss Svd

@@ -1,0 +1,1 @@
+lib/control/ssv.mli: Linalg Ss

@@ -1,0 +1,1 @@
+lib/control/tf.ml: Array Complex Float Format Linalg Mat Poly Printf Ss

@@ -1,0 +1,65 @@
+open Linalg
+
+exception No_solution of string
+
+(* SDA-I doubling (Chu, Fan, Lin):
+     A_{k+1} = A_k (I + G_k H_k)^-1 A_k
+     G_{k+1} = G_k + A_k (I + G_k H_k)^-1 G_k A_k^T
+     H_{k+1} = H_k + A_k^T H_k (I + G_k H_k)^-1 A_k
+   with A_0 = A, G_0 = B R^-1 B^T, H_0 = Q; H_k converges to X. *)
+let solve ~a ~b ~q ~r =
+  let n = a.Mat.rows in
+  if not (Mat.is_square a) then invalid_arg "Dare.solve: A not square";
+  if b.Mat.rows <> n then invalid_arg "Dare.solve: B rows mismatch";
+  let g0 =
+    try Mat.mul3 b (Lu.inv r) (Mat.transpose b)
+    with Lu.Singular -> raise (No_solution "R is singular")
+  in
+  let ak = ref (Mat.copy a) in
+  let gk = ref g0 in
+  let hk = ref (Mat.symmetrize q) in
+  let i = Mat.identity n in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < 100 do
+    incr iter;
+    let w = Mat.add i (Mat.mul !gk !hk) in
+    let winv =
+      try Lu.inv w
+      with Lu.Singular -> raise (No_solution "doubling iterate singular")
+    in
+    let wa = Mat.mul winv !ak in
+    let a_next = Mat.mul !ak wa in
+    let g_next =
+      Mat.symmetrize (Mat.add !gk (Mat.mul3 !ak (Mat.mul winv !gk) (Mat.transpose !ak)))
+    in
+    let h_next =
+      Mat.symmetrize
+        (Mat.add !hk (Mat.mul (Mat.transpose !ak) (Mat.mul !hk wa)))
+    in
+    let delta =
+      Mat.norm_fro (Mat.sub h_next !hk) /. Float.max 1.0 (Mat.norm_fro h_next)
+    in
+    ak := a_next;
+    gk := g_next;
+    hk := h_next;
+    if delta < 1e-14 then converged := true;
+    if not (Float.is_finite (Mat.norm_fro h_next)) then
+      raise (No_solution "doubling iteration diverged")
+  done;
+  if not !converged then raise (No_solution "doubling did not converge");
+  !hk
+
+let gain ~a ~b ~r x =
+  let btx = Mat.mul (Mat.transpose b) x in
+  let s = Mat.add r (Mat.mul btx b) in
+  Lu.solve s (Mat.mul btx a)
+
+let residual ~a ~b ~q ~r x =
+  let k = gain ~a ~b ~r x in
+  let atxa = Mat.mul3 (Mat.transpose a) x a in
+  let correction =
+    Mat.mul (Mat.transpose (Mat.mul (Mat.mul (Mat.transpose b) x) a)) k
+  in
+  let res = Mat.sub (Mat.add (Mat.sub atxa correction) q) x in
+  Mat.norm_fro res /. Float.max 1.0 (Mat.norm_fro x)

@@ -1,0 +1,83 @@
+open Linalg
+
+type result = {
+  controller : Ss.t;
+  mu_peak : float;
+  gamma : float;
+  history : float list;
+}
+
+exception Synthesis_failed of string
+
+(* Expand per-block scales into diagonal matrices over the z rows and the
+   w columns of the plant. *)
+let expand_scales structure scales =
+  let dz = ref [] and dw = ref [] in
+  List.iteri
+    (fun i b ->
+      let p, q =
+        match b with Ssv.Full (p, q) -> (p, q) | Ssv.Repeated n -> (n, n)
+      in
+      dz := !dz @ List.init p (fun _ -> scales.(i));
+      dw := !dw @ List.init q (fun _ -> scales.(i)))
+    structure;
+  (Vec.of_list !dz, Vec.of_list !dw)
+
+let scale_plant (plant : Hinf.plant) structure scales =
+  let { Hinf.nw; nu; nz; ny } = plant.Hinf.part in
+  if Ssv.block_rows structure <> nz || Ssv.block_cols structure <> nw then
+    invalid_arg "Dk.scale_plant: structure does not tile the z/w channels";
+  let dz, dw = expand_scales structure scales in
+  let left =
+    Mat.diag (Vec.concat dz (Vec.ones ny))
+  in
+  let right =
+    Mat.diag (Vec.concat (Vec.map (fun x -> 1.0 /. x) dw) (Vec.ones nu))
+  in
+  let sys = plant.Hinf.sys in
+  {
+    plant with
+    Hinf.sys =
+      Ss.make ~domain:sys.Ss.domain ~a:sys.Ss.a ~b:(Mat.mul sys.Ss.b right)
+        ~c:(Mat.mul left sys.Ss.c)
+        ~d:(Mat.mul3 left sys.Ss.d right)
+        ();
+  }
+
+let synthesize ?(iterations = 4) ?(mu_points = 40) ~plant ~structure () =
+  Hinf.validate_partition plant;
+  let nb = List.length structure in
+  let scales = ref (Array.make nb 1.0) in
+  let best = ref None in
+  let history = ref [] in
+  let stop = ref false in
+  let iter = ref 0 in
+  while (not !stop) && !iter < iterations do
+    incr iter;
+    let scaled = scale_plant plant structure !scales in
+    match Hinf.synthesize scaled with
+    | exception Hinf.Synthesis_failed msg ->
+      if !best = None then
+        raise (Synthesis_failed ("first K-step infeasible: " ^ msg));
+      stop := true
+    | { Hinf.controller; gamma; _ } ->
+      (* mu analysis of the true (unscaled) closed loop. *)
+      let cl = Hinf.close_loop plant controller in
+      if not (Ss.is_stable cl) then begin
+        if !best = None then
+          raise (Synthesis_failed "K-step produced an unstable closed loop");
+        stop := true
+      end
+      else begin
+        let sweep = Ssv.sweep ~points:mu_points structure cl in
+        history := sweep.Ssv.peak :: !history;
+        (match !best with
+        | Some (_, best_mu, _) when best_mu <= sweep.Ssv.peak -> ()
+        | _ -> best := Some (controller, sweep.Ssv.peak, gamma));
+        scales := sweep.Ssv.peak_scales
+      end
+  done;
+  match !best with
+  | None -> raise (Synthesis_failed "no iteration produced a controller")
+  | Some (controller, mu_peak, gamma) ->
+    { controller; mu_peak; gamma; history = List.rev !history }

@@ -1,0 +1,54 @@
+open Linalg
+
+let stein a q =
+  if not (Mat.is_square a) then invalid_arg "Lyap.stein: non-square";
+  if a.Mat.rows <> q.Mat.rows || not (Mat.is_square q) then
+    invalid_arg "Lyap.stein: Q dimension mismatch";
+  let x = ref (Mat.copy q) in
+  let ak = ref (Mat.copy a) in
+  let iter = ref 0 in
+  let done_ = ref false in
+  while not !done_ do
+    incr iter;
+    let update = Mat.mul3 !ak !x (Mat.transpose !ak) in
+    x := Mat.add !x update;
+    ak := Mat.mul !ak !ak;
+    let xnorm = Mat.norm_fro !x in
+    if !iter > 100 || not (Float.is_finite xnorm) then
+      failwith "Lyap.stein: iteration diverged (A not Schur stable?)"
+    else if Mat.norm_fro update <= 1e-14 *. Float.max 1.0 xnorm then
+      done_ := true
+  done;
+  Mat.symmetrize !x
+
+(* Cayley reduction: with Ad = (I + hA)(I - hA)^-1 and
+   Qd = 2h (I - hA)^-1 Q (I - hA)^-T, the Stein solution of (Ad, Qd)
+   solves the continuous equation. h > 0 is a free scaling; pick it from
+   the norm of A to keep (I - hA) well conditioned. *)
+let continuous a q =
+  if not (Mat.is_square a) then invalid_arg "Lyap.continuous: non-square";
+  let n = a.Mat.rows in
+  let h = 1.0 /. Float.max 1.0 (Mat.norm_inf a) in
+  let i = Mat.identity n in
+  let m_minus = Mat.sub i (Mat.scale h a) in
+  let inv_minus = Lu.inv m_minus in
+  let ad = Mat.mul (Mat.add i (Mat.scale h a)) inv_minus in
+  let qd =
+    Mat.scale (2.0 *. h) (Mat.mul3 inv_minus q (Mat.transpose inv_minus))
+  in
+  match stein ad qd with
+  | x -> x
+  | exception Failure _ ->
+    failwith "Lyap.continuous: iteration diverged (A not Hurwitz stable?)"
+
+let controllability_gramian sys =
+  let bbt = Mat.mul sys.Ss.b (Mat.transpose sys.Ss.b) in
+  match sys.Ss.domain with
+  | Ss.Discrete _ -> stein sys.Ss.a bbt
+  | Ss.Continuous -> continuous sys.Ss.a bbt
+
+let observability_gramian sys =
+  let ctc = Mat.mul (Mat.transpose sys.Ss.c) sys.Ss.c in
+  match sys.Ss.domain with
+  | Ss.Discrete _ -> stein (Mat.transpose sys.Ss.a) ctc
+  | Ss.Continuous -> continuous (Mat.transpose sys.Ss.a) ctc

@@ -1,0 +1,21 @@
+(** Lyapunov equation solvers.
+
+    The discrete (Stein) equation [X = A X A^T + Q] is solved by the Smith
+    doubling iteration, quadratically convergent for Schur-stable [A]. The
+    continuous equation [A X + X A^T + Q = 0] is reduced to a Stein
+    equation through the Cayley transform. *)
+
+val stein : Linalg.Mat.t -> Linalg.Mat.t -> Linalg.Mat.t
+(** [stein a q] solves [X = A X A^T + Q] for Schur-stable [a]; the result
+    is symmetrized. @raise Failure if [a] is not Schur stable (the
+    iteration diverges). *)
+
+val continuous : Linalg.Mat.t -> Linalg.Mat.t -> Linalg.Mat.t
+(** [continuous a q] solves [A X + X A^T + Q = 0] for Hurwitz-stable [a].
+    @raise Failure if [a] is not Hurwitz stable. *)
+
+val controllability_gramian : Ss.t -> Linalg.Mat.t
+(** Gramian [P] with [A P A^T - P + B B^T = 0] (discrete) or
+    [A P + P A^T + B B^T = 0] (continuous). *)
+
+val observability_gramian : Ss.t -> Linalg.Mat.t

@@ -1,0 +1,116 @@
+open Linalg
+
+type t = {
+  plant : Ss.t;
+  n : int;
+  horizon : int;
+  kalman : Mat.t;
+  (* Prediction matrices: Y = f x + phi U, with Y the stacked outputs over
+     the horizon and U the stacked inputs. *)
+  f : Mat.t;
+  phi : Mat.t;
+  (* Precomputed solver: U* = gain_x * (stacked ref - f x). *)
+  solve_gain : Mat.t;
+  mutable xhat : Vec.t;
+  mutable last_u : Vec.t;
+  mutable last_prediction : Vec.t array;
+}
+
+let make ~plant ~horizon ~q ~r ?w ?v () =
+  (match plant.Ss.domain with
+  | Ss.Discrete _ -> ()
+  | Ss.Continuous -> invalid_arg "Mpc.make: discrete plants only");
+  if horizon < 1 then invalid_arg "Mpc.make: horizon must be >= 1";
+  let n = Ss.order plant and nu = Ss.inputs plant and ny = Ss.outputs plant in
+  if q.Mat.rows <> ny || q.Mat.cols <> ny then
+    invalid_arg "Mpc.make: Q must be ny x ny";
+  if r.Mat.rows <> nu || r.Mat.cols <> nu then
+    invalid_arg "Mpc.make: R must be nu x nu";
+  let w = match w with Some m -> m | None -> Mat.scalar n 0.05 in
+  let v = match v with Some m -> m | None -> Mat.scalar ny 0.01 in
+  let kalman = Lqg.kalman_gain ~a:plant.Ss.a ~c:plant.Ss.c ~w ~v in
+  (* Build F and Phi: y_{k} = C A^{k} x + sum_{j<=k} C A^{k-j-1} B u_j
+     (+ D u_k). *)
+  let f = Mat.create (horizon * ny) n in
+  let phi = Mat.create (horizon * ny) (horizon * nu) in
+  let a_pow = Array.make (horizon + 1) (Mat.identity n) in
+  for k = 1 to horizon do
+    a_pow.(k) <- Mat.mul a_pow.(k - 1) plant.Ss.a
+  done;
+  for k = 0 to horizon - 1 do
+    (* Predictions start one step ahead: y_{k+1} row block k. *)
+    Mat.set_block f (k * ny) 0 (Mat.mul plant.Ss.c a_pow.(k + 1));
+    for j = 0 to k do
+      (* u applied at step j affects y_{k+1} through C A^{k-j} B. The
+         direct D term would pair y_{k+1} with u_{k+1}, which is outside
+         the decision vector, so it is omitted (identified models here are
+         strictly proper one step ahead). *)
+      Mat.set_block phi (k * ny) (j * nu)
+        (Mat.mul3 plant.Ss.c a_pow.(k - j) plant.Ss.b)
+    done
+  done;
+  (* Solver gain: (Phi^T Qbar Phi + Rbar)^-1 Phi^T Qbar. *)
+  let qbar =
+    Mat.init (horizon * ny) (horizon * ny) (fun i j ->
+        if i / ny = j / ny then Mat.get q (i mod ny) (j mod ny) else 0.0)
+  in
+  let rbar =
+    Mat.init (horizon * nu) (horizon * nu) (fun i j ->
+        if i / nu = j / nu then Mat.get r (i mod nu) (j mod nu) else 0.0)
+  in
+  let h = Mat.add (Mat.mul3 (Mat.transpose phi) qbar phi) rbar in
+  let solve_gain = Lu.solve h (Mat.mul (Mat.transpose phi) qbar) in
+  {
+    plant;
+    n;
+    horizon;
+    kalman;
+    f;
+    phi;
+    solve_gain;
+    xhat = Vec.create n;
+    last_u = Vec.create nu;
+    last_prediction = [||];
+  }
+
+let reset t =
+  t.xhat <- Vec.create t.n;
+  t.last_u <- Vec.create (Ss.inputs t.plant);
+  t.last_prediction <- [||]
+
+let step t ~measurement ~reference =
+  let ny = Ss.outputs t.plant and nu = Ss.inputs t.plant in
+  if Vec.dim measurement <> ny then
+    invalid_arg "Mpc.step: measurement dimension mismatch";
+  if Vec.dim reference <> ny then
+    invalid_arg "Mpc.step: reference dimension mismatch";
+  (* Predictor update with the previous input. *)
+  let innovation =
+    Vec.sub measurement
+      (Vec.add
+         (Mat.mul_vec t.plant.Ss.c t.xhat)
+         (Mat.mul_vec t.plant.Ss.d t.last_u))
+  in
+  t.xhat <-
+    Vec.add
+      (Vec.add
+         (Mat.mul_vec t.plant.Ss.a t.xhat)
+         (Mat.mul_vec t.plant.Ss.b t.last_u))
+      (Mat.mul_vec t.kalman innovation);
+  (* Horizon solve. *)
+  let ref_stack =
+    Vec.init (t.horizon * ny) (fun i -> reference.(i mod ny))
+  in
+  let free_response = Mat.mul_vec t.f t.xhat in
+  let u_stack = Mat.mul_vec t.solve_gain (Vec.sub ref_stack free_response) in
+  let u0 = Vec.slice u_stack 0 nu in
+  t.last_u <- u0;
+  (* Record the anticipated outputs for introspection. *)
+  let y_stack = Vec.add free_response (Mat.mul_vec t.phi u_stack) in
+  t.last_prediction <-
+    Array.init t.horizon (fun k -> Vec.slice y_stack (k * ny) ny);
+  u0
+
+let horizon t = t.horizon
+
+let predicted_outputs t = t.last_prediction

@@ -1,0 +1,43 @@
+(** Finite-horizon Model Predictive Control.
+
+    The third MIMO design the paper's taxonomy covers (Table I, via
+    [34]): at every period, predict the outputs over a horizon from the
+    current state estimate, solve the batch least-squares problem
+
+    [min_U  sum_k |y_k - ref|^2_Q + |u_k|^2_R]
+
+    and apply only the first input (receding horizon). Like LQG — and
+    unlike SSV — MPC has no external-signal channels, no deviation-bound
+    vocabulary, and no uncertainty guardband; its native strength,
+    constraint handling, is represented here by saturating the applied
+    command. State estimation uses a steady-state Kalman predictor. *)
+
+type t
+
+val make :
+  plant:Ss.t ->
+  horizon:int ->
+  q:Linalg.Mat.t ->
+  r:Linalg.Mat.t ->
+  ?w:Linalg.Mat.t ->
+  ?v:Linalg.Mat.t ->
+  unit ->
+  t
+(** [q] weights output errors ([ny x ny] PSD), [r] input effort
+    ([nu x nu] PD); [w]/[v] are the Kalman covariances (defaults 0.05 I /
+    0.01 I). The plant must be discrete.
+    @raise Invalid_argument on dimension errors;
+    @raise Dare.No_solution if the Kalman design fails. *)
+
+val reset : t -> unit
+
+val step : t -> measurement:Linalg.Vec.t -> reference:Linalg.Vec.t -> Linalg.Vec.t
+(** One period: update the state estimate from the measurement, solve the
+    horizon problem for the given (constant-over-horizon) reference, and
+    return the first input move. *)
+
+val horizon : t -> int
+
+val predicted_outputs : t -> Linalg.Vec.t array
+(** The output trajectory the last solve anticipated (for tests and
+    introspection); empty before the first {!step}. *)

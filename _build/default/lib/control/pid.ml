@@ -1,0 +1,112 @@
+type gains = { kp : float; ki : float; kd : float }
+
+type t = {
+  gains : gains;
+  period : float;
+  dfilter : float;
+  u_min : float;
+  u_max : float;
+  mutable integral : float;
+  mutable prev_error : float;
+  mutable dstate : float;
+  mutable primed : bool;
+}
+
+let make ?(derivative_filter = 0.5) ?(u_min = neg_infinity)
+    ?(u_max = infinity) ~gains ~period () =
+  if period <= 0.0 then invalid_arg "Pid.make: period must be positive";
+  if derivative_filter < 0.0 || derivative_filter >= 1.0 then
+    invalid_arg "Pid.make: derivative_filter must be in [0, 1)";
+  if not (u_min < u_max) then invalid_arg "Pid.make: empty command range";
+  {
+    gains;
+    period;
+    dfilter = derivative_filter;
+    u_min;
+    u_max;
+    integral = 0.0;
+    prev_error = 0.0;
+    dstate = 0.0;
+    primed = false;
+  }
+
+let reset t =
+  t.integral <- 0.0;
+  t.prev_error <- 0.0;
+  t.dstate <- 0.0;
+  t.primed <- false
+
+let step t ~setpoint ~measurement =
+  let e = setpoint -. measurement in
+  let de =
+    if t.primed then (e -. t.prev_error) /. t.period else 0.0
+  in
+  t.prev_error <- e;
+  t.primed <- true;
+  (* Filtered derivative. *)
+  t.dstate <- (t.dfilter *. t.dstate) +. ((1.0 -. t.dfilter) *. de);
+  let integral_candidate = t.integral +. (e *. t.period) in
+  let u_unclamped =
+    (t.gains.kp *. e)
+    +. (t.gains.ki *. integral_candidate)
+    +. (t.gains.kd *. t.dstate)
+  in
+  let u = Float.min t.u_max (Float.max t.u_min u_unclamped) in
+  (* Anti-windup: only integrate when not pushing further into
+     saturation. *)
+  if u = u_unclamped || (u = t.u_max && e < 0.0) || (u = t.u_min && e > 0.0)
+  then t.integral <- integral_candidate;
+  u
+
+let tune_ziegler_nichols ~ku ~tu kind =
+  match kind with
+  | `P -> { kp = 0.5 *. ku; ki = 0.0; kd = 0.0 }
+  | `Pi -> { kp = 0.45 *. ku; ki = 0.54 *. ku /. tu; kd = 0.0 }
+  | `Pid ->
+    { kp = 0.6 *. ku; ki = 1.2 *. ku /. tu; kd = 0.075 *. ku *. tu }
+
+(* Relay feedback (Astrom-Hagglund): drive the plant with a bang-bang
+   relay around zero error; the limit cycle's period and amplitude give
+   the ultimate gain and period. *)
+let relay_autotune ~plant ~period ?(cycles = 8) ?(amplitude = 1.0) () =
+  let max_steps = 5000 in
+  let y = ref (plant 0.0) in
+  let crossings = ref [] in
+  let y_max = ref neg_infinity and y_min = ref infinity in
+  let step_count = ref 0 in
+  let prev_sign = ref 0 in
+  while List.length !crossings < (2 * cycles) + 1 && !step_count < max_steps do
+    incr step_count;
+    let u = if !y >= 0.0 then -.amplitude else amplitude in
+    y := plant u;
+    y_max := Float.max !y_max !y;
+    y_min := Float.min !y_min !y;
+    let sign = if !y >= 0.0 then 1 else -1 in
+    if !prev_sign <> 0 && sign <> !prev_sign then
+      crossings := Float.of_int !step_count :: !crossings;
+    prev_sign := sign
+  done;
+  match !crossings with
+  | c ->
+    (* Discard the first transient crossings, average the rest. *)
+    let c = List.rev c in
+    if List.length c < 5 then None
+    else begin
+      let late = List.filteri (fun i _ -> i >= 2) c in
+      let rec diffs = function
+        | a :: (b :: _ as rest) -> (b -. a) :: diffs rest
+        | _ -> []
+      in
+      let half_periods = diffs late in
+      if half_periods = [] then None
+      else begin
+        let tu =
+          2.0 *. period
+          *. (List.fold_left ( +. ) 0.0 half_periods
+             /. Float.of_int (List.length half_periods))
+        in
+        let a = (!y_max -. !y_min) /. 2.0 in
+        if a <= 0.0 || tu <= 0.0 then None
+        else Some (4.0 *. amplitude /. (Float.pi *. a), tu)
+      end
+    end

@@ -1,0 +1,42 @@
+(** Discrete PID controllers.
+
+    The paper's taxonomy (Table I) starts here: PID is the popular SISO
+    workhorse — one goal, one knob, no channels for coordination, no
+    uncertainty handling — and Section II-C contrasts its design flow
+    (model in, controller out, nothing else specifiable) with SSV
+    synthesis. The implementation is the standard positional form with
+    derivative filtering and anti-windup clamping, discretized at the
+    sampling period. *)
+
+type gains = { kp : float; ki : float; kd : float }
+
+type t
+
+val make :
+  ?derivative_filter:float ->
+  ?u_min:float ->
+  ?u_max:float ->
+  gains:gains ->
+  period:float ->
+  unit ->
+  t
+(** [derivative_filter] is the pole of the derivative low-pass in (0, 1)
+    (default 0.5; 0 disables filtering); [u_min]/[u_max] clamp the command
+    with integrator anti-windup. *)
+
+val reset : t -> unit
+
+val step : t -> setpoint:float -> measurement:float -> float
+(** One control period: returns the (clamped) command. *)
+
+val tune_ziegler_nichols :
+  ku:float -> tu:float -> [ `P | `Pi | `Pid ] -> gains
+(** Classic Ziegler-Nichols table from the ultimate gain [ku] and
+    oscillation period [tu]. *)
+
+val relay_autotune :
+  plant:(float -> float) -> period:float -> ?cycles:int -> ?amplitude:float ->
+  unit -> (float * float) option
+(** Relay-feedback experiment on a plant step function (input -> next
+    measurement): estimates [(ku, tu)] from the induced limit cycle, or
+    [None] if no oscillation emerges. *)

@@ -1,0 +1,99 @@
+open Linalg
+
+type t = float array
+
+let zero = [||]
+
+let one = [| 1.0 |]
+
+let normalize p =
+  let n = ref (Array.length p) in
+  while !n > 0 && Float.abs p.(!n - 1) <= 1e-300 do
+    decr n
+  done;
+  Array.sub p 0 !n
+
+let of_coefficients l = normalize (Array.of_list l)
+
+let degree p = Array.length (normalize p) - 1
+
+let add a b =
+  let n = max (Array.length a) (Array.length b) in
+  normalize
+    (Array.init n (fun i ->
+         (if i < Array.length a then a.(i) else 0.0)
+         +. if i < Array.length b then b.(i) else 0.0))
+
+let scale s p = normalize (Array.map (fun c -> s *. c) p)
+
+let sub a b = add a (scale (-1.0) b)
+
+let mul a b =
+  let a = normalize a and b = normalize b in
+  if Array.length a = 0 || Array.length b = 0 then zero
+  else begin
+    let r = Array.make (Array.length a + Array.length b - 1) 0.0 in
+    Array.iteri
+      (fun i ai -> Array.iteri (fun j bj -> r.(i + j) <- r.(i + j) +. (ai *. bj)) b)
+      a;
+    normalize r
+  end
+
+let of_roots rs =
+  List.fold_left (fun acc r -> mul acc [| -.r; 1.0 |]) one rs
+
+let eval p x =
+  let acc = ref 0.0 in
+  for i = Array.length p - 1 downto 0 do
+    acc := (!acc *. x) +. p.(i)
+  done;
+  !acc
+
+let eval_complex p z =
+  let acc = ref Complex.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Complex.add (Complex.mul !acc z) { Complex.re = p.(i); im = 0.0 }
+  done;
+  !acc
+
+let derivative p =
+  if Array.length p <= 1 then zero
+  else
+    normalize
+      (Array.init (Array.length p - 1) (fun i -> Float.of_int (i + 1) *. p.(i + 1)))
+
+let monic p =
+  let p = normalize p in
+  if Array.length p = 0 then invalid_arg "Poly.monic: zero polynomial";
+  scale (1.0 /. p.(Array.length p - 1)) p
+
+let roots p =
+  let p = monic p in
+  let n = Array.length p - 1 in
+  if n < 0 then invalid_arg "Poly.roots: zero polynomial"
+  else if n = 0 then [||]
+  else begin
+    (* Companion matrix of the monic polynomial. *)
+    let companion =
+      Mat.init n n (fun i j ->
+          if j = n - 1 then -.p.(i)
+          else if i = j + 1 then 1.0
+          else 0.0)
+    in
+    Eig.eigenvalues companion
+  end
+
+let approx_equal ?(tol = 1e-9) a b =
+  let a = normalize a and b = normalize b in
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a b
+
+let pp fmt p =
+  let p = normalize p in
+  if Array.length p = 0 then Format.fprintf fmt "0"
+  else
+    Array.iteri
+      (fun i c ->
+        if i = 0 then Format.fprintf fmt "%g" c
+        else Format.fprintf fmt " %+g x^%d" c i)
+      p

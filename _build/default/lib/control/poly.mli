@@ -1,0 +1,45 @@
+(** Dense univariate polynomials with real coefficients.
+
+    Coefficients are stored in ascending order of degree:
+    [p = c.(0) + c.(1) x + ... + c.(n) x^n]. The zero polynomial is the
+    empty (or all-zero) array. Roots are computed as the eigenvalues of
+    the companion matrix, reusing the library's QR eigensolver. *)
+
+type t = float array
+
+val zero : t
+val one : t
+
+val of_coefficients : float list -> t
+(** Ascending order; trailing zeros trimmed. *)
+
+val of_roots : float list -> t
+(** Monic polynomial with the given real roots. *)
+
+val degree : t -> int
+(** Degree of the trimmed polynomial; [-1] for zero. *)
+
+val normalize : t -> t
+(** Trim trailing (near-)zero coefficients. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+
+val eval : t -> float -> float
+(** Horner evaluation. *)
+
+val eval_complex : t -> Complex.t -> Complex.t
+
+val derivative : t -> t
+
+val roots : t -> Complex.t array
+(** All complex roots (degree many). @raise Invalid_argument on the zero
+    polynomial. *)
+
+val monic : t -> t
+(** Divide by the leading coefficient. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

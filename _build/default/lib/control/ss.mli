@@ -1,0 +1,114 @@
+(** Linear time-invariant systems in state-space form.
+
+    A system is [x' = A x + B u], [y = C x + D u], where [x'] is the time
+    derivative (continuous time) or the next-step state (discrete time with
+    a sampling period). Interconnection operators (series, parallel,
+    feedback, LFTs) are the building blocks used by the synthesis routines
+    and by the Yukta layer-composition code. *)
+
+type domain =
+  | Continuous
+  | Discrete of float  (** Sampling period in seconds. *)
+
+type t = {
+  a : Linalg.Mat.t;
+  b : Linalg.Mat.t;
+  c : Linalg.Mat.t;
+  d : Linalg.Mat.t;
+  domain : domain;
+}
+
+val make :
+  ?domain:domain ->
+  a:Linalg.Mat.t ->
+  b:Linalg.Mat.t ->
+  c:Linalg.Mat.t ->
+  d:Linalg.Mat.t ->
+  unit ->
+  t
+(** Build a system, checking dimension consistency (default continuous).
+    @raise Invalid_argument on inconsistent dimensions. *)
+
+val order : t -> int
+(** State dimension. *)
+
+val inputs : t -> int
+
+val outputs : t -> int
+
+val static_gain : ?domain:domain -> Linalg.Mat.t -> t
+(** Zero-order system [y = D u]. *)
+
+val gain : ?domain:domain -> int -> float -> t
+(** Static diagonal gain [y = g u] on [n] channels. *)
+
+val integrator : ?period:float -> int -> t
+(** Discrete integrator bank: [x' = x + u], [y = x] on [n] channels
+    (default period 1). Used to add integral action to tracking loops. *)
+
+val is_stable : t -> bool
+(** Hurwitz (continuous) or Schur (discrete) stability of [A]. *)
+
+val poles : t -> Complex.t array
+
+val dcgain : t -> Linalg.Mat.t
+(** Steady-state gain: [D - C A^-1 B] (continuous), or
+    [C (I - A)^-1 B + D] (discrete).
+    @raise Linalg.Lu.Singular for systems with integrators. *)
+
+(** {1 Simulation (discrete systems)} *)
+
+val step : t -> x:Linalg.Vec.t -> u:Linalg.Vec.t -> Linalg.Vec.t * Linalg.Vec.t
+(** [step sys ~x ~u] is [(x_next, y)]. *)
+
+val simulate : t -> ?x0:Linalg.Vec.t -> Linalg.Vec.t array -> Linalg.Vec.t array
+(** Drive a discrete system with an input sequence from initial state [x0]
+    (default zero); returns the output sequence (same length). *)
+
+(** {1 Interconnection} *)
+
+val series : t -> t -> t
+(** [series g1 g2] is [g2 * g1]: the output of [g1] feeds [g2]. *)
+
+val parallel : t -> t -> t
+(** Sum of outputs, shared input. *)
+
+val append : t -> t -> t
+(** Block-diagonal: stacks inputs, outputs and states. *)
+
+val add_output_disturbance : t -> t
+(** Augment with an extra input added directly to the outputs (identity
+    feedthrough): models output disturbances / external signals entering
+    additively. *)
+
+val feedback : ?sign:float -> t -> t -> t
+(** [feedback plant controller] closes the loop
+    [u = sign * K y + r] (default [sign = -1.], negative feedback), giving
+    the closed-loop system from [r] to the plant output.
+    @raise Linalg.Lu.Singular if the algebraic loop is ill-posed. *)
+
+val lft_lower : t -> t -> t
+(** Lower linear fractional transformation [F_l(P, K)]: [P] partitioned
+    with its {e last} [inputs K] inputs and {e last} [outputs K] outputs
+    connected to [K]. This is the standard plant/controller closure. *)
+
+val transform : Linalg.Mat.t -> t -> t
+(** Similarity transform [x = T z]: returns the system in [z] coordinates. *)
+
+(** {1 Frequency domain} *)
+
+val freq_response : t -> float -> Linalg.Cmat.t
+(** [freq_response sys w] is [C (jw I - A)^-1 B + D] for continuous
+    systems, and [C (e^{jwT} I - A)^-1 B + D] for discrete ones, at angular
+    frequency [w] (rad/s). *)
+
+val hinf_norm : ?points:int -> t -> float
+(** Peak singular value of the frequency response over a logarithmic
+    frequency grid (with local refinement around the peak). For unstable
+    systems returns [infinity]. *)
+
+val h2_norm : t -> float
+(** Discrete H2 norm via the controllability gramian.
+    @raise Invalid_argument for continuous systems with [D <> 0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,121 @@
+open Linalg
+
+type t = { num : Poly.t; den : Poly.t; domain : Ss.domain }
+
+let make ?(domain = Ss.Continuous) ~num ~den () =
+  let num = Poly.normalize num and den = Poly.normalize den in
+  if Array.length den = 0 then invalid_arg "Tf.make: zero denominator";
+  if Poly.degree num > Poly.degree den then
+    invalid_arg "Tf.make: improper transfer function";
+  { num; den; domain }
+
+let poles t = Poly.roots t.den
+
+let zeros t = if Array.length t.num = 0 then [||] else Poly.roots t.num
+
+let eval t z = Complex.div (Poly.eval_complex t.num z) (Poly.eval_complex t.den z)
+
+let dcgain t =
+  match t.domain with
+  | Ss.Continuous -> Poly.eval t.num 0.0 /. Poly.eval t.den 0.0
+  | Ss.Discrete _ -> Poly.eval t.num 1.0 /. Poly.eval t.den 1.0
+
+let frequency_response t w =
+  match t.domain with
+  | Ss.Continuous -> eval t { Complex.re = 0.0; im = w }
+  | Ss.Discrete p -> eval t (Complex.exp { Complex.re = 0.0; im = w *. p })
+
+let is_stable t =
+  let ps = poles t in
+  match t.domain with
+  | Ss.Continuous -> Array.for_all (fun (z : Complex.t) -> z.re < 0.0) ps
+  | Ss.Discrete _ -> Array.for_all (fun z -> Complex.norm z < 1.0) ps
+
+let same_domain a b =
+  match (a.domain, b.domain) with
+  | Ss.Continuous, Ss.Continuous -> Ss.Continuous
+  | Ss.Discrete p, Ss.Discrete q when Float.abs (p -. q) < 1e-12 ->
+    Ss.Discrete p
+  | _ -> invalid_arg "Tf: mixed time domains"
+
+let series a b =
+  let domain = same_domain a b in
+  make ~domain ~num:(Poly.mul a.num b.num) ~den:(Poly.mul a.den b.den) ()
+
+let parallel a b =
+  let domain = same_domain a b in
+  make ~domain
+    ~num:(Poly.add (Poly.mul a.num b.den) (Poly.mul b.num a.den))
+    ~den:(Poly.mul a.den b.den) ()
+
+let feedback ?(sign = -1.0) g k =
+  let domain = same_domain g k in
+  (* g / (1 - sign g k) = g.num k.den / (g.den k.den - sign g.num k.num) *)
+  make ~domain
+    ~num:(Poly.mul g.num k.den)
+    ~den:
+      (Poly.sub (Poly.mul g.den k.den)
+         (Poly.scale sign (Poly.mul g.num k.num)))
+    ()
+
+(* Controllable canonical form of num/den with den monic of degree n:
+   A = companion, B = e_n, C from the (strictly proper) numerator after
+   removing the direct term D = lead coefficient ratio. *)
+let to_ss t =
+  let den = Poly.monic t.den in
+  let lead = t.den.(Array.length t.den - 1) in
+  let num = Poly.scale (1.0 /. lead) t.num in
+  let n = Array.length den - 1 in
+  if n = 0 then Ss.static_gain ~domain:t.domain (Mat.of_lists [ [ Poly.eval num 0.0 ] ])
+  else begin
+    let d = if Poly.degree num = n then num.(n) else 0.0 in
+    (* Strictly proper remainder: num - d * den. *)
+    let rem = Poly.sub num (Poly.scale d den) in
+    let a =
+      Mat.init n n (fun i j ->
+          if i = n - 1 then -.den.(j)
+          else if j = i + 1 then 1.0
+          else 0.0)
+    in
+    let b = Mat.init n 1 (fun i _ -> if i = n - 1 then 1.0 else 0.0) in
+    let c =
+      Mat.init 1 n (fun _ j -> if j < Array.length rem then rem.(j) else 0.0)
+    in
+    Ss.make ~domain:t.domain ~a ~b ~c ~d:(Mat.of_lists [ [ d ] ]) ()
+  end
+
+(* Leverrier-Faddeev: char(s) = s^n + c_{n-1} s^{n-1} + ... and
+   (sI - A)^{-1} = (sum_k N_k s^k) / char(s), via the recursion
+   N_{n-1} = I; c_{n-k} = -trace(A N_{n-k}) / k; N_{k-1} = A N_k + c_k I. *)
+let of_ss sys =
+  if Ss.inputs sys <> 1 || Ss.outputs sys <> 1 then
+    invalid_arg "Tf.of_ss: SISO systems only";
+  let n = Ss.order sys in
+  if n = 0 then
+    make ~domain:sys.Ss.domain ~num:[| Mat.get sys.Ss.d 0 0 |] ~den:Poly.one ()
+  else begin
+    let a = sys.Ss.a in
+    let char = Array.make (n + 1) 0.0 in
+    char.(n) <- 1.0;
+    let nk = Array.make n (Mat.identity n) in
+    (* nk.(k) is the coefficient matrix of s^k in the adjugate expansion. *)
+    nk.(n - 1) <- Mat.identity n;
+    for k = 1 to n do
+      let m = Mat.mul a nk.(n - k) in
+      let c = -.Mat.trace m /. Float.of_int k in
+      char.(n - k) <- c;
+      if k < n then nk.(n - k - 1) <- Mat.add m (Mat.scale c (Mat.identity n))
+    done;
+    let b = sys.Ss.b and c = sys.Ss.c and d = Mat.get sys.Ss.d 0 0 in
+    let num_strict =
+      Array.init n (fun k -> Mat.get (Mat.mul3 c nk.(k) b) 0 0)
+    in
+    let num = Poly.add num_strict (Poly.scale d char) in
+    make ~domain:sys.Ss.domain ~num ~den:char ()
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "(%a) / (%a)%s" Poly.pp t.num Poly.pp t.den
+    (match t.domain with
+    | Ss.Continuous -> " in s"
+    | Ss.Discrete p -> Printf.sprintf " in z (T=%g)" p)

@@ -1,0 +1,48 @@
+(** SISO transfer functions.
+
+    The classical rational representation [G = num / den] in [s]
+    (continuous) or [z] (discrete), convertible both ways to state space:
+    [to_ss] builds the controllable canonical realization, [of_ss]
+    recovers the rational form through the Leverrier-Faddeev resolvent
+    expansion. Interconnection mirrors {!Ss}. *)
+
+type t = {
+  num : Poly.t;
+  den : Poly.t;
+  domain : Ss.domain;
+}
+
+val make : ?domain:Ss.domain -> num:Poly.t -> den:Poly.t -> unit -> t
+(** @raise Invalid_argument for a zero denominator or an improper
+    transfer function (numerator degree above denominator degree). *)
+
+val poles : t -> Complex.t array
+val zeros : t -> Complex.t array
+
+val dcgain : t -> float
+(** Gain at [s = 0] (continuous) or [z = 1] (discrete); may be infinite
+    for systems with integrators. *)
+
+val eval : t -> Complex.t -> Complex.t
+(** Evaluate at a point of the complex plane. *)
+
+val frequency_response : t -> float -> Complex.t
+(** At angular frequency [w]: [G(jw)] or [G(e^{jwT})]. *)
+
+val is_stable : t -> bool
+
+val series : t -> t -> t
+val parallel : t -> t -> t
+
+val feedback : ?sign:float -> t -> t -> t
+(** [feedback g k] is [g / (1 - sign * g * k)] (default negative
+    feedback). *)
+
+val to_ss : t -> Ss.t
+(** Controllable canonical realization (order = denominator degree). *)
+
+val of_ss : Ss.t -> t
+(** Exact rational form of a SISO state-space system.
+    @raise Invalid_argument if the system is not SISO. *)
+
+val pp : Format.formatter -> t -> unit

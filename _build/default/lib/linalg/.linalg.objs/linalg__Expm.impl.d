@@ -1,0 +1,1 @@
+lib/linalg/expm.ml: Array Float Lu Mat Stdlib

@@ -1,0 +1,277 @@
+(* Householder reduction to upper Hessenberg form. Only the Hessenberg
+   matrix is needed (eigenvalues, not eigenvectors), so the orthogonal
+   transform is not accumulated. *)
+let hessenberg a =
+  if not (Mat.is_square a) then invalid_arg "Eig.hessenberg: non-square";
+  let n = a.Mat.rows in
+  let h = Mat.copy a in
+  for k = 0 to n - 3 do
+    let x = Array.init (n - k - 1) (fun i -> Mat.get h (k + 1 + i) k) in
+    let normx = Vec.norm2 x in
+    if normx > 1e-300 then begin
+      let alpha = if x.(0) >= 0.0 then -.normx else normx in
+      let v = Array.copy x in
+      v.(0) <- v.(0) -. alpha;
+      let vnorm = Vec.norm2 v in
+      if vnorm > 1e-300 then begin
+        let v = Vec.scale (1.0 /. vnorm) v in
+        (* Left: rows k+1..n-1, all columns. *)
+        for j = 0 to n - 1 do
+          let dot = ref 0.0 in
+          for i = 0 to n - k - 2 do
+            dot := !dot +. (v.(i) *. Mat.get h (k + 1 + i) j)
+          done;
+          let d2 = 2.0 *. !dot in
+          for i = 0 to n - k - 2 do
+            Mat.set h (k + 1 + i) j (Mat.get h (k + 1 + i) j -. (d2 *. v.(i)))
+          done
+        done;
+        (* Right: columns k+1..n-1, all rows (similarity transform). *)
+        for i = 0 to n - 1 do
+          let dot = ref 0.0 in
+          for j = 0 to n - k - 2 do
+            dot := !dot +. (Mat.get h i (k + 1 + j) *. v.(j))
+          done;
+          let d2 = 2.0 *. !dot in
+          for j = 0 to n - k - 2 do
+            Mat.set h i (k + 1 + j) (Mat.get h i (k + 1 + j) -. (d2 *. v.(j)))
+          done
+        done
+      end
+    end;
+    (* Zero out the entries below the subdiagonal explicitly. *)
+    for i = k + 2 to n - 1 do
+      Mat.set h i k 0.0
+    done
+  done;
+  h
+
+open Complex
+
+let cnorm = Complex.norm
+
+(* Eigenvalues of a complex 2x2 block [[a, b]; [c, d]]. *)
+let eig2x2 a b c d =
+  let tr = Complex.add a d in
+  let half_tr = Complex.div tr { re = 2.0; im = 0.0 } in
+  let amd = Complex.sub a d in
+  let disc =
+    Complex.add (Complex.mul amd amd)
+      (Complex.mul { re = 4.0; im = 0.0 } (Complex.mul b c))
+  in
+  let s = Complex.sqrt disc in
+  let half_s = Complex.div s { re = 2.0; im = 0.0 } in
+  (Complex.add half_tr half_s, Complex.sub half_tr half_s)
+
+(* Complex Givens rotation G = [[c, s]; [-conj s, c]] with real c >= 0 such
+   that G [x; y] = [r; 0]. *)
+let givens x y =
+  if cnorm y = 0.0 then (1.0, zero)
+  else if cnorm x = 0.0 then (0.0, one)
+  else begin
+    let t = Float.sqrt (Complex.norm2 x +. Complex.norm2 y) in
+    let c = cnorm x /. t in
+    let phase = Complex.div x { re = cnorm x; im = 0.0 } in
+    let s = Complex.div (Complex.mul phase (Complex.conj y)) { re = t; im = 0.0 } in
+    (c, s)
+  end
+
+(* Shifted QR iteration on a complex upper Hessenberg matrix. The matrix is
+   modified in place; returns the array of eigenvalues. *)
+let qr_hessenberg_eigenvalues h =
+  let n = h.Cmat.rows in
+  let eigs = Array.make n zero in
+  let eps = 1e-13 in
+  let subdiag_negligible i =
+    (* h.(i).(i-1) negligible versus its diagonal neighbours *)
+    let s = cnorm (Cmat.get h (i - 1) (i - 1)) +. cnorm (Cmat.get h i i) in
+    let s = if s = 0.0 then Cmat.max_abs h else s in
+    cnorm (Cmat.get h i (i - 1)) <= eps *. s
+  in
+  let hi = ref (n - 1) in
+  let iter_count = ref 0 in
+  let max_iter = 60 * n in
+  while !hi >= 0 do
+    if !hi = 0 then begin
+      eigs.(0) <- Cmat.get h 0 0;
+      hi := -1
+    end
+    else begin
+      (* Find the start [l] of the active unreduced block ending at [hi]. *)
+      let l = ref !hi in
+      while !l > 0 && not (subdiag_negligible !l) do
+        decr l
+      done;
+      if !l = !hi then begin
+        eigs.(!hi) <- Cmat.get h !hi !hi;
+        decr hi
+      end
+      else if !l = !hi - 1 then begin
+        let e1, e2 =
+          eig2x2
+            (Cmat.get h !l !l) (Cmat.get h !l !hi)
+            (Cmat.get h !hi !l) (Cmat.get h !hi !hi)
+        in
+        eigs.(!l) <- e1;
+        eigs.(!hi) <- e2;
+        hi := !hi - 2
+      end
+      else begin
+        incr iter_count;
+        if !iter_count > max_iter then
+          failwith "Eig.eigenvalues: QR iteration did not converge";
+        (* Wilkinson shift from the trailing 2x2, with an occasional
+           exceptional shift to break symmetry-induced stalls. *)
+        let shift =
+          if !iter_count mod 17 = 0 then
+            {
+              re =
+                Float.abs (cnorm (Cmat.get h !hi (!hi - 1)))
+                +. Float.abs (cnorm (Cmat.get h (!hi - 1) (!hi - 2)));
+              im = 0.0;
+            }
+          else begin
+            let e1, e2 =
+              eig2x2
+                (Cmat.get h (!hi - 1) (!hi - 1)) (Cmat.get h (!hi - 1) !hi)
+                (Cmat.get h !hi (!hi - 1)) (Cmat.get h !hi !hi)
+            in
+            let hnn = Cmat.get h !hi !hi in
+            if cnorm (Complex.sub e1 hnn) <= cnorm (Complex.sub e2 hnn)
+            then e1 else e2
+          end
+        in
+        let l = !l and hi_i = !hi in
+        for i = l to hi_i do
+          Cmat.set h i i (Complex.sub (Cmat.get h i i) shift)
+        done;
+        (* Left Givens sweep: triangularize the active block. *)
+        let rot = Array.make (hi_i - l) (1.0, zero) in
+        for k = l to hi_i - 1 do
+          let c, s = givens (Cmat.get h k k) (Cmat.get h (k + 1) k) in
+          rot.(k - l) <- (c, s);
+          for j = k to hi_i do
+            let x = Cmat.get h k j and y = Cmat.get h (k + 1) j in
+            let cc = { re = c; im = 0.0 } in
+            Cmat.set h k j (Complex.add (Complex.mul cc x) (Complex.mul s y));
+            Cmat.set h (k + 1) j
+              (Complex.sub (Complex.mul cc y)
+                 (Complex.mul (Complex.conj s) x))
+          done
+        done;
+        (* Right sweep: H <- R * Q^H, restoring Hessenberg form. *)
+        for k = l to hi_i - 1 do
+          let c, s = rot.(k - l) in
+          let cc = { re = c; im = 0.0 } in
+          for i = l to min (k + 1) hi_i do
+            let x = Cmat.get h i k and y = Cmat.get h i (k + 1) in
+            Cmat.set h i k
+              (Complex.add (Complex.mul cc x) (Complex.mul (Complex.conj s) y));
+            Cmat.set h i (k + 1)
+              (Complex.sub (Complex.mul cc y) (Complex.mul s x))
+          done
+        done;
+        for i = l to hi_i do
+          Cmat.set h i i (Complex.add (Cmat.get h i i) shift)
+        done
+      end
+    end
+  done;
+  eigs
+
+let eigenvalues a =
+  if not (Mat.is_square a) then invalid_arg "Eig.eigenvalues: non-square";
+  let n = a.Mat.rows in
+  if n = 0 then [||]
+  else if n = 1 then [| { re = Mat.get a 0 0; im = 0.0 } |]
+  else begin
+    let h = Cmat.of_real (hessenberg a) in
+    qr_hessenberg_eigenvalues h
+  end
+
+let spectral_radius a =
+  Array.fold_left (fun acc z -> Float.max acc (cnorm z)) 0.0 (eigenvalues a)
+
+let spectral_abscissa a =
+  Array.fold_left (fun acc z -> Float.max acc z.re) neg_infinity (eigenvalues a)
+
+let is_stable_discrete ?(margin = 1e-9) a = spectral_radius a < 1.0 -. margin
+
+let is_stable_continuous ?(margin = 1e-9) a = spectral_abscissa a < -.margin
+
+(* Cyclic Jacobi for symmetric matrices: rotate away the off-diagonal
+   entries until convergence. Quadratically convergent and unconditionally
+   reliable, which matters more here than speed. *)
+let symmetric a =
+  if not (Mat.is_square a) then invalid_arg "Eig.symmetric: non-square";
+  let n = a.Mat.rows in
+  let m = Mat.init n n (fun i j -> if j <= i then Mat.get a i j else Mat.get a j i) in
+  let v = Mat.identity n in
+  let off_norm () =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        acc := !acc +. (Mat.get m i j *. Mat.get m i j)
+      done
+    done;
+    Float.sqrt (2.0 *. !acc)
+  in
+  let tol = 1e-12 *. Float.max 1.0 (Mat.norm_fro m) in
+  let sweeps = ref 0 in
+  while off_norm () > tol && !sweeps < 100 do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = Mat.get m p q in
+        if Float.abs apq > 1e-300 then begin
+          let app = Mat.get m p p and aqq = Mat.get m q q in
+          let theta = (aqq -. app) /. (2.0 *. apq) in
+          let t =
+            let sign = if theta >= 0.0 then 1.0 else -1.0 in
+            sign /. (Float.abs theta +. Float.sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. Float.sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          for k = 0 to n - 1 do
+            let mkp = Mat.get m k p and mkq = Mat.get m k q in
+            Mat.set m k p ((c *. mkp) -. (s *. mkq));
+            Mat.set m k q ((s *. mkp) +. (c *. mkq))
+          done;
+          for k = 0 to n - 1 do
+            let mpk = Mat.get m p k and mqk = Mat.get m q k in
+            Mat.set m p k ((c *. mpk) -. (s *. mqk));
+            Mat.set m q k ((s *. mpk) +. (c *. mqk))
+          done;
+          for k = 0 to n - 1 do
+            let vkp = Mat.get v k p and vkq = Mat.get v k q in
+            Mat.set v k p ((c *. vkp) -. (s *. vkq));
+            Mat.set v k q ((s *. vkp) +. (c *. vkq))
+          done
+        end
+      done
+    done
+  done;
+  let values = Mat.diagonal m in
+  (* Sort ascending, permuting eigenvector columns alongside. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare values.(i) values.(j)) order;
+  let sorted_values = Array.map (fun i -> values.(i)) order in
+  let sorted_vectors = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
+  (sorted_values, sorted_vectors)
+
+let symmetric_values a = fst (symmetric a)
+
+let is_positive_semidefinite ?(tol = 1e-9) a =
+  let values = symmetric_values (Mat.symmetrize a) in
+  let floor = -.tol *. Float.max 1.0 (Mat.max_abs a) in
+  Array.for_all (fun x -> x >= floor) values
+
+let is_positive_definite ?(tol = 1e-9) a =
+  let values = symmetric_values (Mat.symmetrize a) in
+  let floor = tol *. Float.max 1.0 (Mat.max_abs a) in
+  Array.for_all (fun x -> x > floor) values
+
+let spectral_radius_complex c =
+  let re = Cmat.real_part c and im = Cmat.imag_part c in
+  let big = Mat.blocks [ [ re; Mat.neg im ]; [ im; re ] ] in
+  spectral_radius big

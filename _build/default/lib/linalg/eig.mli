@@ -1,0 +1,46 @@
+(** Eigenvalue computations.
+
+    General (non-symmetric) real matrices are handled by Householder
+    reduction to upper Hessenberg form followed by a complex shifted-QR
+    iteration with Wilkinson shifts; symmetric matrices by the cyclic
+    Jacobi method, which also yields eigenvectors. *)
+
+val hessenberg : Mat.t -> Mat.t
+(** Orthogonal reduction of a square matrix to upper Hessenberg form
+    (same eigenvalues). *)
+
+val eigenvalues : Mat.t -> Complex.t array
+(** All eigenvalues of a square real matrix, in no particular order.
+    @raise Failure if the QR iteration fails to converge. *)
+
+val spectral_radius : Mat.t -> float
+(** Largest eigenvalue magnitude. *)
+
+val spectral_abscissa : Mat.t -> float
+(** Largest eigenvalue real part (continuous-time stability measure). *)
+
+val is_stable_discrete : ?margin:float -> Mat.t -> bool
+(** All eigenvalues strictly inside the unit circle (radius [1. - margin],
+    default margin [1e-9]). *)
+
+val is_stable_continuous : ?margin:float -> Mat.t -> bool
+(** All eigenvalues with real part below [-margin]. *)
+
+val symmetric : Mat.t -> Vec.t * Mat.t
+(** [symmetric a] for symmetric [a] is [(values, vectors)] with eigenvalues
+    ascending and eigenvectors as the corresponding columns of [vectors]
+    (orthonormal). Only the lower triangle of [a] is read. *)
+
+val symmetric_values : Mat.t -> Vec.t
+(** Eigenvalues of a symmetric matrix, ascending. *)
+
+val is_positive_semidefinite : ?tol:float -> Mat.t -> bool
+(** Symmetric positive semidefiniteness check via Jacobi eigenvalues;
+    eigenvalues above [-tol * max(1, |a|)] count as non-negative. *)
+
+val is_positive_definite : ?tol:float -> Mat.t -> bool
+
+val spectral_radius_complex : Cmat.t -> float
+(** Largest eigenvalue magnitude of a complex matrix, computed through the
+    real embedding [[re -im; im re]] (whose spectrum is the complex
+    spectrum plus its conjugate). *)

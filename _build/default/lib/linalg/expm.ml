@@ -1,0 +1,32 @@
+(* Scaling and squaring with a [6/6] Padé approximant. The classic Higham
+   recipe uses degree 13 with sharper scaling thresholds; degree 6 with a
+   0.5-norm threshold is ample for the modest accuracy and matrix sizes in
+   this project and keeps the code short. *)
+let expm a =
+  if not (Mat.is_square a) then invalid_arg "Expm.expm: non-square";
+  let n = a.Mat.rows in
+  let norm = Mat.norm_inf a in
+  let s =
+    if norm <= 0.5 then 0
+    else Stdlib.max 0 (int_of_float (ceil (log (norm /. 0.5) /. log 2.0)))
+  in
+  let x = Mat.scale (1.0 /. Float.of_int (1 lsl s)) a in
+  (* Padé(6,6): N(x) = sum c_k x^k, D(x) = N(-x) with the classic
+     coefficients c_k = (12-k)! 6! / (12! k! (6-k)!). *)
+  let c = [| 1.0; 0.5; 5.0 /. 44.0; 1.0 /. 66.0; 1.0 /. 792.0; 1.0 /. 15840.0; 1.0 /. 665280.0 |] in
+  let powers = Array.make 7 (Mat.identity n) in
+  for k = 1 to 6 do
+    powers.(k) <- Mat.mul powers.(k - 1) x
+  done;
+  let num = ref (Mat.create n n) and den = ref (Mat.create n n) in
+  for k = 0 to 6 do
+    let term = Mat.scale c.(k) powers.(k) in
+    num := Mat.add !num term;
+    den :=
+      (if k land 1 = 0 then Mat.add !den term else Mat.sub !den term)
+  done;
+  let r = ref (Lu.solve !den !num) in
+  for _ = 1 to s do
+    r := Mat.mul !r !r
+  done;
+  !r

@@ -1,0 +1,9 @@
+(** Matrix exponential by scaling-and-squaring with a Padé approximant.
+
+    Needed for zero-order-hold discretization of continuous-time models and
+    for the RC thermal model of the board simulator. *)
+
+val expm : Mat.t -> Mat.t
+(** [expm a] approximates [e^a] using a degree-6 diagonal Padé approximant
+    after scaling [a] so its infinity norm is below 0.5, then repeated
+    squaring. Accuracy is near machine precision for well-scaled inputs. *)

@@ -1,0 +1,89 @@
+exception Singular
+
+type factors = { lu : Mat.t; perm : int array; sign : float }
+
+(* Doolittle LU with partial pivoting. The pivot tolerance is relative to
+   the largest entry of the matrix so that well-scaled singular matrices are
+   detected reliably. *)
+let factorize a =
+  if not (Mat.is_square a) then invalid_arg "Lu.factorize: non-square";
+  let n = a.Mat.rows in
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  let tol = 1e-13 *. Float.max 1.0 (Mat.max_abs a) in
+  for k = 0 to n - 1 do
+    (* Find pivot. *)
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !pivot_row k)
+      then pivot_row := i
+    done;
+    if Float.abs (Mat.get lu !pivot_row k) <= tol then raise Singular;
+    if !pivot_row <> k then begin
+      let tmp = Mat.row lu k in
+      Mat.set_row lu k (Mat.row lu !pivot_row);
+      Mat.set_row lu !pivot_row tmp;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- t;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get lu k k in
+    for i = k + 1 to n - 1 do
+      let m = Mat.get lu i k /. pivot in
+      Mat.set lu i k m;
+      if m <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.set lu i j (Mat.get lu i j -. (m *. Mat.get lu k j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve_vec { lu; perm; _ } b =
+  let n = lu.Mat.rows in
+  if Vec.dim b <> n then invalid_arg "Lu.solve_vec: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with unit lower triangle. *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (Mat.get lu i j *. x.(j))
+    done
+  done;
+  (* Back substitution with the upper triangle. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. Mat.get lu i i
+  done;
+  x
+
+let solve_mat f b =
+  let cols = List.init b.Mat.cols (fun j -> Mat.col b j) in
+  let solved = List.map (solve_vec f) cols in
+  let r = Mat.create b.Mat.rows b.Mat.cols in
+  List.iteri (fun j v -> Mat.set_col r j v) solved;
+  r
+
+let solve a b = solve_mat (factorize a) b
+
+let solve_right b a = Mat.transpose (solve (Mat.transpose a) (Mat.transpose b))
+
+let inv a = solve a (Mat.identity a.Mat.rows)
+
+let det a =
+  match factorize a with
+  | { lu; sign; _ } ->
+    let d = ref sign in
+    for i = 0 to lu.Mat.rows - 1 do
+      d := !d *. Mat.get lu i i
+    done;
+    !d
+  | exception Singular -> 0.0
+
+let cond_estimate a =
+  match inv a with
+  | ai -> Mat.norm1 a *. Mat.norm1 ai
+  | exception Singular -> infinity

@@ -1,0 +1,39 @@
+(** LU factorization with partial pivoting, and the dense solvers built on
+    it (linear solve, inverse, determinant).
+
+    Singularity is reported through [Singular]; callers that can tolerate
+    near-singular systems should catch it and regularize. *)
+
+exception Singular
+(** Raised when a pivot is exactly zero or numerically negligible. *)
+
+type factors = {
+  lu : Mat.t;        (** Packed L (unit lower) and U factors. *)
+  perm : int array;  (** Row permutation: original row of pivot row [i]. *)
+  sign : float;      (** Permutation parity, [+1.] or [-1.]. *)
+}
+
+val factorize : Mat.t -> factors
+(** Factor a square matrix. @raise Singular on rank deficiency. *)
+
+val solve_vec : factors -> Vec.t -> Vec.t
+(** Solve [a x = b] given [factorize a]. *)
+
+val solve_mat : factors -> Mat.t -> Mat.t
+(** Solve [a X = B] column-wise. *)
+
+val solve : Mat.t -> Mat.t -> Mat.t
+(** [solve a b] is [a^-1 * b]. @raise Singular if [a] is singular. *)
+
+val solve_right : Mat.t -> Mat.t -> Mat.t
+(** [solve_right b a] is [b * a^-1]. @raise Singular if [a] is singular. *)
+
+val inv : Mat.t -> Mat.t
+(** Matrix inverse. @raise Singular if singular. *)
+
+val det : Mat.t -> float
+(** Determinant; [0.] for singular matrices (does not raise). *)
+
+val cond_estimate : Mat.t -> float
+(** Cheap 1-norm condition number estimate ([norm1 a * norm1 (inv a)]);
+    [infinity] if singular. *)

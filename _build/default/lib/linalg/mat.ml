@@ -1,0 +1,258 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  let a = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      a.data.((i * cols) + j) <- f i j
+    done
+  done;
+  a
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let diag v =
+  let n = Vec.dim v in
+  init n n (fun i j -> if i = j then v.(i) else 0.0)
+
+let scalar n s = init n n (fun i j -> if i = j then s else 0.0)
+
+let of_arrays rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then create 0 0
+  else begin
+    let cols = Array.length rows_arr.(0) in
+    Array.iter
+      (fun r ->
+        if Array.length r <> cols then
+          invalid_arg "Mat.of_arrays: ragged rows")
+      rows_arr;
+    init rows cols (fun i j -> rows_arr.(i).(j))
+  end
+
+let of_lists ll = of_arrays (Array.of_list (List.map Array.of_list ll))
+
+let of_vec_col v = init (Vec.dim v) 1 (fun i _ -> v.(i))
+
+let of_vec_row v = init 1 (Vec.dim v) (fun _ j -> v.(j))
+
+let random ?(seed = 42) rows cols =
+  let st = Random.State.make [| seed; rows; cols |] in
+  init rows cols (fun _ _ -> Random.State.float st 2.0 -. 1.0)
+
+let get a i j = a.data.((i * a.cols) + j)
+
+let set a i j x = a.data.((i * a.cols) + j) <- x
+
+let dims a = (a.rows, a.cols)
+
+let row a i = Array.sub a.data (i * a.cols) a.cols
+
+let col a j = Array.init a.rows (fun i -> get a i j)
+
+let diagonal a = Array.init (min a.rows a.cols) (fun i -> get a i i)
+
+let copy a = { a with data = Array.copy a.data }
+
+let to_arrays a = Array.init a.rows (fun i -> row a i)
+
+let set_row a i v =
+  if Vec.dim v <> a.cols then invalid_arg "Mat.set_row: dimension mismatch";
+  Array.blit v 0 a.data (i * a.cols) a.cols
+
+let set_col a j v =
+  if Vec.dim v <> a.rows then invalid_arg "Mat.set_col: dimension mismatch";
+  for i = 0 to a.rows - 1 do
+    set a i j v.(i)
+  done
+
+let sub_matrix a i j m n =
+  if i < 0 || j < 0 || i + m > a.rows || j + n > a.cols then
+    invalid_arg "Mat.sub_matrix: block out of range";
+  init m n (fun r c -> get a (i + r) (j + c))
+
+let set_block a i j b =
+  if i + b.rows > a.rows || j + b.cols > a.cols then
+    invalid_arg "Mat.set_block: block out of range";
+  for r = 0 to b.rows - 1 do
+    for c = 0 to b.cols - 1 do
+      set a (i + r) (j + c) (get b r c)
+    done
+  done
+
+let transpose a = init a.cols a.rows (fun i j -> get a j i)
+
+let hcat a b =
+  if a.rows <> b.rows then invalid_arg "Mat.hcat: row mismatch";
+  let r = create a.rows (a.cols + b.cols) in
+  set_block r 0 0 a;
+  set_block r 0 a.cols b;
+  r
+
+let vcat a b =
+  if a.cols <> b.cols then invalid_arg "Mat.vcat: column mismatch";
+  let r = create (a.rows + b.rows) a.cols in
+  set_block r 0 0 a;
+  set_block r a.rows 0 b;
+  r
+
+let blocks grid =
+  match grid with
+  | [] -> create 0 0
+  | first_row :: _ ->
+    let rows = List.fold_left (fun acc r ->
+        match r with
+        | [] -> invalid_arg "Mat.blocks: empty block row"
+        | b :: _ -> acc + b.rows)
+        0 grid
+    in
+    let cols = List.fold_left (fun acc b -> acc + b.cols) 0 first_row in
+    let result = create rows cols in
+    let roff = ref 0 in
+    List.iter
+      (fun block_row ->
+        let coff = ref 0 in
+        let height =
+          match block_row with b :: _ -> b.rows | [] -> assert false
+        in
+        List.iter
+          (fun b ->
+            if b.rows <> height then
+              invalid_arg "Mat.blocks: inconsistent block heights";
+            set_block result !roff !coff b;
+            coff := !coff + b.cols)
+          block_row;
+        if !coff <> cols then
+          invalid_arg "Mat.blocks: inconsistent block widths";
+        roff := !roff + height)
+      grid;
+    result
+
+let check_same name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let add a b =
+  check_same "Mat.add" a b;
+  { a with data = Array.mapi (fun k x -> x +. b.data.(k)) a.data }
+
+let sub a b =
+  check_same "Mat.sub" a b;
+  { a with data = Array.mapi (fun k x -> x -. b.data.(k)) a.data }
+
+let scale s a = { a with data = Array.map (fun x -> s *. x) a.data }
+
+let neg a = scale (-1.0) a
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
+  let r = create a.rows b.cols in
+  (* Loop order i-k-j keeps the inner loop stride-1 over both [b] and [r]. *)
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0.0 then begin
+        let boff = k * b.cols and roff = i * b.cols in
+        for j = 0 to b.cols - 1 do
+          r.data.(roff + j) <- r.data.(roff + j) +. (aik *. b.data.(boff + j))
+        done
+      end
+    done
+  done;
+  r
+
+let mul_vec a v =
+  if a.cols <> Vec.dim v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init a.rows (fun i ->
+      let acc = ref 0.0 in
+      let off = i * a.cols in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. (a.data.(off + j) *. v.(j))
+      done;
+      !acc)
+
+let mul3 a b c =
+  (* Choose association order by flop count. *)
+  let cost_left = (a.rows * a.cols * b.cols) + (a.rows * b.cols * c.cols) in
+  let cost_right = (b.rows * b.cols * c.cols) + (a.rows * a.cols * c.cols) in
+  if cost_left <= cost_right then mul (mul a b) c else mul a (mul b c)
+
+let add_scaled a s b =
+  check_same "Mat.add_scaled" a b;
+  { a with data = Array.mapi (fun k x -> x +. (s *. b.data.(k))) a.data }
+
+let hadamard a b =
+  check_same "Mat.hadamard" a b;
+  { a with data = Array.mapi (fun k x -> x *. b.data.(k)) a.data }
+
+let map f a = { a with data = Array.map f a.data }
+
+let pow a n =
+  if not (a.rows = a.cols) then invalid_arg "Mat.pow: non-square";
+  if n < 0 then invalid_arg "Mat.pow: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (mul acc base) (mul base base) (n asr 1)
+    else go acc (mul base base) (n asr 1)
+  in
+  go (identity a.rows) a n
+
+let norm_fro a = Vec.norm2 a.data
+
+let norm_inf a =
+  let best = ref 0.0 in
+  for i = 0 to a.rows - 1 do
+    let s = ref 0.0 in
+    for j = 0 to a.cols - 1 do
+      s := !s +. Float.abs (get a i j)
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
+
+let norm1 a = norm_inf (transpose a)
+
+let max_abs a = Vec.norm_inf a.data
+
+let trace a =
+  let acc = ref 0.0 in
+  for i = 0 to min a.rows a.cols - 1 do
+    acc := !acc +. get a i i
+  done;
+  !acc
+
+let is_square a = a.rows = a.cols
+
+let is_symmetric ?(tol = 1e-9) a =
+  is_square a
+  &&
+  let ok = ref true in
+  for i = 0 to a.rows - 1 do
+    for j = i + 1 to a.cols - 1 do
+      if Float.abs (get a i j -. get a j i) > tol then ok := false
+    done
+  done;
+  !ok
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Vec.approx_equal ~tol a.data b.data
+
+let symmetrize a = scale 0.5 (add a (transpose a))
+
+let pp fmt a =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to a.rows - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to a.cols - 1 do
+      if j > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%10.5g" (get a i j)
+    done;
+    Format.fprintf fmt "]";
+    if i < a.rows - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

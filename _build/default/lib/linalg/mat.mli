@@ -1,0 +1,110 @@
+(** Dense real matrices, stored row-major.
+
+    This module is the workhorse of the numerical stack. All operations
+    allocate fresh matrices; dimension mismatches raise [Invalid_argument].
+    Indices are 0-based throughout. *)
+
+type t = { rows : int; cols : int; data : float array }
+
+(** {1 Construction} *)
+
+val create : int -> int -> t
+(** [create m n] is the [m]x[n] zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init m n f] has entry [f i j] at row [i], column [j]. *)
+
+val identity : int -> t
+
+val diag : Vec.t -> t
+(** Square matrix with the given diagonal. *)
+
+val scalar : int -> float -> t
+(** [scalar n s] is [s] times the [n]x[n] identity. *)
+
+val of_arrays : float array array -> t
+(** Rows given as arrays; all rows must have equal length. *)
+
+val of_lists : float list list -> t
+
+val of_vec_col : Vec.t -> t
+(** Column matrix from a vector. *)
+
+val of_vec_row : Vec.t -> t
+
+val random : ?seed:int -> int -> int -> t
+(** Entries uniform in [[-1, 1]], deterministic for a given [seed]. *)
+
+(** {1 Access} *)
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val dims : t -> int * int
+val row : t -> int -> Vec.t
+val col : t -> int -> Vec.t
+val diagonal : t -> Vec.t
+val copy : t -> t
+val to_arrays : t -> float array array
+
+val set_row : t -> int -> Vec.t -> unit
+val set_col : t -> int -> Vec.t -> unit
+
+val sub_matrix : t -> int -> int -> int -> int -> t
+(** [sub_matrix a i j m n] is the [m]x[n] block of [a] with top-left corner
+    at ([i], [j]). *)
+
+val set_block : t -> int -> int -> t -> unit
+(** [set_block a i j b] overwrites the block of [a] at ([i], [j]) with [b]. *)
+
+(** {1 Shape combinators} *)
+
+val transpose : t -> t
+val hcat : t -> t -> t
+val vcat : t -> t -> t
+
+val blocks : t list list -> t
+(** Assemble a block matrix from a rectangular grid of blocks. *)
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+val mul_vec : t -> Vec.t -> Vec.t
+
+val mul3 : t -> t -> t -> t
+(** [mul3 a b c] is [a*b*c], associated for minimal work. *)
+
+val add_scaled : t -> float -> t -> t
+(** [add_scaled a s b] is [a + s*b]. *)
+
+val hadamard : t -> t -> t
+
+val map : (float -> float) -> t -> t
+
+val pow : t -> int -> t
+(** Non-negative integer matrix power by repeated squaring. *)
+
+(** {1 Norms and predicates} *)
+
+val norm_fro : t -> float
+
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val norm1 : t -> float
+(** Maximum absolute column sum. *)
+
+val max_abs : t -> float
+val trace : t -> float
+
+val is_square : t -> bool
+val is_symmetric : ?tol:float -> t -> bool
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val symmetrize : t -> t
+(** [(a + a^T)/2]; useful to remove drift in iterative Riccati solvers. *)
+
+val pp : Format.formatter -> t -> unit

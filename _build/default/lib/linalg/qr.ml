@@ -1,0 +1,128 @@
+type factors = { q : Mat.t; r : Mat.t }
+
+(* Householder QR. We accumulate the reflectors into an explicit Q because
+   the matrices in this project are small (tens of rows), where clarity
+   beats the usual packed-reflector storage. *)
+let householder_triangularize a =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  let r = Mat.copy a in
+  let q = Mat.identity m in
+  for k = 0 to min (m - 1) n - 1 do
+    (* Build the reflector that zeroes column k below the diagonal. *)
+    let x = Array.init (m - k) (fun i -> Mat.get r (k + i) k) in
+    let normx = Vec.norm2 x in
+    if normx > 0.0 then begin
+      let alpha = if x.(0) >= 0.0 then -.normx else normx in
+      let v = Array.copy x in
+      v.(0) <- v.(0) -. alpha;
+      let vnorm = Vec.norm2 v in
+      if vnorm > 1e-300 then begin
+        let v = Vec.scale (1.0 /. vnorm) v in
+        (* Apply H = I - 2 v v^T to the trailing block of r. *)
+        for j = k to n - 1 do
+          let dot = ref 0.0 in
+          for i = 0 to m - k - 1 do
+            dot := !dot +. (v.(i) *. Mat.get r (k + i) j)
+          done;
+          let d2 = 2.0 *. !dot in
+          for i = 0 to m - k - 1 do
+            Mat.set r (k + i) j (Mat.get r (k + i) j -. (d2 *. v.(i)))
+          done
+        done;
+        (* Accumulate into q: q <- q * H (applied on the right). *)
+        for i = 0 to m - 1 do
+          let dot = ref 0.0 in
+          for l = 0 to m - k - 1 do
+            dot := !dot +. (Mat.get q i (k + l) *. v.(l))
+          done;
+          let d2 = 2.0 *. !dot in
+          for l = 0 to m - k - 1 do
+            Mat.set q i (k + l) (Mat.get q i (k + l) -. (d2 *. v.(l)))
+          done
+        done
+      end
+    end
+  done;
+  (* Clean tiny subdiagonal residue for exact triangularity. *)
+  for i = 0 to m - 1 do
+    for j = 0 to min (i - 1) (n - 1) do
+      Mat.set r i j 0.0
+    done
+  done;
+  (q, r)
+
+let factorize_full a =
+  let q, r = householder_triangularize a in
+  { q; r }
+
+let factorize a =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  if m < n then invalid_arg "Qr.factorize: requires rows >= cols";
+  let q, r = householder_triangularize a in
+  { q = Mat.sub_matrix q 0 0 m n; r = Mat.sub_matrix r 0 0 n n }
+
+(* Householder elimination on the augmented matrix [a | rhs]: reflectors are
+   computed from the first [n] columns only and applied across, leaving
+   [R | Q^T rhs] without ever forming Q. This keeps least squares O(m n^2)
+   for the tall regression matrices of system identification. *)
+let triangularize_augmented a rhs =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  if rhs.Mat.rows <> m then
+    invalid_arg "Qr: right-hand side row mismatch";
+  let w = Mat.hcat a rhs in
+  let total = w.Mat.cols in
+  for k = 0 to min (m - 1) n - 1 do
+    let x = Array.init (m - k) (fun i -> Mat.get w (k + i) k) in
+    let normx = Vec.norm2 x in
+    if normx > 0.0 then begin
+      let alpha = if x.(0) >= 0.0 then -.normx else normx in
+      let v = Array.copy x in
+      v.(0) <- v.(0) -. alpha;
+      let vnorm = Vec.norm2 v in
+      if vnorm > 1e-300 then begin
+        let v = Vec.scale (1.0 /. vnorm) v in
+        for j = k to total - 1 do
+          let dot = ref 0.0 in
+          for i = 0 to m - k - 1 do
+            dot := !dot +. (v.(i) *. Mat.get w (k + i) j)
+          done;
+          let d2 = 2.0 *. !dot in
+          for i = 0 to m - k - 1 do
+            Mat.set w (k + i) j (Mat.get w (k + i) j -. (d2 *. v.(i)))
+          done
+        done
+      end
+    end
+  done;
+  (Mat.sub_matrix w 0 0 n n, Mat.sub_matrix w 0 n n (total - n))
+
+let back_substitute r y =
+  let n = r.Mat.cols in
+  let x = Vec.create n in
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get r i j *. x.(j))
+    done;
+    let d = Mat.get r i i in
+    if Float.abs d <= 1e-13 *. Float.max 1.0 (Mat.max_abs r) then
+      raise Lu.Singular;
+    x.(i) <- !acc /. d
+  done;
+  x
+
+let solve_least_squares a b =
+  let r, qtb = triangularize_augmented a (Mat.of_vec_col b) in
+  back_substitute r (Mat.col qtb 0)
+
+let solve_least_squares_mat a b =
+  let r, qtb = triangularize_augmented a b in
+  let x = Mat.create a.Mat.cols b.Mat.cols in
+  for j = 0 to b.Mat.cols - 1 do
+    Mat.set_col x j (back_substitute r (Mat.col qtb j))
+  done;
+  x
+
+let orthonormal_columns ?(tol = 1e-8) q =
+  let gram = Mat.mul (Mat.transpose q) q in
+  Mat.approx_equal ~tol gram (Mat.identity q.Mat.cols)

@@ -1,0 +1,127 @@
+(* One-sided Jacobi SVD: orthogonalize the columns of a working copy of
+   [a] with plane rotations accumulated into [v]; at convergence the column
+   norms are the singular values. *)
+let jacobi_onesided a =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  let w = Mat.copy a in
+  let v = Mat.identity n in
+  let eps = 1e-14 in
+  let converged = ref false in
+  let sweeps = ref 0 in
+  while (not !converged) && !sweeps < 60 do
+    incr sweeps;
+    converged := true;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        (* Column inner products. *)
+        let alpha = ref 0.0 and beta = ref 0.0 and gamma = ref 0.0 in
+        for i = 0 to m - 1 do
+          let wip = Mat.get w i p and wiq = Mat.get w i q in
+          alpha := !alpha +. (wip *. wip);
+          beta := !beta +. (wiq *. wiq);
+          gamma := !gamma +. (wip *. wiq)
+        done;
+        let limit = eps *. sqrt (!alpha *. !beta) in
+        if Float.abs !gamma > limit && limit > 0.0 then begin
+          converged := false;
+          let zeta = (!beta -. !alpha) /. (2.0 *. !gamma) in
+          let t =
+            let sign = if zeta >= 0.0 then 1.0 else -1.0 in
+            sign /. (Float.abs zeta +. sqrt (1.0 +. (zeta *. zeta)))
+          in
+          let c = 1.0 /. sqrt (1.0 +. (t *. t)) in
+          let s = c *. t in
+          for i = 0 to m - 1 do
+            let wip = Mat.get w i p and wiq = Mat.get w i q in
+            Mat.set w i p ((c *. wip) -. (s *. wiq));
+            Mat.set w i q ((s *. wip) +. (c *. wiq))
+          done;
+          for i = 0 to n - 1 do
+            let vip = Mat.get v i p and viq = Mat.get v i q in
+            Mat.set v i p ((c *. vip) -. (s *. viq));
+            Mat.set v i q ((s *. vip) +. (c *. viq))
+          done
+        end
+      done
+    done
+  done;
+  (w, v)
+
+let rec decompose a =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  if m >= n then begin
+    let w, v = jacobi_onesided a in
+    let k = n in
+    let s = Array.init k (fun j -> Vec.norm2 (Mat.col w j)) in
+    let order = Array.init k (fun i -> i) in
+    Array.sort (fun i j -> Float.compare s.(j) s.(i)) order;
+    let sorted_s = Array.map (fun i -> s.(i)) order in
+    let u = Mat.create m k in
+    let vs = Mat.create n k in
+    Array.iteri
+      (fun out_j in_j ->
+        let sigma = s.(in_j) in
+        let col = Mat.col w in_j in
+        let ucol =
+          if sigma > 1e-300 then Vec.scale (1.0 /. sigma) col
+          else Vec.basis m (min out_j (m - 1))
+        in
+        Mat.set_col u out_j ucol;
+        Mat.set_col vs out_j (Mat.col v in_j))
+      order;
+    (u, sorted_s, vs)
+  end
+  else begin
+    (* SVD of the transpose, swapping the roles of u and v. *)
+    let u, s, v = decompose (Mat.transpose a) in
+    (v, s, u)
+  end
+
+let singular_values a =
+  let _, s, _ = decompose a in
+  s
+
+let norm2 a =
+  if a.Mat.rows = 0 || a.Mat.cols = 0 then 0.0
+  else begin
+    let s = singular_values a in
+    if Vec.dim s = 0 then 0.0 else s.(0)
+  end
+
+let norm2_complex c =
+  (* [[re -im]; [im re]] is a real matrix with the same singular values,
+     each doubled in multiplicity; its largest equals the complex norm. *)
+  let re = Cmat.real_part c and im = Cmat.imag_part c in
+  let big = Mat.blocks [ [ re; Mat.neg im ]; [ im; re ] ] in
+  norm2 big
+
+let default_rank_tol a max_sv =
+  let m = Float.of_int (max a.Mat.rows a.Mat.cols) in
+  epsilon_float *. m *. max_sv
+
+let rank ?tol a =
+  let s = singular_values a in
+  if Vec.dim s = 0 then 0
+  else begin
+    let cutoff =
+      match tol with Some t -> t | None -> default_rank_tol a s.(0)
+    in
+    Array.fold_left (fun acc x -> if x > cutoff then acc + 1 else acc) 0 s
+  end
+
+let pinv ?tol a =
+  let u, s, v = decompose a in
+  let cutoff =
+    match tol with
+    | Some t -> t
+    | None -> if Vec.dim s = 0 then 0.0 else default_rank_tol a s.(0)
+  in
+  let sinv = Array.map (fun x -> if x > cutoff then 1.0 /. x else 0.0) s in
+  Mat.mul3 v (Mat.diag sinv) (Mat.transpose u)
+
+let cond a =
+  let s = singular_values a in
+  let k = Vec.dim s in
+  if k = 0 then 1.0
+  else if s.(k - 1) <= 0.0 then infinity
+  else s.(0) /. s.(k - 1)

@@ -1,0 +1,31 @@
+(** Singular value decomposition via the one-sided Jacobi method.
+
+    [decompose a] for an [m]x[n] matrix returns [(u, s, v)] such that
+    [a = u * diag s * v^T], with [u] of size [m]x[k], [v] of size [n]x[k],
+    [k = min m n], orthonormal columns, and [s] sorted descending. The
+    one-sided Jacobi method is slower than bidiagonalization approaches but
+    is simple, robust, and computes small singular values to high relative
+    accuracy — which matters for the rank decisions in controller synthesis. *)
+
+val decompose : Mat.t -> Mat.t * Vec.t * Mat.t
+
+val singular_values : Mat.t -> Vec.t
+(** Singular values only, descending. *)
+
+val norm2 : Mat.t -> float
+(** Spectral norm (largest singular value). Zero matrix yields [0.]. *)
+
+val norm2_complex : Cmat.t -> float
+(** Spectral norm of a complex matrix, via the real embedding
+    [[re -im; im re]] whose singular values are those of the complex matrix
+    duplicated. *)
+
+val rank : ?tol:float -> Mat.t -> int
+(** Numerical rank: singular values above [tol * max_sv * max(m,n)]
+    (default machine-epsilon based, as in LAPACK). *)
+
+val pinv : ?tol:float -> Mat.t -> Mat.t
+(** Moore-Penrose pseudo-inverse. *)
+
+val cond : Mat.t -> float
+(** 2-norm condition number; [infinity] if rank deficient. *)

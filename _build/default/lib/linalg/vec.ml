@@ -1,0 +1,104 @@
+type t = float array
+
+let create n = Array.make n 0.0
+
+let init = Array.init
+
+let dim = Array.length
+
+let copy = Array.copy
+
+let of_list = Array.of_list
+
+let to_list = Array.to_list
+
+let ones n = Array.make n 1.0
+
+let basis n i =
+  if i < 0 || i >= n then invalid_arg "Vec.basis: index out of range";
+  let v = create n in
+  v.(i) <- 1.0;
+  v
+
+let check_same_dim name a b =
+  if dim a <> dim b then invalid_arg (name ^ ": dimension mismatch")
+
+let add a b =
+  check_same_dim "Vec.add" a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_same_dim "Vec.sub" a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale s a = Array.map (fun x -> s *. x) a
+
+let neg a = scale (-1.0) a
+
+let dot a b =
+  check_same_dim "Vec.dot" a b;
+  let acc = ref 0.0 in
+  for i = 0 to dim a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+(* Scaled accumulation avoids overflow for huge entries and underflow for
+   tiny ones, following the classic BLAS dnrm2 algorithm. *)
+let norm2 a =
+  let scale = ref 0.0 and ssq = ref 1.0 in
+  Array.iter
+    (fun x ->
+      let ax = Float.abs x in
+      if ax > 0.0 then
+        if !scale < ax then begin
+          ssq := 1.0 +. (!ssq *. (!scale /. ax) *. (!scale /. ax));
+          scale := ax
+        end
+        else ssq := !ssq +. ((ax /. !scale) *. (ax /. !scale)))
+    a;
+  !scale *. sqrt !ssq
+
+let norm_inf a = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 a
+
+let norm1 a = Array.fold_left (fun m x -> m +. Float.abs x) 0.0 a
+
+let axpy alpha x y =
+  check_same_dim "Vec.axpy" x y;
+  Array.mapi (fun i xi -> (alpha *. xi) +. y.(i)) x
+
+let map = Array.map
+
+let map2 f a b =
+  check_same_dim "Vec.map2" a b;
+  Array.mapi (fun i x -> f x b.(i)) a
+
+let max_abs_index a =
+  if dim a = 0 then invalid_arg "Vec.max_abs_index: empty vector";
+  let best = ref 0 in
+  for i = 1 to dim a - 1 do
+    if Float.abs a.(i) > Float.abs a.(!best) then best := i
+  done;
+  !best
+
+let concat = Array.append
+
+let slice v pos len = Array.sub v pos len
+
+let approx_equal ?(tol = 1e-9) a b =
+  dim a = dim b
+  &&
+  let ok = ref true in
+  for i = 0 to dim a - 1 do
+    if Float.abs (a.(i) -. b.(i)) > tol then ok := false
+  done;
+  !ok
+
+let pp fmt v =
+  Format.fprintf fmt "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%g" x)
+    v;
+  Format.fprintf fmt "|]"

@@ -1,0 +1,1 @@
+lib/sysid/arx.ml: Array Control Float Linalg Mat Qr Vec

@@ -1,0 +1,1 @@
+lib/sysid/arx.mli: Control Linalg

@@ -1,0 +1,1 @@
+lib/sysid/boxjenkins.ml: Array Arx Float Linalg Mat Qr Vec

@@ -1,0 +1,1 @@
+lib/sysid/boxjenkins.mli: Arx Linalg

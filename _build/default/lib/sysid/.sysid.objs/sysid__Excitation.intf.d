@@ -1,0 +1,1 @@
+lib/sysid/excitation.mli: Linalg

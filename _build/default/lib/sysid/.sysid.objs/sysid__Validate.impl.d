@@ -1,0 +1,1 @@
+lib/sysid/validate.ml: Array Float Linalg Vec

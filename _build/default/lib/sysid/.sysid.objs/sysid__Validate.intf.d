@@ -1,0 +1,1 @@
+lib/sysid/validate.mli: Linalg

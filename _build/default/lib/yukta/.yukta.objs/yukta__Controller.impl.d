@@ -1,0 +1,1 @@
+lib/yukta/controller.ml: Array Control Linalg Signal Vec

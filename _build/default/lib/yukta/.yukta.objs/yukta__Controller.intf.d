@@ -1,0 +1,1 @@
+lib/yukta/controller.mli: Control Linalg Signal

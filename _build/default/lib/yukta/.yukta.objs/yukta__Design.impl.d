@@ -1,0 +1,1 @@
+lib/yukta/design.ml: Array Control Controller Dk Eig Float Hinf Linalg Mat Reduce Signal Ss Ssv Sysid Vec

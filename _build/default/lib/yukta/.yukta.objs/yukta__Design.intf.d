@@ -1,0 +1,1 @@
+lib/yukta/design.mli: Control Controller Linalg Signal

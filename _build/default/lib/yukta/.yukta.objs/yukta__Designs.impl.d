@@ -1,0 +1,1 @@
+lib/yukta/designs.ml: Array Control Controller Design Digest Filename Hw_layer Lazy Lqg_layer Marshal Printf Signal Sw_layer Sys Training

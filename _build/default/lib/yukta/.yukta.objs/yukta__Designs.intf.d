@@ -1,0 +1,1 @@
+lib/yukta/designs.mli: Controller Design Training

@@ -1,0 +1,1 @@
+lib/yukta/experiment.ml: Board Float List Runtime

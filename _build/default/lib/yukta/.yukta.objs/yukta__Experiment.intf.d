@@ -1,0 +1,1 @@
+lib/yukta/experiment.mli: Board Runtime

@@ -1,0 +1,1 @@
+lib/yukta/heuristics.ml: Board Dvfs Float Hw_layer Perf Xu3

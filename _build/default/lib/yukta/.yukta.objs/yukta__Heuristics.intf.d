@@ -1,0 +1,1 @@
+lib/yukta/heuristics.mli: Board

@@ -1,0 +1,1 @@
+lib/yukta/hw_layer.ml: Array Board Control Design Float Linalg Optimizer Signal Vec

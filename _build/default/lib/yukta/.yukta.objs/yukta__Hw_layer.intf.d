@@ -1,0 +1,1 @@
+lib/yukta/hw_layer.mli: Board Design Linalg Optimizer Signal

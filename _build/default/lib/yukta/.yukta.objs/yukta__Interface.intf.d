@@ -1,0 +1,1 @@
+lib/yukta/interface.mli: Signal

@@ -1,0 +1,1 @@
+lib/yukta/lqg_layer.ml: Array Board Control Controller Dare Design Hw_layer Linalg Lqg Mat Optimizer Signal Ss Sw_layer Training Vec

@@ -1,0 +1,1 @@
+lib/yukta/lqg_layer.mli: Board Control Controller Linalg Optimizer Signal Training

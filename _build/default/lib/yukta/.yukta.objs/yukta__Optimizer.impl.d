@@ -1,0 +1,1 @@
+lib/yukta/optimizer.ml: Array Float Linalg Signal Vec

@@ -1,0 +1,1 @@
+lib/yukta/optimizer.mli: Linalg Signal

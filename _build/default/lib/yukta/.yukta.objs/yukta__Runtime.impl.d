@@ -1,0 +1,1 @@
+lib/yukta/runtime.ml: Array Board Controller Design Designs Float Heuristics Hw_layer Linalg List Lqg_layer Optimizer Signal Sw_layer Vec Xu3

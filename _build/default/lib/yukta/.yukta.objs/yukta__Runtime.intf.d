@@ -1,0 +1,1 @@
+lib/yukta/runtime.mli: Board Design Linalg

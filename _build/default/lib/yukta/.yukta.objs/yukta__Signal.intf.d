@@ -1,0 +1,1 @@
+lib/yukta/signal.mli: Control

@@ -1,0 +1,1 @@
+lib/yukta/sw_layer.mli: Board Design Linalg Optimizer Signal

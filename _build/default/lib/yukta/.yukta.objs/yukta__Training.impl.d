@@ -1,0 +1,1 @@
+lib/yukta/training.ml: Array Board Hw_layer Linalg List Sw_layer Sysid Vec

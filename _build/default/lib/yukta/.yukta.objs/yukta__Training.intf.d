@@ -1,0 +1,1 @@
+lib/yukta/training.mli: Board Linalg

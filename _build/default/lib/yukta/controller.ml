@@ -1,0 +1,93 @@
+open Linalg
+
+type t = {
+  core : Control.Ss.t;
+  inputs : Signal.input array;
+  outputs : Signal.output array;
+  externals : Signal.external_signal array;
+  mutable x : Vec.t;
+  mutable last_raw : Vec.t;
+}
+
+let make ~controller ~inputs ~outputs ~externals =
+  let n_meas = Array.length outputs + Array.length externals in
+  if Control.Ss.inputs controller <> n_meas then
+    invalid_arg "Controller.make: controller inputs <> outputs + externals";
+  if Control.Ss.outputs controller <> Array.length inputs then
+    invalid_arg "Controller.make: controller outputs <> layer inputs";
+  (match controller.Control.Ss.domain with
+  | Control.Ss.Discrete _ -> ()
+  | Control.Ss.Continuous ->
+    invalid_arg "Controller.make: runtime controller must be discrete");
+  {
+    core = controller;
+    inputs;
+    outputs;
+    externals;
+    x = Vec.create (Control.Ss.order controller);
+    last_raw = Vec.create (Array.length inputs);
+  }
+
+let reset t = t.x <- Vec.create (Control.Ss.order t.core)
+
+let step t ~measurements ~targets ~externals =
+  if Vec.dim measurements <> Array.length t.outputs then
+    invalid_arg "Controller.step: measurement dimension mismatch";
+  if Vec.dim targets <> Array.length t.outputs then
+    invalid_arg "Controller.step: target dimension mismatch";
+  if Vec.dim externals <> Array.length t.externals then
+    invalid_arg "Controller.step: external dimension mismatch";
+  (* dy = [normalized output deviations; normalized externals]. *)
+  let deviations =
+    Array.mapi
+      (fun i o ->
+        (measurements.(i) -. targets.(i)) /. Signal.half_span_output o)
+      t.outputs
+  in
+  let ext_norm =
+    Array.mapi (fun i e -> Signal.normalize_external e externals.(i)) t.externals
+  in
+  let dy = Vec.concat deviations ext_norm in
+  let x_next, u_norm = Control.Ss.step t.core ~x:t.x ~u:dy in
+  t.x <- x_next;
+  t.last_raw <- u_norm;
+  Array.mapi
+    (fun i inp ->
+      let raw = Signal.denormalize_input inp u_norm.(i) in
+      Control.Quantize.project inp.Signal.channel raw)
+    t.inputs
+
+let last_raw_command t = Vec.copy t.last_raw
+
+let order t = Control.Ss.order t.core
+
+let period t =
+  match t.core.Control.Ss.domain with
+  | Control.Ss.Discrete p -> p
+  | Control.Ss.Continuous -> assert false
+
+type cost = {
+  states : int;
+  inputs : int;
+  outputs_and_externals : int;
+  multiply_accumulates : int;
+  storage_bytes : int;
+}
+
+(* Equations 3-4 need (N + I) x (N + O + E) multiply-accumulates for the
+   combined [A B; C D] map, and the same number of 32-bit coefficients
+   plus the state vector. *)
+let cost t =
+  let n = Control.Ss.order t.core in
+  let i = Array.length t.inputs in
+  let oe = Array.length t.outputs + Array.length t.externals in
+  let mac = (n + i) * (n + oe) in
+  {
+    states = n;
+    inputs = i;
+    outputs_and_externals = oe;
+    multiply_accumulates = mac;
+    storage_bytes = 4 * (mac + n);
+  }
+
+let internal t = t.core

@@ -1,0 +1,147 @@
+(* Memoized controller designs.
+
+   Training-data collection and mu-synthesis are the expensive, offline
+   part of the flow (they happen once per platform in the paper). The
+   default records and designs are computed lazily, shared by every
+   experiment, and additionally cached on disk (content-addressed by the
+   training records and the layer specification) so repeated benchmark
+   runs skip re-synthesis. Set YUKTA_NO_CACHE=1 to disable the disk
+   cache. *)
+
+let records = lazy (Training.collect ())
+
+let get_records () = Lazy.force records
+
+(* ------------------------------------------------------------------ *)
+(* Disk cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cache_dir = ".yukta_cache"
+
+let cache_enabled () = Sys.getenv_opt "YUKTA_NO_CACHE" = None
+
+let digest_of_key key = Digest.to_hex (Digest.string key)
+
+let cache_path key = Filename.concat cache_dir (digest_of_key key ^ ".bin")
+
+let cache_load : type a. string -> a option =
+ fun key ->
+  if not (cache_enabled ()) then None
+  else begin
+    let path = cache_path key in
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let v =
+        match Marshal.from_channel ic with
+        | v -> Some (v : a)
+        | exception _ -> None
+      in
+      close_in ic;
+      v
+    end
+    else None
+  end
+
+let cache_store key v =
+  if cache_enabled () then begin
+    if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
+    let path = cache_path key in
+    let oc = open_out_bin path in
+    Marshal.to_channel oc v [];
+    close_out oc
+  end
+
+(* The cache key covers everything that determines a design: the training
+   records, the layer spec, and a schema version to bump when the design
+   pipeline itself changes. *)
+let schema_version = 1
+
+let spec_fingerprint (spec : Design.spec) =
+  Marshal.to_string
+    ( spec.Design.layer,
+      Array.map
+        (fun (i : Signal.input) ->
+          ( i.Signal.name,
+            i.Signal.channel.Control.Quantize.minimum,
+            i.Signal.channel.Control.Quantize.maximum,
+            i.Signal.channel.Control.Quantize.step,
+            i.Signal.weight ))
+        spec.Design.inputs,
+      Array.map
+        (fun (o : Signal.output) ->
+          (o.Signal.name, o.Signal.lo, o.Signal.hi, o.Signal.bound_fraction,
+           o.Signal.integral))
+        spec.Design.outputs,
+      Array.length spec.Design.externals,
+      spec.Design.uncertainty,
+      spec.Design.period )
+    []
+
+let records_fingerprint r =
+  Marshal.to_string
+    ( Array.length r.Training.hw_u,
+      (if Array.length r.Training.hw_u > 0 then r.Training.hw_u.(7) else [||]),
+      (if Array.length r.Training.hw_y > 0 then r.Training.hw_y.(7) else [||]),
+      (if Array.length r.Training.sw_y > 0 then r.Training.sw_y.(7) else [||]) )
+    []
+
+let design_key kind spec =
+  Printf.sprintf "design-v%d-%s-%s-%s" schema_version kind
+    (spec_fingerprint spec)
+    (records_fingerprint (get_records ()))
+
+let cached_design kind spec compute =
+  let key = design_key kind spec in
+  match cache_load key with
+  | Some (d : Design.synthesis) -> d
+  | None ->
+    let d = compute () in
+    cache_store key d;
+    d
+
+let design_hw_with spec =
+  cached_design "hw" spec (fun () ->
+      let r = get_records () in
+      Design.design spec ~u:r.Training.hw_u ~y:r.Training.hw_y)
+
+let design_sw_with spec =
+  cached_design "sw" spec (fun () ->
+      let r = get_records () in
+      Design.design spec ~u:r.Training.sw_u ~y:r.Training.sw_y)
+
+let hw_default = lazy (design_hw_with (Hw_layer.spec ()))
+
+let sw_default = lazy (design_sw_with (Sw_layer.spec ()))
+
+let hw () = Lazy.force hw_default
+
+let sw () = Lazy.force sw_default
+
+let cached_controller kind compute =
+  let key =
+    Printf.sprintf "lqg-v%d-%s-%s" schema_version kind
+      (records_fingerprint (get_records ()))
+  in
+  match cache_load key with
+  | Some (c : Controller.t) -> c
+  | None ->
+    let c = compute () in
+    cache_store key c;
+    c
+
+let lqg_hw_default =
+  lazy (cached_controller "hw" (fun () -> Lqg_layer.hw_controller (get_records ())))
+
+let lqg_sw_default =
+  lazy (cached_controller "sw" (fun () -> Lqg_layer.sw_controller (get_records ())))
+
+let lqg_mono_default =
+  lazy
+    (cached_controller "mono" (fun () ->
+         Lqg_layer.monolithic_controller (get_records ())))
+
+let lqg_hw () = Lazy.force lqg_hw_default
+
+let lqg_sw () = Lazy.force lqg_sw_default
+
+let lqg_monolithic () = Lazy.force lqg_mono_default

@@ -1,0 +1,29 @@
+(** Memoized controller designs.
+
+    Training and mu-synthesis are the expensive offline part of the flow
+    (once per platform in the paper). Defaults are lazy and shared;
+    everything is also cached on disk under [.yukta_cache/],
+    content-addressed by the training records and layer specification.
+    Set the environment variable [YUKTA_NO_CACHE] to disable the disk
+    cache (e.g. when editing the design pipeline itself). *)
+
+val get_records : unit -> Training.records
+(** The default training records (computed once per process). *)
+
+val hw : unit -> Design.synthesis
+(** The default Table II hardware-layer design. *)
+
+val sw : unit -> Design.synthesis
+(** The default Table III software-layer design. *)
+
+val design_hw_with : Design.spec -> Design.synthesis
+(** Synthesize a hardware-layer variant (sensitivity studies) against the
+    default records. *)
+
+val design_sw_with : Design.spec -> Design.synthesis
+
+val lqg_hw : unit -> Controller.t
+(** The decoupled-LQG baselines (Section VI-B). *)
+
+val lqg_sw : unit -> Controller.t
+val lqg_monolithic : unit -> Controller.t

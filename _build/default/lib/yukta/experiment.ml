@@ -1,0 +1,75 @@
+(* Evaluation drivers: run schemes across the paper's suite and normalize
+   to the Coordinated heuristic baseline, as every figure does. *)
+
+type app_result = {
+  app : string;
+  scheme : Runtime.scheme;
+  metrics : Board.Xu3.metrics;
+  completed : bool;
+}
+
+let run_app ?max_time scheme (name, workloads) =
+  let r = Runtime.run ?max_time scheme workloads in
+  { app = name; scheme; metrics = r.Runtime.metrics; completed = r.Runtime.completed }
+
+let suite_entries () =
+  List.map
+    (fun w -> (w.Board.Workload.name, [ w ]))
+    Board.Workload.evaluation_suite
+
+let mix_entries () = Board.Workload.mixes
+
+(* Geometric-mean-free averaging as in the paper's bar charts: arithmetic
+   mean of per-application normalized values. *)
+let average xs = List.fold_left ( +. ) 0.0 xs /. Float.of_int (List.length xs)
+
+type normalized_row = {
+  name : string;
+  exd : (Runtime.scheme * float) list;   (* Normalized E x D per scheme. *)
+  time : (Runtime.scheme * float) list;  (* Normalized execution time. *)
+}
+
+(* Run [schemes] on every entry and normalize each metric to the first
+   scheme in the list (the baseline). *)
+let run_suite ?max_time ~schemes entries =
+  let baseline =
+    match schemes with
+    | [] -> invalid_arg "Experiment.run_suite: no schemes"
+    | s :: _ -> s
+  in
+  List.map
+    (fun entry ->
+      let name = fst entry in
+      let results = List.map (fun s -> (s, run_app ?max_time s entry)) schemes in
+      let base = (List.assoc baseline results).metrics in
+      let exd =
+        List.map
+          (fun (s, r) ->
+            (s, r.metrics.Board.Xu3.energy_delay /. base.Board.Xu3.energy_delay))
+          results
+      in
+      let time =
+        List.map
+          (fun (s, r) ->
+            ( s,
+              r.metrics.Board.Xu3.execution_time
+              /. base.Board.Xu3.execution_time ))
+          results
+      in
+      { name; exd; time })
+    entries
+
+(* Suite averages in the figure-9 layout: SPEC average, PARSEC average,
+   and overall average, computed on the normalized values. *)
+let averages rows ~spec_names ~parsec_names ~value =
+  let pick names =
+    List.filter (fun r -> List.mem r.name names) rows
+  in
+  let avg_of rows_subset scheme =
+    average (List.map (fun r -> List.assoc scheme (value r)) rows_subset)
+  in
+  fun scheme ->
+    let sav = avg_of (pick spec_names) scheme in
+    let pav = avg_of (pick parsec_names) scheme in
+    let avg = avg_of rows scheme in
+    (sav, pav, avg)

@@ -1,0 +1,44 @@
+(** Evaluation drivers: run scheme sets across workload suites and
+    normalize every metric to the first scheme (the baseline), the way
+    every figure in the paper's evaluation reports its bars. *)
+
+type app_result = {
+  app : string;
+  scheme : Runtime.scheme;
+  metrics : Board.Xu3.metrics;
+  completed : bool;
+}
+
+val run_app :
+  ?max_time:float -> Runtime.scheme -> string * Board.Workload.t list -> app_result
+
+val suite_entries : unit -> (string * Board.Workload.t list) list
+(** The Figure 9 suite: 6 SPEC + 8 PARSEC applications, one job each. *)
+
+val mix_entries : unit -> (string * Board.Workload.t list) list
+(** The Figure 14 heterogeneous mixes (two 4-thread jobs each). *)
+
+val average : float list -> float
+
+type normalized_row = {
+  name : string;
+  exd : (Runtime.scheme * float) list;   (** Normalized E x D per scheme. *)
+  time : (Runtime.scheme * float) list;  (** Normalized execution time. *)
+}
+
+val run_suite :
+  ?max_time:float ->
+  schemes:Runtime.scheme list ->
+  (string * Board.Workload.t list) list ->
+  normalized_row list
+(** Run every scheme on every entry; normalize to the first scheme. *)
+
+val averages :
+  normalized_row list ->
+  spec_names:string list ->
+  parsec_names:string list ->
+  value:(normalized_row -> (Runtime.scheme * float) list) ->
+  Runtime.scheme ->
+  float * float * float
+(** [(SAv, PAv, Avg)] — the SPEC, PARSEC and overall averages of the
+    Figure 9 bar layout. *)

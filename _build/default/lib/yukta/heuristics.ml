@@ -1,0 +1,180 @@
+(* The heuristic baseline controllers of Table IV.
+
+   Coordinated heuristic: the OS layer is an HMP-style scheduler that
+   places threads using the number, type and frequency of the available
+   cores; the hardware layer walks frequency up while operation is safe
+   and down when measurements approach the limits, and powers the cores
+   the thread distribution asks for. Like the vendor stacks it models, it
+   carries wide safety margins — tuned once for the worst-case
+   application, so typical executions leave headroom unused (the
+   steady-state gap visible in Figure 10(a) vs 10(d)).
+
+   Decoupled heuristic: the OS assigns threads round-robin with no regard
+   for the hardware state; the hardware layer behaves like the Linux
+   "performance" governor — everything at maximum while measurements look
+   clean, threshold-rule backoff only after sustained violations. Since
+   the board's emergency machinery reacts faster than the governor's
+   threshold rules, the system ping-pongs between full speed and emergency
+   clamping, which is the oscillation of Figure 10(b). *)
+
+open Board
+
+(* Conservative safety margins of the coordinated heuristic: back off
+   above the high water mark, creep up below the low one. *)
+let high_water = 0.72
+
+let low_water = 0.58
+
+let temp_high = Hw_layer.temp_limit -. 8.0
+
+let temp_low = Hw_layer.temp_limit -. 12.0
+
+(* ------------------------------------------------------------------ *)
+(* OS heuristics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* HMP-style placement: split threads proportionally to each cluster's
+   potential compute capacity (all cores available at the current
+   frequency, assuming a generic mix), then spread within the cluster.
+   Knows the number, type and frequency of cores — the coordination
+   channel of Table IV(a). *)
+let os_coordinated ~(config : Xu3.config) ~(outputs : Xu3.outputs) =
+  let threads = outputs.Xu3.threads_active in
+  if threads = 0 then { Xu3.threads_big = 0; tpc_big = 1.0; tpc_little = 1.0 }
+  else begin
+    let generic_mem = 0.3 in
+    let cap kind freq =
+      Float.of_int Dvfs.core_count
+      *. Perf.core_throughput ~kind ~freq ~mem_intensity:generic_mem
+           ~ipc_scale:1.0 ~threads_on_core:1.0
+    in
+    let cap_big = cap Dvfs.Big config.Xu3.freq_big in
+    let cap_little = cap Dvfs.Little config.Xu3.freq_little in
+    let share = cap_big /. Float.max 1e-9 (cap_big +. cap_little) in
+    let tb =
+      max 0
+        (min threads (int_of_float (Float.round (Float.of_int threads *. share))))
+    in
+    let tl = threads - tb in
+    let tpc over =
+      Float.max 1.0 (Float.of_int over /. Float.of_int Dvfs.core_count)
+    in
+    { Xu3.threads_big = tb; tpc_big = tpc tb; tpc_little = tpc tl }
+  end
+
+(* Round-robin: threads spread evenly across all eight cores, blind to
+   cluster asymmetry and hardware state. *)
+let os_round_robin ~(outputs : Xu3.outputs) =
+  let threads = outputs.Xu3.threads_active in
+  let tb = (threads + 1) / 2 in
+  { Xu3.threads_big = tb; tpc_big = 1.0; tpc_little = 1.0 }
+
+(* ------------------------------------------------------------------ *)
+(* Hardware heuristics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Thermal core control thresholds, as in the Exynos TMU driver: under
+   sustained thermal pressure big cores are hotplugged out well before the
+   hard limit. *)
+let core_control_3 = Hw_layer.temp_limit -. 20.0
+
+let core_control_2 = Hw_layer.temp_limit -. 14.0
+
+(* Coordinated hardware controller: a rate-limited frequency ladder per
+   cluster with hysteresis, thread-distribution-driven core counts, and
+   TMU-style thermal core control. The interacting thresholds are tuned
+   once for the worst case, which is why typical executions sit well below
+   the limits (the steady-state gap of Figure 10(a) vs 10(d)). *)
+type coordinated_state = { mutable tick : int }
+
+let coordinated_init () = { tick = 0 }
+
+let hw_coordinated ?(state = { tick = 1 }) ~(config : Xu3.config)
+    ~(outputs : Xu3.outputs) ~(placement : Xu3.placement) () =
+  state.tick <- state.tick + 1;
+  (* Governor lag: the vendor ladder re-evaluates every other sample. *)
+  let may_move = state.tick mod 2 = 0 in
+  let ladder freq power limit temp =
+    if not may_move then freq
+    else if power > high_water *. limit || temp > temp_high then freq -. 0.1
+    else if power < low_water *. limit && temp < temp_low then freq +. 0.1
+    else freq
+  in
+  let threads = outputs.Xu3.threads_active in
+  let tb = min threads placement.Xu3.threads_big in
+  let tl = threads - tb in
+  let cores_for t = max 1 (min Dvfs.core_count t) in
+  let big_cap =
+    if outputs.Xu3.temperature > core_control_2 then 2
+    else if outputs.Xu3.temperature > core_control_3 then 3
+    else Dvfs.core_count
+  in
+  (* The TMU also caps the big-cluster frequency at its trigger levels
+     (the interlocked threshold tables of the Exynos thermal driver). *)
+  let freq_cap =
+    if outputs.Xu3.temperature > core_control_2 then 1.1
+    else if outputs.Xu3.temperature > core_control_3 then 1.4
+    else Dvfs.f_max Dvfs.Big
+  in
+  {
+    Xu3.big_cores = min big_cap (cores_for tb);
+    little_cores = cores_for tl;
+    freq_big =
+      Float.min freq_cap
+        (ladder config.Xu3.freq_big outputs.Xu3.power_big
+           Hw_layer.power_limit_big outputs.Xu3.temperature);
+    freq_little =
+      ladder config.Xu3.freq_little outputs.Xu3.power_little
+        Hw_layer.power_limit_little outputs.Xu3.temperature;
+  }
+
+type decoupled_state = {
+  mutable violation_epochs : int;
+  mutable backoff_level : int;
+  mutable clean_epochs : int;
+}
+
+let decoupled_init () =
+  { violation_epochs = 0; backoff_level = 0; clean_epochs = 0 }
+
+let decoupled_reset st =
+  st.violation_epochs <- 0;
+  st.backoff_level <- 0;
+  st.clean_epochs <- 0
+
+(* Decoupled hardware controller: maximum everything while clean. Its
+   threshold rules need two consecutive violated samples before acting —
+   slower than the board's emergency machinery, which therefore fires
+   first and does the actual throttling, after which the governor sees
+   clean readings and stays at maximum. *)
+let hw_decoupled st ~(outputs : Xu3.outputs) =
+  let violation =
+    outputs.Xu3.power_big > Hw_layer.power_limit_big
+    || outputs.Xu3.power_little > Hw_layer.power_limit_little
+    || outputs.Xu3.temperature > Hw_layer.temp_limit
+  in
+  if violation then begin
+    st.violation_epochs <- st.violation_epochs + 1;
+    st.clean_epochs <- 0;
+    if st.violation_epochs >= 2 then begin
+      st.backoff_level <- min 3 (st.backoff_level + 1);
+      st.violation_epochs <- 0
+    end
+  end
+  else begin
+    st.violation_epochs <- 0;
+    st.clean_epochs <- st.clean_epochs + 1;
+    if st.clean_epochs >= 2 then begin
+      st.backoff_level <- 0;
+      st.clean_epochs <- 0
+    end
+  end;
+  match st.backoff_level with
+  | 0 ->
+    { Xu3.big_cores = 4; little_cores = 4; freq_big = 2.0; freq_little = 1.4 }
+  | 1 ->
+    { Xu3.big_cores = 4; little_cores = 4; freq_big = 1.5; freq_little = 1.1 }
+  | 2 ->
+    { Xu3.big_cores = 4; little_cores = 4; freq_big = 1.1; freq_little = 0.8 }
+  | _ ->
+    { Xu3.big_cores = 3; little_cores = 4; freq_big = 0.8; freq_little = 0.6 }

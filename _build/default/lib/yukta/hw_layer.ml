@@ -1,0 +1,122 @@
+(* The hardware-layer controller specification of Table II. *)
+
+open Linalg
+
+(* The power/temperature limits used throughout the evaluation (Section
+   V-A): just below the board's emergency trip thresholds. *)
+let power_limit_big = 3.3
+
+let power_limit_little = 0.33
+
+let temp_limit = 79.0
+
+let period = 0.5
+
+(* Output ranges observed when characterizing the board with the training
+   applications (Section IV-A): the deviation bounds are fractions of
+   these ranges. *)
+let perf_range = (0.0, 12.0)
+
+let power_big_range = (0.0, 6.0)
+
+let power_little_range = (0.0, 0.7)
+
+let temp_range = (30.0, 95.0)
+
+let inputs ?(weight = 1.0) () =
+  [|
+    Signal.input ~name:"big_cores" ~minimum:1.0 ~maximum:4.0 ~step:1.0 ~weight;
+    Signal.input ~name:"little_cores" ~minimum:1.0 ~maximum:4.0 ~step:1.0
+      ~weight;
+    Signal.input ~name:"freq_big" ~minimum:0.2 ~maximum:2.0 ~step:0.1 ~weight;
+    Signal.input ~name:"freq_little" ~minimum:0.2 ~maximum:1.4 ~step:0.1
+      ~weight;
+  |]
+
+let outputs ?(perf_bound = 0.20) ?(critical_bound = 0.10) () =
+  let lo_p, hi_p = perf_range in
+  let lo_b, hi_b = power_big_range in
+  let lo_l, hi_l = power_little_range in
+  let lo_t, hi_t = temp_range in
+  [|
+    Signal.output ~name:"performance" ~lo:lo_p ~hi:hi_p
+      ~bound_fraction:perf_bound ~integral:false ();
+    Signal.output ~name:"power_big" ~lo:lo_b ~hi:hi_b
+      ~bound_fraction:critical_bound ~critical:true ();
+    Signal.output ~name:"power_little" ~lo:lo_l ~hi:hi_l
+      ~bound_fraction:critical_bound ~critical:true ();
+    Signal.output ~name:"temperature" ~lo:lo_t ~hi:hi_t
+      ~bound_fraction:critical_bound ~critical:true ~integral:false ();
+  |]
+
+(* External signals: the three software-layer inputs (Table II), with
+   their discrete values as exchanged through the interface. *)
+let externals () =
+  [|
+    {
+      Signal.name = "threads_big";
+      info =
+        Signal.From_input
+          (Control.Quantize.make ~minimum:0.0 ~maximum:8.0 ~step:1.0);
+    };
+    {
+      Signal.name = "tpc_big";
+      info =
+        Signal.From_input
+          (Control.Quantize.make ~minimum:1.0 ~maximum:2.0 ~step:0.5);
+    };
+    {
+      Signal.name = "tpc_little";
+      info =
+        Signal.From_input
+          (Control.Quantize.make ~minimum:1.0 ~maximum:2.0 ~step:0.5);
+    };
+  |]
+
+let spec ?(uncertainty = 0.40) ?(input_weight = 1.0) ?(perf_bound = 0.20)
+    ?(critical_bound = 0.10) () =
+  {
+    Design.layer = "hardware";
+    inputs = inputs ~weight:input_weight ();
+    outputs = outputs ~perf_bound ~critical_bound ();
+    externals = externals ();
+    uncertainty;
+    period;
+  }
+
+(* Optimizer roles (Section IV-D): maximize performance subject to the
+   power and temperature caps. *)
+let optimizer_roles =
+  [|
+    Optimizer.Maximize;
+    Optimizer.Limited power_limit_big;
+    Optimizer.Limited power_limit_little;
+    Optimizer.Limited temp_limit;
+  |]
+
+let make_optimizer ?(perf_bound = 0.20) ?(critical_bound = 0.10) () =
+  Optimizer.make ~outputs:(outputs ~perf_bound ~critical_bound ()) ~roles:optimizer_roles
+
+(* Signal extraction from the board. *)
+
+let measurements (o : Board.Xu3.outputs) =
+  [| o.Board.Xu3.bips; o.power_big; o.power_little; o.temperature |]
+
+let externals_of_placement (p : Board.Xu3.placement) =
+  [| Float.of_int p.Board.Xu3.threads_big; p.tpc_big; p.tpc_little |]
+
+let config_of_command (u : Vec.t) =
+  {
+    Board.Xu3.big_cores = int_of_float (Float.round u.(0));
+    little_cores = int_of_float (Float.round u.(1));
+    freq_big = u.(2);
+    freq_little = u.(3);
+  }
+
+let command_of_config (c : Board.Xu3.config) =
+  [|
+    Float.of_int c.Board.Xu3.big_cores;
+    Float.of_int c.little_cores;
+    c.freq_big;
+    c.freq_little;
+  |]

@@ -1,0 +1,66 @@
+(** The hardware-layer controller specification (Table II).
+
+    Inputs: number of big/little cores (1-4) and the two cluster
+    frequencies (DVFS grids), all with weight 1. Outputs: total
+    performance (+-20% bound) and the three critical signals — big/little
+    cluster power and hot-spot temperature (+-10% bounds). External
+    signals: the three software-layer inputs. Guardband: +-40%.
+
+    Goal: minimize E x D subject to
+    [Power_big < 3.3 W], [Power_little < 0.33 W], [Temp < 79 C]
+    (the limits sit just below the board's emergency trip thresholds,
+    Section V-A). *)
+
+val power_limit_big : float
+val power_limit_little : float
+val temp_limit : float
+
+val period : float
+(** 0.5 s — the power-sensor-limited invocation period. *)
+
+val perf_range : float * float
+(** Output ranges observed during board characterization; deviation
+    bounds are fractions of these. *)
+
+val power_big_range : float * float
+val power_little_range : float * float
+val temp_range : float * float
+
+val inputs : ?weight:float -> unit -> Signal.input array
+(** The four Table II inputs ([weight] defaults to the paper's 1). *)
+
+val outputs :
+  ?perf_bound:float -> ?critical_bound:float -> unit -> Signal.output array
+(** The four Table II outputs (default bounds +-20% / +-10%). *)
+
+val externals : unit -> Signal.external_signal array
+(** The three software-layer inputs, with their discrete values as
+    exchanged through the Figure 3 interface. *)
+
+val spec :
+  ?uncertainty:float ->
+  ?input_weight:float ->
+  ?perf_bound:float ->
+  ?critical_bound:float ->
+  unit ->
+  Design.spec
+(** The full layer specification; the optional arguments are the knobs the
+    Section VI-E sensitivity studies turn. *)
+
+val optimizer_roles : Optimizer.role array
+(** Maximize performance; power and temperature capped at the limits. *)
+
+val make_optimizer :
+  ?perf_bound:float -> ?critical_bound:float -> unit -> Optimizer.t
+
+(** {1 Board signal plumbing} *)
+
+val measurements : Board.Xu3.outputs -> Linalg.Vec.t
+(** [perf; power_big; power_little; temperature] from a board sample. *)
+
+val externals_of_placement : Board.Xu3.placement -> Linalg.Vec.t
+
+val config_of_command : Linalg.Vec.t -> Board.Xu3.config
+(** Interpret a (quantized) controller command as a board configuration. *)
+
+val command_of_config : Board.Xu3.config -> Linalg.Vec.t

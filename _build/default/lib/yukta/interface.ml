@@ -1,0 +1,63 @@
+type layer_spec = {
+  layer : string;
+  inputs : Signal.input list;
+  outputs : Signal.output list;
+  wanted_externals : (string * (float * float)) list;
+}
+
+type resolution = {
+  externals : Signal.external_signal list;
+  unresolved : string list;
+  guardband_inflation : float;
+}
+
+let inflation_per_unresolved = 0.05
+
+let resolve ~own ~peer =
+  let find_input name =
+    List.find_opt (fun (i : Signal.input) -> i.Signal.name = name) peer.inputs
+  in
+  let find_output name =
+    List.find_opt (fun (o : Signal.output) -> o.Signal.name = name) peer.outputs
+  in
+  let unresolved = ref [] in
+  let externals =
+    List.map
+      (fun (name, (lo, hi)) ->
+        match find_input name with
+        | Some i -> { Signal.name; info = Signal.From_input i.Signal.channel }
+        | None ->
+          (match find_output name with
+          | Some o ->
+            {
+              Signal.name;
+              info =
+                Signal.From_output
+                  {
+                    lo = o.Signal.lo;
+                    hi = o.Signal.hi;
+                    bound = Signal.bound_absolute o;
+                  };
+            }
+          | None ->
+            unresolved := name :: !unresolved;
+            { Signal.name; info = Signal.Opaque { lo; hi } }))
+      own.wanted_externals
+  in
+  {
+    externals;
+    unresolved = List.rev !unresolved;
+    guardband_inflation =
+      inflation_per_unresolved *. Float.of_int (List.length !unresolved);
+  }
+
+let common_outputs a b =
+  List.filter_map
+    (fun (oa : Signal.output) ->
+      match
+        List.find_opt (fun (ob : Signal.output) -> ob.Signal.name = oa.Signal.name) b.outputs
+      with
+      | Some ob ->
+        Some (oa.Signal.name, Signal.bound_absolute oa, Signal.bound_absolute ob)
+      | None -> None)
+    a.outputs

@@ -1,0 +1,36 @@
+(** The inter-layer interface exchange of Figure 3.
+
+    After each team selects its layer's signals, the teams exchange
+    meta-information: for an external signal that is an {e input} in the
+    owning layer, its allowed discrete values; for one that is an
+    {e output} there, its deviation bounds. A signal the other layer does
+    not export resolves to [Opaque] and the receiving team should inflate
+    its uncertainty guardband (Section III-C), which {!resolve} quantifies
+    through [guardband_inflation]. *)
+
+type layer_spec = {
+  layer : string;
+  inputs : Signal.input list;
+  outputs : Signal.output list;
+  wanted_externals : (string * (float * float)) list;
+      (** Names of signals requested from the peer layer, with a fallback
+          range used when the peer does not export them. *)
+}
+
+type resolution = {
+  externals : Signal.external_signal list;
+      (** In the order of [wanted_externals]. *)
+  unresolved : string list;
+      (** Externals that fell back to [Opaque]. *)
+  guardband_inflation : float;
+      (** Additional uncertainty (absolute fraction, e.g. 0.05 per
+          unresolved signal) the layer should add to its guardband. *)
+}
+
+val resolve : own:layer_spec -> peer:layer_spec -> resolution
+(** Resolve [own.wanted_externals] against the peer's declared signals. *)
+
+val common_outputs : layer_spec -> layer_spec -> (string * float * float) list
+(** Outputs declared by both layers, with each side's absolute deviation
+    bound — the coordination case discussed for shared outputs (e.g. both
+    layers bounding temperature). *)

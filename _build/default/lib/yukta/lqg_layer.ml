@@ -1,0 +1,162 @@
+(* LQG baseline controllers (Section VI-B).
+
+   The state-of-the-art MIMO comparison point: LQG controllers built from
+   the same identified models and the same weights, but without the SSV
+   machinery — no external-signal channels (so no coordination), no output
+   deviation bounds, no input quantization information, and no uncertainty
+   guardband. Two arrangements are evaluated: independent per-layer LQG
+   controllers (Decoupled HW LQG + OS LQG) and a single LQG over both
+   layers' signals (Monolithic LQG). *)
+
+open Linalg
+open Control
+
+let period = 0.5
+
+(* Identify a model using only the layer's own inputs: a decoupled LQG
+   controller has no channel for the other layer's signals, so their
+   effect lands in the (unmodelled) noise. *)
+let identify_own_inputs ~n_own ~u ~y ~outputs ~inputs =
+  let spec =
+    {
+      Design.layer = "lqg";
+      inputs;
+      outputs;
+      externals = [||];
+      uncertainty = 0.01;
+      period;
+    }
+  in
+  let u_own = Array.map (fun row -> Vec.slice row 0 n_own) u in
+  Design.identify spec ~u:u_own ~y
+
+(* LQI tracking compensator: the plant is augmented with one integrator
+   per output (xi' = xi + err) so the LQR gain achieves offset-free
+   tracking; a Kalman predictor reconstructs the plant state from the
+   deviation measurement. The compensator maps the measured deviations to
+   input commands, the same signature as the SSV controllers. *)
+let synthesize_lqg ?(r_scale = 1.0) ~model ~(outputs : Signal.output array)
+    ~(inputs : Signal.input array) () =
+  let n = Ss.order model in
+  let ny = Ss.outputs model in
+  let nu = Ss.inputs model in
+  let a = model.Ss.a and b = model.Ss.b and c = model.Ss.c and d = model.Ss.d in
+  (* Output weighting mirrors the SSV bounds (inverse-square), input
+     weighting the SSV input weights — "weights comparable to our SSV
+     controllers" (Section VI-B). *)
+  let qy =
+    Mat.diag
+      (Array.map (fun o -> 1.0 /. (Signal.normalized_bound o ** 2.0)) outputs)
+  in
+  let r =
+    Mat.diag (Array.map (fun i -> r_scale *. (i.Signal.weight ** 2.0)) inputs)
+  in
+  (* Augmented regulator design. *)
+  let zer rr cc = Mat.create rr cc in
+  (* Leaky integrators (pole 0.98): linearly dependent outputs (e.g. total
+     vs per-cluster performance in the monolithic arrangement) would make
+     exact integrators uncontrollable. *)
+  let leak = 0.98 in
+  let a_aug = Mat.blocks [ [ a; zer n ny ]; [ c; Mat.scalar ny leak ] ] in
+  let b_aug = Mat.vcat b d in
+  let q_aug =
+    Mat.blocks
+      [
+        [
+          Mat.add (Mat.mul3 (Mat.transpose c) qy c) (Mat.scalar n 1e-6);
+          zer n ny;
+        ];
+        [ zer ny n; Mat.scale 0.02 qy ];
+      ]
+  in
+  let x = Dare.solve ~a:a_aug ~b:b_aug ~q:q_aug ~r in
+  let k = Dare.gain ~a:a_aug ~b:b_aug ~r x in
+  let k1 = Mat.sub_matrix k 0 0 nu n in
+  let k2 = Mat.sub_matrix k 0 n nu ny in
+  (* Kalman predictor on the original plant. *)
+  let l = Lqg.kalman_gain ~a ~c ~w:(Mat.scalar n 0.05) ~v:(Mat.scalar ny 0.01) in
+  (* Compensator state [xh; xi], input err, output u = -K1 xh - K2 xi. *)
+  let bk1 = Mat.sub b (Mat.mul l d) in
+  let ak =
+    Mat.blocks
+      [
+        [
+          Mat.sub (Mat.sub a (Mat.mul bk1 k1)) (Mat.mul l c);
+          Mat.neg (Mat.mul bk1 k2);
+        ];
+        [ zer ny n; Mat.scalar ny leak ];
+      ]
+  in
+  let bk = Mat.vcat l (Mat.identity ny) in
+  let ck = Mat.hcat (Mat.neg k1) (Mat.neg k2) in
+  Ss.make ~domain:model.Ss.domain ~a:ak ~b:bk ~c:ck ~d:(zer nu ny) ()
+
+let wrap ~controller ~inputs ~outputs =
+  Controller.make ~controller ~inputs ~outputs ~externals:[||]
+
+let hw_controller (records : Training.records) =
+  let inputs = Hw_layer.inputs () and outputs = Hw_layer.outputs () in
+  let model =
+    identify_own_inputs ~n_own:(Array.length inputs) ~u:records.Training.hw_u
+      ~y:records.Training.hw_y ~outputs ~inputs
+  in
+  wrap ~controller:(synthesize_lqg ~model ~outputs ~inputs ()) ~inputs ~outputs
+
+let sw_controller (records : Training.records) =
+  let inputs = Sw_layer.inputs () and outputs = Sw_layer.outputs () in
+  let model =
+    identify_own_inputs ~n_own:(Array.length inputs) ~u:records.Training.sw_u
+      ~y:records.Training.sw_y ~outputs ~inputs
+  in
+  wrap ~controller:(synthesize_lqg ~model ~outputs ~inputs ()) ~inputs ~outputs
+
+(* Monolithic: every input of both layers in one controller, and the
+   union of their outputs with the redundant per-cluster performance
+   signals dropped (total performance already covers them; duplicated
+   outputs would make the tracking integrators uncontrollable). The
+   hardware-layer records already carry [hw inputs; sw inputs] as their
+   regressor, so they serve directly as the monolithic input record. *)
+let monolithic_inputs () = Array.append (Hw_layer.inputs ()) (Sw_layer.inputs ())
+
+let monolithic_outputs () =
+  Array.append (Hw_layer.outputs ())
+    [| (Sw_layer.outputs ()).(0); (Sw_layer.outputs ()).(2) |]
+
+let monolithic_measurements (o : Board.Xu3.outputs) =
+  let sw = Sw_layer.measurements o in
+  Vec.concat (Hw_layer.measurements o) [| sw.(0); sw.(2) |]
+
+let monolithic_controller (records : Training.records) =
+  let inputs = monolithic_inputs () and outputs = monolithic_outputs () in
+  let y =
+    Array.mapi
+      (fun t hw_row ->
+        let sw = records.Training.sw_y.(t) in
+        Vec.concat hw_row [| sw.(0); sw.(2) |])
+      records.Training.hw_y
+  in
+  let spec =
+    {
+      Design.layer = "lqg-monolithic";
+      inputs;
+      outputs;
+      externals = [||];
+      uncertainty = 0.01;
+      period;
+    }
+  in
+  let model = Design.identify spec ~u:records.Training.hw_u ~y in
+  (* The monolithic controller couples every input to every output; the
+     higher effort weighting keeps its larger gain matrix from slamming
+     into the protection machinery. *)
+  wrap
+    ~controller:(synthesize_lqg ~r_scale:8.0 ~model ~outputs ~inputs ())
+    ~inputs ~outputs
+
+(* Monolithic optimizer roles: both layers' objectives together. *)
+let monolithic_roles =
+  Array.append Hw_layer.optimizer_roles
+    [| Optimizer.Track; Optimizer.Limited 1.0 |]
+
+let monolithic_optimizer () =
+  Optimizer.make ~outputs:(monolithic_outputs ()) ~roles:monolithic_roles

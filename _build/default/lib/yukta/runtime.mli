@@ -1,0 +1,82 @@
+(** The multilayer runtime (Figures 4, 5 and 7).
+
+    Every 500 ms each layer's controller samples the board and actuates
+    its own inputs; SSV controllers additionally read the other layer's
+    current inputs as external signals, and their optimizers retarget
+    every few epochs from the measured E x D rate. This module wires every
+    Table IV scheme (plus the Section VI-B LQG arrangements) to the board
+    and runs executions to completion. *)
+
+type scheme =
+  | Coordinated_heuristic   (** Table IV(a) — the evaluation baseline. *)
+  | Decoupled_heuristic     (** Table IV(b). *)
+  | Hw_ssv_os_heuristic     (** Table IV(c): Yukta HW SSV + OS heuristic. *)
+  | Hw_ssv_os_ssv           (** Table IV(d): the full Yukta design. *)
+  | Lqg_decoupled           (** Section VI-B: per-layer LQG, no channels. *)
+  | Lqg_monolithic          (** Section VI-B: one LQG over both layers. *)
+
+val scheme_name : scheme -> string
+val all_schemes : scheme list
+
+type trace_point = {
+  time : float;
+  power_big : float;          (** True instantaneous big-cluster power. *)
+  power_big_sensor : float;   (** What the 260 ms sensor reported. *)
+  power_little : float;
+  bips : float;
+  temperature : float;
+  freq_big : float;           (** Effective (post-emergency) frequency. *)
+  big_cores : int;
+}
+
+type result = {
+  metrics : Board.Xu3.metrics;
+  completed : bool;
+  trace : trace_point array;  (** Per-epoch; empty unless requested. *)
+}
+
+val run :
+  ?max_time:float ->
+  ?collect_trace:bool ->
+  ?sensor_period:float ->
+  scheme ->
+  Board.Workload.t list ->
+  result
+(** Run a scheme to workload completion (or [max_time], default 3000 s).
+    SSV/LQG schemes use the default {!Designs}; [sensor_period] overrides
+    the power sensor refresh for the sensitivity ablation. *)
+
+(** {1 Custom drivers}
+
+    The pieces the benchmark harness composes for sensitivity studies. *)
+
+type driver = { reset : unit -> unit; act : Board.Xu3.t -> Board.Xu3.outputs -> unit }
+
+val run_driver :
+  ?max_time:float ->
+  ?collect_trace:bool ->
+  ?sensor_period:float ->
+  driver ->
+  Board.Workload.t list ->
+  result
+
+val yukta_full_driver : Design.synthesis -> Design.synthesis -> driver
+(** Scheme (d) with explicit (e.g. variant) designs: HW then SW. *)
+
+val yukta_full_no_externals_driver : Design.synthesis -> Design.synthesis -> driver
+(** Ablation: the same controllers with their external-signal channels fed
+    the constant center value (the coordination channel cut). *)
+
+val yukta_full_fixed_targets_driver : Design.synthesis -> Design.synthesis -> driver
+(** Ablation: optimizers replaced by their initial constant targets. *)
+
+val run_fixed_targets :
+  ?max_time:float ->
+  hw_design:Design.synthesis ->
+  sw_design:Design.synthesis ->
+  hw_targets:Linalg.Vec.t ->
+  sw_targets:Linalg.Vec.t ->
+  Board.Workload.t list ->
+  trace_point array
+(** The fixed-target mode of Sections VI-E1/VI-E3: both controllers track
+    the given constant targets; returns the per-epoch trace. *)

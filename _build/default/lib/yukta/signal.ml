@@ -1,0 +1,67 @@
+type input = {
+  name : string;
+  channel : Control.Quantize.channel;
+  weight : float;
+}
+
+type output = {
+  name : string;
+  lo : float;
+  hi : float;
+  bound_fraction : float;
+  critical : bool;
+  integral : bool;
+}
+
+type external_info =
+  | From_input of Control.Quantize.channel
+  | From_output of { lo : float; hi : float; bound : float }
+  | Opaque of { lo : float; hi : float }
+
+type external_signal = { name : string; info : external_info }
+
+let input ~name ~minimum ~maximum ~step ~weight =
+  if weight <= 0.0 then invalid_arg "Signal.input: weight must be positive";
+  { name; channel = Control.Quantize.make ~minimum ~maximum ~step; weight }
+
+let output ~name ~lo ~hi ~bound_fraction ?(critical = false)
+    ?(integral = true) () =
+  if not (lo < hi) then invalid_arg "Signal.output: empty range";
+  if bound_fraction <= 0.0 || bound_fraction > 1.0 then
+    invalid_arg "Signal.output: bound_fraction must be in (0, 1]";
+  { name; lo; hi; bound_fraction; critical; integral }
+
+let bound_absolute o = o.bound_fraction *. (o.hi -. o.lo)
+
+let center_input i =
+  (i.channel.Control.Quantize.minimum +. i.channel.Control.Quantize.maximum)
+  /. 2.0
+
+let half_span_input i = Control.Quantize.span i.channel /. 2.0
+
+let center_output o = (o.lo +. o.hi) /. 2.0
+
+let half_span_output o = (o.hi -. o.lo) /. 2.0
+
+let normalize_input i x = (x -. center_input i) /. half_span_input i
+
+let denormalize_input i x = center_input i +. (x *. half_span_input i)
+
+let normalize_output o x = (x -. center_output o) /. half_span_output o
+
+let denormalize_output o x = center_output o +. (x *. half_span_output o)
+
+let external_range e =
+  match e.info with
+  | From_input ch -> (ch.Control.Quantize.minimum, ch.Control.Quantize.maximum)
+  | From_output { lo; hi; _ } -> (lo, hi)
+  | Opaque { lo; hi } -> (lo, hi)
+
+let normalize_external e x =
+  let lo, hi = external_range e in
+  (x -. ((lo +. hi) /. 2.0)) /. ((hi -. lo) /. 2.0)
+
+let normalized_bound o = bound_absolute o /. half_span_output o
+
+let quantization_uncertainty i =
+  Control.Quantize.relative_uncertainty i.channel

@@ -1,0 +1,39 @@
+(** The software/OS-layer controller specification (Table III).
+
+    Inputs (weight 2 — the OS reacts more conservatively than the
+    hardware, Section IV-B): threads assigned to the big cluster and the
+    average threads per non-idle core in each cluster. Outputs (+-20%
+    bounds): per-cluster performance and the spare-compute-capacity
+    difference of Eq. 2. External signals: the four hardware-layer inputs.
+    Guardband: +-50%.
+
+    Goal: minimize E x D, relying on the hardware controller for the
+    power/temperature caps. *)
+
+val period : float
+
+val perf_little_range : float * float
+val perf_big_range : float * float
+val delta_sc_range : float * float
+
+val inputs : ?weight:float -> unit -> Signal.input array
+val outputs : ?bound:float -> unit -> Signal.output array
+val externals : unit -> Signal.external_signal array
+
+val spec :
+  ?uncertainty:float -> ?input_weight:float -> ?bound:float -> unit -> Design.spec
+
+val optimizer_roles : Optimizer.role array
+(** Performance outputs tracked; the spare-compute difference hill-climbs
+    on E x D (capped at +1: a mild bias toward big-cluster slack). *)
+
+val make_optimizer : ?bound:float -> unit -> Optimizer.t
+
+(** {1 Board signal plumbing} *)
+
+val measurements : Board.Xu3.outputs -> Linalg.Vec.t
+(** [perf_little; perf_big; spare_big - spare_little]. *)
+
+val externals_of_config : Board.Xu3.config -> Linalg.Vec.t
+val placement_of_command : Linalg.Vec.t -> Board.Xu3.placement
+val command_of_placement : Board.Xu3.placement -> Linalg.Vec.t

@@ -1,0 +1,1112 @@
+(* Tests for the control-theory stack: state-space algebra, discretization,
+   Lyapunov/Riccati solvers, LQG, H-infinity synthesis, structured singular
+   values and D-K iteration. *)
+
+open Linalg
+open Control
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mat = Alcotest.testable Mat.pp (Mat.approx_equal ~tol:1e-7)
+
+let m1x1 x = Mat.of_lists [ [ x ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Ss                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let first_order ?(domain = Ss.Continuous) a b c d =
+  Ss.make ~domain ~a:(m1x1 a) ~b:(m1x1 b) ~c:(m1x1 c) ~d:(m1x1 d) ()
+
+let test_ss_dims () =
+  let sys = first_order (-1.0) 1.0 1.0 0.0 in
+  check_int "order" 1 (Ss.order sys);
+  check_int "inputs" 1 (Ss.inputs sys);
+  check_int "outputs" 1 (Ss.outputs sys);
+  Alcotest.check_raises "bad dims"
+    (Invalid_argument "Ss.make: B row count must match A") (fun () ->
+      ignore
+        (Ss.make ~a:(Mat.identity 2) ~b:(Mat.create 1 1) ~c:(Mat.create 1 2)
+           ~d:(Mat.create 1 1) ()))
+
+let test_ss_dcgain () =
+  (* x' = -2x + u, y = 3x: dc gain 1.5. *)
+  let sys = first_order (-2.0) 1.0 3.0 0.0 in
+  check_float "continuous" 1.5 (Mat.get (Ss.dcgain sys) 0 0);
+  (* Discrete x' = 0.5x + u, y = x: dc gain 1/(1-0.5) = 2. *)
+  let dsys = first_order ~domain:(Ss.Discrete 1.0) 0.5 1.0 1.0 0.0 in
+  check_float "discrete" 2.0 (Mat.get (Ss.dcgain dsys) 0 0)
+
+let test_ss_series_gain () =
+  let g1 = first_order (-1.0) 1.0 1.0 0.0 in
+  let g2 = first_order (-2.0) 1.0 1.0 0.0 in
+  let s = Ss.series g1 g2 in
+  check_int "order" 2 (Ss.order s);
+  (* dc gains multiply: 1 * 0.5. *)
+  check_float_loose "dc" 0.5 (Mat.get (Ss.dcgain s) 0 0)
+
+let test_ss_parallel_gain () =
+  let g1 = first_order (-1.0) 1.0 1.0 0.0 in
+  let g2 = first_order (-2.0) 1.0 1.0 0.0 in
+  check_float_loose "dc sum" 1.5 (Mat.get (Ss.dcgain (Ss.parallel g1 g2)) 0 0)
+
+let test_ss_append () =
+  let g1 = Ss.gain 1 2.0 and g2 = Ss.gain 1 3.0 in
+  let s = Ss.append g1 g2 in
+  check_int "inputs" 2 (Ss.inputs s);
+  Alcotest.check mat "block diag d"
+    (Mat.of_lists [ [ 2.0; 0.0 ]; [ 0.0; 3.0 ] ])
+    s.Ss.d
+
+let test_ss_feedback () =
+  (* Plant y = 2u with unit negative feedback: closed loop 2/(1+2). *)
+  let g = Ss.gain 1 2.0 and k = Ss.gain 1 1.0 in
+  let cl = Ss.feedback g k in
+  check_float_loose "static loop" (2.0 /. 3.0) (Mat.get cl.Ss.d 0 0)
+
+let test_ss_feedback_stabilizes () =
+  (* Unstable x' = x + u stabilized by u = -3 y. *)
+  let g = first_order 1.0 1.0 1.0 0.0 in
+  let k = Ss.gain 1 3.0 in
+  let cl = Ss.feedback g k in
+  check_bool "stable" true (Ss.is_stable cl);
+  check_bool "open unstable" false (Ss.is_stable g)
+
+let test_ss_simulate_step () =
+  (* Discrete integrator: step input accumulates. *)
+  let sys = Ss.integrator 1 in
+  let us = Array.make 5 (Vec.of_list [ 1.0 ]) in
+  let ys = Ss.simulate sys us in
+  check_float "first output is x0" 0.0 ys.(0).(0);
+  check_float "accumulates" 4.0 ys.(4).(0)
+
+let test_ss_freq_response () =
+  (* Continuous first-order low-pass: |G(jw)| = 1/sqrt(1+w^2) at a=-1. *)
+  let sys = first_order (-1.0) 1.0 1.0 0.0 in
+  let g = Ss.freq_response sys 1.0 in
+  check_float_loose "magnitude" (1.0 /. Float.sqrt 2.0)
+    (Complex.norm (Cmat.get g 0 0))
+
+let test_ss_hinf_norm_lowpass () =
+  (* Peak of 1/(s+1) is 1 at dc. *)
+  let sys = first_order (-1.0) 1.0 1.0 0.0 in
+  let n = Ss.hinf_norm sys in
+  check_bool "close to 1" true (Float.abs (n -. 1.0) < 1e-3)
+
+let test_ss_hinf_norm_unstable () =
+  check_bool "inf" true
+    (Ss.hinf_norm (first_order 1.0 1.0 1.0 0.0) = infinity)
+
+let test_ss_h2_norm () =
+  (* Discrete x' = a x + u, y = x: H2^2 = sum a^2k = 1/(1-a^2). *)
+  let a = 0.5 in
+  let sys = first_order ~domain:(Ss.Discrete 1.0) a 1.0 1.0 0.0 in
+  check_float_loose "h2" (1.0 /. Float.sqrt (1.0 -. (a *. a))) (Ss.h2_norm sys)
+
+let test_ss_lft_identity () =
+  (* P = [[0, I]; [I, 0]] makes F_l(P, K) = K. *)
+  let p =
+    Ss.make ~domain:(Ss.Discrete 1.0)
+      ~a:(Mat.create 0 0) ~b:(Mat.create 0 2)
+      ~c:(Mat.create 2 0)
+      ~d:(Mat.of_lists [ [ 0.0; 1.0 ]; [ 1.0; 0.0 ] ])
+      ()
+  in
+  let k = first_order ~domain:(Ss.Discrete 1.0) 0.3 1.0 0.7 0.2 in
+  let cl = Ss.lft_lower p k in
+  check_float_loose "same dc" (Mat.get (Ss.dcgain k) 0 0)
+    (Mat.get (Ss.dcgain cl) 0 0)
+
+let test_ss_transform_invariance () =
+  let sys =
+    Ss.make ~domain:(Ss.Discrete 1.0)
+      ~a:(Mat.of_lists [ [ 0.5; 0.1 ]; [ 0.0; 0.3 ] ])
+      ~b:(Mat.of_lists [ [ 1.0 ]; [ 0.5 ] ])
+      ~c:(Mat.of_lists [ [ 1.0; 1.0 ] ])
+      ~d:(Mat.create 1 1) ()
+  in
+  let t = Mat.of_lists [ [ 1.0; 0.4 ]; [ -0.2; 1.0 ] ] in
+  let sys2 = Ss.transform t sys in
+  check_float_loose "dc invariant" (Mat.get (Ss.dcgain sys) 0 0)
+    (Mat.get (Ss.dcgain sys2) 0 0);
+  check_float_loose "hinf invariant" (Ss.hinf_norm sys) (Ss.hinf_norm sys2)
+
+(* ------------------------------------------------------------------ *)
+(* Discretize                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_zoh_scalar () =
+  (* x' = a x + b u: Ad = e^{aT}, Bd = (e^{aT}-1) b / a. *)
+  let a = -0.8 and b = 2.0 and t = 0.25 in
+  let d = Discretize.c2d_zoh (first_order a b 1.0 0.0) t in
+  check_float_loose "ad" (exp (a *. t)) (Mat.get d.Ss.a 0 0);
+  check_float_loose "bd" ((exp (a *. t) -. 1.0) *. b /. a) (Mat.get d.Ss.b 0 0)
+
+let test_zoh_preserves_dc () =
+  let sys = first_order (-2.0) 1.5 1.0 0.0 in
+  let d = Discretize.c2d_zoh sys 0.1 in
+  check_float_loose "dc preserved" (Mat.get (Ss.dcgain sys) 0 0)
+    (Mat.get (Ss.dcgain d) 0 0)
+
+let test_tustin_roundtrip () =
+  let sys =
+    Ss.make
+      ~a:(Mat.of_lists [ [ -1.0; 0.5 ]; [ 0.0; -3.0 ] ])
+      ~b:(Mat.of_lists [ [ 1.0 ]; [ 1.0 ] ])
+      ~c:(Mat.of_lists [ [ 1.0; 0.0 ] ])
+      ~d:(m1x1 0.1) ()
+  in
+  let back = Discretize.d2c_tustin (Discretize.c2d_tustin sys 0.2) in
+  Alcotest.check mat "a roundtrip" sys.Ss.a back.Ss.a;
+  Alcotest.check mat "b roundtrip" sys.Ss.b back.Ss.b;
+  Alcotest.check mat "c roundtrip" sys.Ss.c back.Ss.c;
+  Alcotest.check mat "d roundtrip" sys.Ss.d back.Ss.d
+
+let test_tustin_preserves_hinf () =
+  let sys =
+    Ss.make
+      ~a:(Mat.of_lists [ [ -0.5; 1.0 ]; [ -1.0; -0.5 ] ])
+      ~b:(Mat.of_lists [ [ 1.0 ]; [ 0.0 ] ])
+      ~c:(Mat.of_lists [ [ 0.0; 1.0 ] ])
+      ~d:(m1x1 0.0) ()
+  in
+  let d = Discretize.c2d_tustin sys 0.5 in
+  let nc = Ss.hinf_norm sys and nd = Ss.hinf_norm d in
+  check_bool "norm preserved" true (Float.abs (nc -. nd) /. nc < 0.02)
+
+let test_tustin_preserves_stability () =
+  let stable = first_order (-0.3) 1.0 1.0 0.0 in
+  check_bool "stable" true
+    (Ss.is_stable (Discretize.c2d_tustin stable 1.0));
+  let unstable = first_order 0.3 1.0 1.0 0.0 in
+  check_bool "unstable" false
+    (Ss.is_stable (Discretize.c2d_tustin unstable 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Lyap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_stein_scalar () =
+  (* x = a^2 x + q -> x = q/(1-a^2). *)
+  let a = 0.6 and q = 2.0 in
+  let x = Lyap.stein (m1x1 a) (m1x1 q) in
+  check_float_loose "scalar stein" (q /. (1.0 -. (a *. a))) (Mat.get x 0 0)
+
+let test_stein_residual () =
+  let a = Mat.scale 0.4 (Mat.random ~seed:30 5 5) in
+  let q = Mat.symmetrize (Mat.add (Mat.random ~seed:31 5 5) (Mat.scalar 5 6.0)) in
+  let x = Lyap.stein a q in
+  let res = Mat.sub x (Mat.add (Mat.mul3 a x (Mat.transpose a)) q) in
+  check_bool "residual" true (Mat.norm_fro res < 1e-8);
+  check_bool "psd" true (Eig.is_positive_semidefinite x)
+
+let test_stein_unstable_raises () =
+  Alcotest.check_raises "diverges"
+    (Failure "Lyap.stein: iteration diverged (A not Schur stable?)")
+    (fun () -> ignore (Lyap.stein (m1x1 1.2) (m1x1 1.0)))
+
+let test_continuous_lyap () =
+  let a =
+    Mat.of_lists [ [ -1.0; 2.0 ]; [ 0.0; -3.0 ] ]
+  in
+  let q = Mat.of_lists [ [ 2.0; 0.0 ]; [ 0.0; 1.0 ] ] in
+  let x = Lyap.continuous a q in
+  let res = Mat.add (Mat.add (Mat.mul a x) (Mat.mul x (Mat.transpose a))) q in
+  check_bool "residual" true (Mat.norm_fro res < 1e-8)
+
+let test_gramians () =
+  let sys = first_order ~domain:(Ss.Discrete 1.0) 0.5 1.0 1.0 0.0 in
+  let p = Lyap.controllability_gramian sys in
+  check_float_loose "ctrb gramian" (1.0 /. 0.75) (Mat.get p 0 0);
+  let q = Lyap.observability_gramian sys in
+  check_float_loose "obsv gramian" (1.0 /. 0.75) (Mat.get q 0 0)
+
+(* ------------------------------------------------------------------ *)
+(* Care                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_care_scalar () =
+  (* a=1,b=1,q=1,r=1: x^2 - 2x - 1 = 0 -> x = 1 + sqrt 2. *)
+  let x = Care.solve ~a:(m1x1 1.0) ~b:(m1x1 1.0) ~q:(m1x1 1.0) ~r:(m1x1 1.0) in
+  check_float_loose "scalar care" (1.0 +. Float.sqrt 2.0) (Mat.get x 0 0)
+
+let test_care_residual_random () =
+  let a = Mat.random ~seed:32 4 4 in
+  let b = Mat.random ~seed:33 4 2 in
+  let q = Mat.add (Mat.symmetrize (Mat.random ~seed:34 4 4)) (Mat.scalar 4 5.0) in
+  let r = Mat.identity 2 in
+  let x = Care.solve ~a ~b ~q ~r in
+  check_bool "residual small" true (Care.residual ~a ~b ~q ~r x < 1e-7);
+  check_bool "psd" true (Eig.is_positive_semidefinite ~tol:1e-6 x);
+  (* Closed loop A - G X must be Hurwitz. *)
+  let g = Mat.mul b (Mat.transpose b) in
+  check_bool "stabilizing" true
+    (Eig.is_stable_continuous (Mat.sub a (Mat.mul g x)))
+
+let test_care_no_solution () =
+  (* Undetectable unstable mode: a = 1, q = 0 -> Hamiltonian eigenvalues
+     at +-1 but extraction is inconsistent for stabilizing X >= 0 with
+     b = 0 (uncontrollable). *)
+  Alcotest.check_raises "uncontrollable"
+    (Care.No_solution "sign iteration hit a singular iterate")
+    (fun () ->
+      ignore
+        (Care.solve ~a:(m1x1 0.0) ~b:(m1x1 0.0) ~q:(m1x1 0.0) ~r:(m1x1 1.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Dare                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dare_scalar_golden () =
+  (* a=1,b=1,q=1,r=1: x = golden ratio. *)
+  let x = Dare.solve ~a:(m1x1 1.0) ~b:(m1x1 1.0) ~q:(m1x1 1.0) ~r:(m1x1 1.0) in
+  check_float_loose "golden ratio" ((1.0 +. Float.sqrt 5.0) /. 2.0)
+    (Mat.get x 0 0)
+
+let test_dare_residual_random () =
+  let a = Mat.scale 0.9 (Mat.random ~seed:35 4 4) in
+  let b = Mat.random ~seed:36 4 2 in
+  let q = Mat.add (Mat.symmetrize (Mat.random ~seed:37 4 4)) (Mat.scalar 4 5.0) in
+  let r = Mat.identity 2 in
+  let x = Dare.solve ~a ~b ~q ~r in
+  check_bool "residual small" true (Dare.residual ~a ~b ~q ~r x < 1e-8);
+  check_bool "psd" true (Eig.is_positive_semidefinite ~tol:1e-6 x);
+  let k = Dare.gain ~a ~b ~r x in
+  check_bool "stabilizing" true (Eig.is_stable_discrete (Mat.sub a (Mat.mul b k)))
+
+let test_dare_stabilizes_unstable () =
+  let a = Mat.of_lists [ [ 1.2; 1.0 ]; [ 0.0; 1.1 ] ] in
+  let b = Mat.of_lists [ [ 0.0 ]; [ 1.0 ] ] in
+  let q = Mat.identity 2 and r = m1x1 1.0 in
+  let x = Dare.solve ~a ~b ~q ~r in
+  let k = Dare.gain ~a ~b ~r x in
+  check_bool "closed loop schur" true
+    (Eig.is_stable_discrete (Mat.sub a (Mat.mul b k)))
+
+(* ------------------------------------------------------------------ *)
+(* Lqg                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let plant_2x1 () =
+  Ss.make ~domain:(Ss.Discrete 1.0)
+    ~a:(Mat.of_lists [ [ 1.1; 0.4 ]; [ 0.0; 0.9 ] ])
+    ~b:(Mat.of_lists [ [ 0.2 ]; [ 1.0 ] ])
+    ~c:(Mat.of_lists [ [ 1.0; 0.0 ] ])
+    ~d:(Mat.create 1 1) ()
+
+let test_lqg_stabilizes () =
+  let plant = plant_2x1 () in
+  let k =
+    Lqg.synthesize ~plant ~q:(Mat.identity 2) ~r:(m1x1 1.0)
+      ~w:(Mat.identity 2) ~v:(m1x1 0.1)
+  in
+  check_bool "open loop unstable" false (Ss.is_stable plant);
+  (* positive feedback closure because the LQG controller already encodes
+     u = -K xhat. *)
+  let cl = Ss.feedback ~sign:1.0 plant k in
+  check_bool "closed loop stable" true (Ss.is_stable cl)
+
+let test_lqr_gain_known () =
+  (* Scalar: k = (r + b x b)^-1 b x a with x from dare. *)
+  let x = Dare.solve ~a:(m1x1 1.0) ~b:(m1x1 1.0) ~q:(m1x1 1.0) ~r:(m1x1 1.0) in
+  let k = Lqg.lqr_gain ~a:(m1x1 1.0) ~b:(m1x1 1.0) ~q:(m1x1 1.0) ~r:(m1x1 1.0) in
+  let phi = Mat.get x 0 0 in
+  check_float_loose "gain" (phi /. (1.0 +. phi)) (Mat.get k 0 0)
+
+let test_kalman_gain_dual () =
+  (* The Kalman gain of (a, c) should equal the transpose of the LQR gain
+     story on the dual system: just check the predictor is stable. *)
+  let a = Mat.of_lists [ [ 1.05; 0.2 ]; [ 0.0; 0.8 ] ] in
+  let c = Mat.of_lists [ [ 1.0; 0.0 ] ] in
+  let l = Lqg.kalman_gain ~a ~c ~w:(Mat.identity 2) ~v:(m1x1 0.5) in
+  check_bool "predictor stable" true
+    (Eig.is_stable_discrete (Mat.sub a (Mat.mul l c)))
+
+(* ------------------------------------------------------------------ *)
+(* Hinf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Mixed-sensitivity-style plant around the unstable x' = x + u + d:
+   z1 = x, z2 = 0.3 u, y = x + 0.1 n, w = [d; n]. *)
+let hinf_test_plant () =
+  let a = m1x1 1.0 in
+  let b = Mat.of_lists [ [ 1.0; 0.0; 1.0 ] ] in
+  let c = Mat.of_lists [ [ 1.0 ]; [ 0.0 ]; [ 1.0 ] ] in
+  let d =
+    Mat.of_lists
+      [ [ 0.0; 0.0; 0.0 ]; [ 0.0; 0.0; 0.3 ]; [ 0.0; 0.1; 0.0 ] ]
+  in
+  { Hinf.sys = Ss.make ~a ~b ~c ~d (); part = { Hinf.nw = 2; nu = 1; nz = 2; ny = 1 } }
+
+let test_hinf_continuous () =
+  let plant = hinf_test_plant () in
+  let { Hinf.controller; gamma; achieved_norm } = Hinf.synthesize plant in
+  let cl = Hinf.close_loop plant controller in
+  check_bool "closed loop stable" true (Ss.is_stable cl);
+  check_bool "norm within gamma" true (achieved_norm <= (gamma *. 1.05) +. 1e-9);
+  check_bool "gamma sensible" true (gamma > 0.1 && gamma < 100.0)
+
+let test_hinf_gamma_monotone () =
+  (* Any gamma above the optimum must also be feasible. *)
+  let plant = hinf_test_plant () in
+  let { Hinf.gamma; _ } = Hinf.synthesize plant in
+  (match Hinf.synthesize_at plant (2.0 *. gamma) with
+  | Some k ->
+    check_bool "still stabilizing" true
+      (Ss.is_stable (Hinf.close_loop plant k))
+  | None -> Alcotest.fail "2x optimal gamma should be feasible")
+
+let test_hinf_discrete () =
+  (* Same design problem after ZOH discretization of the plant dynamics. *)
+  let cont = hinf_test_plant () in
+  let dsys = Discretize.c2d_zoh cont.Hinf.sys 0.1 in
+  let plant = { cont with Hinf.sys = dsys } in
+  let { Hinf.controller; gamma; achieved_norm } = Hinf.synthesize plant in
+  (match controller.Ss.domain with
+  | Ss.Discrete p -> check_float "controller period" 0.1 p
+  | Ss.Continuous -> Alcotest.fail "controller should be discrete");
+  let cl = Hinf.close_loop plant controller in
+  check_bool "stable" true (Ss.is_stable cl);
+  check_bool "norm ok" true (achieved_norm <= (gamma *. 1.05) +. 1e-9)
+
+let test_hinf_bad_partition () =
+  let plant = hinf_test_plant () in
+  let bad = { plant with Hinf.part = { plant.Hinf.part with Hinf.nw = 1 } } in
+  Alcotest.check_raises "partition" (Invalid_argument "Hinf: inputs <> nw + nu")
+    (fun () -> Hinf.validate_partition bad)
+
+(* ------------------------------------------------------------------ *)
+(* Ssv                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cm_of_real rows = Cmat.of_real (Mat.of_lists rows)
+
+let test_mu_single_full_block () =
+  (* With one full block, mu equals the maximum singular value. *)
+  let m = cm_of_real [ [ 1.0; 2.0 ]; [ 0.0; 1.5 ] ] in
+  let { Ssv.value; _ } = Ssv.mu_upper [ Ssv.Full (2, 2) ] m in
+  check_float_loose "mu = sigma_max" (Svd.norm2_complex m) value
+
+let test_mu_diagonal_scalars () =
+  (* Diagonal M with scalar blocks: mu = max |m_ii| (both bounds tight). *)
+  let m = cm_of_real [ [ 2.0; 0.0 ]; [ 0.0; -3.0 ] ] in
+  let s = [ Ssv.Full (1, 1); Ssv.Full (1, 1) ] in
+  let ub = (Ssv.mu_upper s m).Ssv.value in
+  let lb = Ssv.mu_lower s m in
+  check_bool "ub >= 3" true (ub >= 3.0 -. 1e-6);
+  check_bool "lb <= ub" true (lb <= ub +. 1e-9);
+  check_bool "lb >= 3" true (lb >= 3.0 -. 1e-4)
+
+let test_mu_scaling_beats_sigma () =
+  (* Classic example: scaling strictly improves on sigma_max for a
+     triangular matrix with large off-diagonal coupling. *)
+  let m = cm_of_real [ [ 1.0; 100.0 ]; [ 0.0; 1.0 ] ] in
+  let s = [ Ssv.Full (1, 1); Ssv.Full (1, 1) ] in
+  let ub = (Ssv.mu_upper s m).Ssv.value in
+  check_bool "much smaller than sigma" true (ub < 10.0);
+  check_bool "at least rho" true (ub >= 1.0 -. 1e-9)
+
+let test_mu_homogeneous () =
+  let m = cm_of_real [ [ 0.5; 0.2 ]; [ 0.1; 0.8 ] ] in
+  let s = [ Ssv.Full (1, 1); Ssv.Full (1, 1) ] in
+  let v1 = (Ssv.mu_upper s m).Ssv.value in
+  let v3 = (Ssv.mu_upper s (Cmat.scale_real 3.0 m)).Ssv.value in
+  check_bool "mu(3m) = 3 mu(m)" true (Float.abs (v3 -. (3.0 *. v1)) < 1e-6)
+
+let test_mu_lower_below_upper () =
+  let m =
+    Cmat.init 3 3 (fun i j ->
+        { Complex.re = Float.of_int ((i + j) mod 3) -. 0.7; im = 0.3 *. Float.of_int (i - j) })
+  in
+  let s = [ Ssv.Full (1, 1); Ssv.Full (2, 2) ] in
+  let ub = (Ssv.mu_upper s m).Ssv.value in
+  let lb = Ssv.mu_lower s m in
+  check_bool "sandwich" true (lb <= ub +. 1e-9);
+  check_bool "lower positive" true (lb > 0.0)
+
+let test_mu_worst_case_delta_valid () =
+  let m = cm_of_real [ [ 0.9; 0.4 ]; [ -0.3; 1.1 ] ] in
+  let s = [ Ssv.Full (1, 1); Ssv.Full (1, 1) ] in
+  let delta, rho = Ssv.worst_case_delta s m in
+  (* Delta must respect the structure: off-diagonal zero. *)
+  check_float "structured 01" 0.0 (Complex.norm (Cmat.get delta 0 1));
+  check_float "structured 10" 0.0 (Complex.norm (Cmat.get delta 1 0));
+  (* And be a contraction. *)
+  check_bool "unit norm" true (Svd.norm2_complex delta <= 1.0 +. 1e-6);
+  check_bool "certificate consistent" true
+    (rho <= (Ssv.mu_upper s m).Ssv.value +. 1e-6)
+
+let test_mu_repeated_scalar () =
+  (* For M = c*I with repeated scalar structure, mu = |c|. *)
+  let m = Cmat.scale_real 2.5 (Cmat.identity 3) in
+  let s = [ Ssv.Repeated 3 ] in
+  let ub = (Ssv.mu_upper s m).Ssv.value in
+  let lb = Ssv.mu_lower s m in
+  check_float_loose "upper" 2.5 ub;
+  check_bool "lower tight" true (lb >= 2.5 -. 1e-4)
+
+let test_mu_validate () =
+  let m = Cmat.identity 3 in
+  Alcotest.check_raises "tiling"
+    (Invalid_argument "Ssv: structure does not tile the matrix") (fun () ->
+      Ssv.validate [ Ssv.Full (2, 2) ] m)
+
+let test_mu_sweep_runs () =
+  let sys =
+    Ss.make ~domain:(Ss.Discrete 0.5)
+      ~a:(Mat.of_lists [ [ 0.6; 0.2 ]; [ -0.1; 0.5 ] ])
+      ~b:(Mat.identity 2) ~c:(Mat.identity 2) ~d:(Mat.create 2 2) ()
+  in
+  let s = [ Ssv.Full (1, 1); Ssv.Full (1, 1) ] in
+  let sweep = Ssv.sweep ~points:20 s sys in
+  check_bool "peak positive" true (sweep.Ssv.peak > 0.0);
+  check_bool "lower below upper" true
+    (sweep.Ssv.lower_peak <= sweep.Ssv.peak +. 1e-9);
+  check_int "grid size" 20 (Array.length sweep.Ssv.upper_bounds)
+
+(* ------------------------------------------------------------------ *)
+(* Dk                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_dk_runs_and_certifies () =
+  let plant = hinf_test_plant () in
+  let structure = [ Ssv.Full (1, 1); Ssv.Full (1, 1) ] in
+  let r = Dk.synthesize ~iterations:3 ~mu_points:20 ~plant ~structure () in
+  check_bool "mu finite" true (Float.is_finite r.Dk.mu_peak);
+  check_bool "history recorded" true (List.length r.Dk.history >= 1);
+  let cl = Hinf.close_loop plant r.Dk.controller in
+  check_bool "stable" true (Ss.is_stable cl)
+
+let test_dk_no_worse_than_hinf () =
+  let plant = hinf_test_plant () in
+  let structure = [ Ssv.Full (1, 1); Ssv.Full (1, 1) ] in
+  let hinf_result = Hinf.synthesize plant in
+  let cl = Hinf.close_loop plant hinf_result.Hinf.controller in
+  let mu_hinf = (Ssv.sweep ~points:20 structure cl).Ssv.peak in
+  let dk = Dk.synthesize ~iterations:3 ~mu_points:20 ~plant ~structure () in
+  check_bool "dk <= hinf mu (within tolerance)" true
+    (dk.Dk.mu_peak <= (mu_hinf *. 1.05) +. 1e-9)
+
+let test_dk_scale_plant_roundtrip () =
+  let plant = hinf_test_plant () in
+  let structure = [ Ssv.Full (1, 1); Ssv.Full (1, 1) ] in
+  let scaled = Dk.scale_plant plant structure [| 2.0; 1.0 |] in
+  (* Scaling with the inverse recovers the original D matrix. *)
+  let unscaled = Dk.scale_plant scaled structure [| 0.5; 1.0 |] in
+  Alcotest.check mat "d restored" plant.Hinf.sys.Ss.d unscaled.Hinf.sys.Ss.d
+
+(* ------------------------------------------------------------------ *)
+(* Quantize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let freq_channel = Quantize.make ~minimum:0.2 ~maximum:2.0 ~step:0.1
+
+let test_quantize_levels () =
+  check_int "count" 19 (Quantize.count freq_channel);
+  let l = Quantize.levels freq_channel in
+  check_float "first" 0.2 l.(0);
+  check_float "last" 2.0 l.(18)
+
+let test_quantize_project () =
+  check_float "round down" 0.5 (Quantize.project freq_channel 0.52);
+  check_float "round up" 0.6 (Quantize.project freq_channel 0.56);
+  check_float "clamp low" 0.2 (Quantize.project freq_channel (-1.0));
+  check_float "clamp high" 2.0 (Quantize.project freq_channel 99.0)
+
+let test_quantize_radius () =
+  check_float "radius" 0.05 (Quantize.quantization_radius freq_channel);
+  check_float "span" 1.8 (Quantize.span freq_channel);
+  check_float_loose "relative" (0.05 /. 0.9)
+    (Quantize.relative_uncertainty freq_channel)
+
+let prop_quantize_idempotent =
+  QCheck.Test.make ~name:"projection idempotent" ~count:200
+    QCheck.(float_range (-5.0) 5.0)
+    (fun x ->
+      let p = Quantize.project freq_channel x in
+      Float.abs (Quantize.project freq_channel p -. p) < 1e-12)
+
+let prop_quantize_in_range =
+  QCheck.Test.make ~name:"projection in range" ~count:200
+    QCheck.(float_range (-100.0) 100.0)
+    (fun x ->
+      let p = Quantize.project freq_channel x in
+      p >= 0.2 -. 1e-12 && p <= 2.0 +. 1e-12)
+
+let prop_quantize_error_bounded =
+  QCheck.Test.make ~name:"in-range error <= step/2" ~count:200
+    QCheck.(float_range 0.2 2.0)
+    (fun x ->
+      Float.abs (Quantize.project freq_channel x -. x)
+      <= (Quantize.quantization_radius freq_channel) +. 1e-12)
+
+(* Property: Stein solution psd for random stable A and psd Q. *)
+let prop_stein_psd =
+  let gen =
+    QCheck.Gen.(
+      array_size (return 9) (float_range (-1.0) 1.0)
+      |> map (fun data ->
+             let a = Mat.scale 0.3 { Mat.rows = 3; cols = 3; data } in
+             a))
+  in
+  QCheck.Test.make ~name:"stein psd" ~count:40
+    (QCheck.make ~print:(Format.asprintf "%a" Mat.pp) gen)
+    (fun a ->
+      let q = Mat.identity 3 in
+      let x = Lyap.stein a q in
+      Eig.is_positive_semidefinite ~tol:1e-7 x)
+
+let prop_dare_stabilizing =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (array_size (return 9) (float_range (-1.2) 1.2))
+        (array_size (return 3) (float_range (-1.0) 1.0)))
+  in
+  QCheck.Test.make ~name:"dare gain stabilizes" ~count:30
+    (QCheck.make gen)
+    (fun (adata, bdata) ->
+      let a = { Mat.rows = 3; cols = 3; data = adata } in
+      let b = { Mat.rows = 3; cols = 1; data = bdata } in
+      let q = Mat.identity 3 and r = m1x1 1.0 in
+      match Dare.solve ~a ~b ~q ~r with
+      | x ->
+        let k = Dare.gain ~a ~b ~r x in
+        Eig.is_stable_discrete ~margin:(-1e-9) (Mat.sub a (Mat.mul b k))
+      | exception Dare.No_solution _ -> QCheck.assume_fail ())
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_quantize_idempotent;
+      prop_quantize_in_range;
+      prop_quantize_error_bounded;
+      prop_stein_psd;
+      prop_dare_stabilizing;
+    ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Round 2: edge cases and failure injection                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_ss_mixed_domain_rejected () =
+  let cont = first_order (-1.0) 1.0 1.0 0.0 in
+  let disc = first_order ~domain:(Ss.Discrete 1.0) 0.5 1.0 1.0 0.0 in
+  Alcotest.check_raises "mixed domains"
+    (Invalid_argument "Ss.series: mixed time domains") (fun () ->
+      ignore (Ss.series cont disc))
+
+let test_ss_static_is_domain_agnostic () =
+  let disc = first_order ~domain:(Ss.Discrete 1.0) 0.5 1.0 1.0 0.0 in
+  let g = Ss.gain 1 2.0 in
+  (* A zero-order gain composes with either domain. *)
+  let s = Ss.series g disc in
+  check_float_loose "gain propagates" 4.0 (Mat.get (Ss.dcgain s) 0 0)
+
+let test_ss_add_output_disturbance () =
+  let sys = first_order ~domain:(Ss.Discrete 1.0) 0.5 1.0 1.0 0.0 in
+  let aug = Ss.add_output_disturbance sys in
+  check_int "one extra input" 2 (Ss.inputs aug);
+  (* The disturbance channel has unit feedthrough. *)
+  check_float "feedthrough" 1.0 (Mat.get aug.Ss.d 0 1)
+
+let test_ss_bad_period () =
+  Alcotest.check_raises "bad period"
+    (Invalid_argument "Ss.make: period must be positive") (fun () ->
+      ignore (first_order ~domain:(Ss.Discrete 0.0) 0.5 1.0 1.0 0.0))
+
+let test_hinf_regularizes_rank_deficient_d12 () =
+  (* z has no direct u feedthrough at all: D12 = 0 is rank deficient and
+     must be regularized internally. *)
+  let a = m1x1 (-1.0) in
+  let b = Mat.of_lists [ [ 1.0; 1.0 ] ] in
+  let c = Mat.of_lists [ [ 1.0 ]; [ 1.0 ] ] in
+  let d = Mat.of_lists [ [ 0.0; 0.0 ]; [ 0.1; 0.0 ] ] in
+  let plant =
+    { Hinf.sys = Ss.make ~a ~b ~c ~d (); part = { Hinf.nw = 1; nu = 1; nz = 1; ny = 1 } }
+  in
+  let { Hinf.controller; achieved_norm; gamma } = Hinf.synthesize plant in
+  check_bool "stable" true (Ss.is_stable (Hinf.close_loop plant controller));
+  check_bool "norm ok" true (achieved_norm <= (gamma *. 1.05) +. 1e-9)
+
+let test_dk_structure_mismatch_rejected () =
+  let plant = hinf_test_plant () in
+  Alcotest.check_raises "tiling"
+    (Invalid_argument "Dk.scale_plant: structure does not tile the z/w channels")
+    (fun () ->
+      ignore (Dk.scale_plant plant [ Ssv.Full (1, 1) ] [| 1.0 |]))
+
+let test_ssv_sweep_continuous () =
+  let sys = first_order (-1.0) 1.0 1.0 0.0 in
+  let sweep = Ssv.sweep ~points:15 [ Ssv.Full (1, 1) ] sys in
+  (* For a SISO low-pass, mu = |G| peaks at dc with value ~1. *)
+  check_bool "peak near 1" true (Float.abs (sweep.Ssv.peak -. 1.0) < 0.05)
+
+let test_care_hamiltonian_lqr_equivalence () =
+  (* solve_hamiltonian on the standard LQR Hamiltonian must agree with
+     solve. *)
+  let a = Mat.of_lists [ [ 0.3; 1.0 ]; [ 0.0; -0.5 ] ] in
+  let b = Mat.of_lists [ [ 0.0 ]; [ 1.0 ] ] in
+  let q = Mat.identity 2 and r = m1x1 1.0 in
+  let x1 = Care.solve ~a ~b ~q ~r in
+  let g = Mat.mul3 b (Lu.inv r) (Mat.transpose b) in
+  let h =
+    Mat.blocks [ [ a; Mat.neg g ]; [ Mat.neg q; Mat.neg (Mat.transpose a) ] ]
+  in
+  let x2 = Care.solve_hamiltonian h in
+  Alcotest.check mat "same solution" x1 x2
+
+let test_lyap_observability_gramian_energy () =
+  (* For a stable SISO system, C P_o C^T... trace of observability gramian
+     equals the output energy of the initial-condition response. *)
+  let a = 0.5 in
+  let sys = first_order ~domain:(Ss.Discrete 1.0) a 1.0 1.0 0.0 in
+  let q = Lyap.observability_gramian sys in
+  (* sum over k of (a^k)^2 = 1/(1-a^2). *)
+  check_float_loose "gramian" (1.0 /. (1.0 -. (a *. a))) (Mat.get q 0 0)
+
+let test_quantize_count_precision () =
+  (* Floating-point steps must not drop the last level. *)
+  let c = Quantize.make ~minimum:0.2 ~maximum:2.0 ~step:0.1 in
+  let l = Quantize.levels c in
+  check_int "19 levels" 19 (Array.length l);
+  check_bool "all distinct" true
+    (Array.length l = List.length (List.sort_uniq compare (Array.to_list l)))
+
+let round2_cases =
+  [
+    Alcotest.test_case "ss mixed domain" `Quick test_ss_mixed_domain_rejected;
+    Alcotest.test_case "ss static domain-agnostic" `Quick
+      test_ss_static_is_domain_agnostic;
+    Alcotest.test_case "ss output disturbance" `Quick
+      test_ss_add_output_disturbance;
+    Alcotest.test_case "ss bad period" `Quick test_ss_bad_period;
+    Alcotest.test_case "hinf regularization" `Quick
+      test_hinf_regularizes_rank_deficient_d12;
+    Alcotest.test_case "dk structure mismatch" `Quick
+      test_dk_structure_mismatch_rejected;
+    Alcotest.test_case "ssv continuous sweep" `Quick test_ssv_sweep_continuous;
+    Alcotest.test_case "care hamiltonian equivalence" `Quick
+      test_care_hamiltonian_lqr_equivalence;
+    Alcotest.test_case "observability gramian" `Quick
+      test_lyap_observability_gramian_energy;
+    Alcotest.test_case "quantize level count" `Quick
+      test_quantize_count_precision;
+  ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Pid                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Simple discrete plant driven by the PID: y' = 0.9 y + 0.1 u. *)
+let pid_plant () =
+  let y = ref 0.0 in
+  fun u ->
+    y := (0.9 *. !y) +. (0.1 *. u);
+    !y
+
+let test_pid_tracks_setpoint () =
+  let pid =
+    Pid.make ~gains:{ Pid.kp = 2.0; ki = 1.0; kd = 0.0 } ~period:0.1 ()
+  in
+  let plant = pid_plant () in
+  let y = ref 0.0 in
+  for _ = 1 to 300 do
+    let u = Pid.step pid ~setpoint:2.0 ~measurement:!y in
+    y := plant u
+  done;
+  check_bool "integral action removes offset" true (Float.abs (!y -. 2.0) < 0.02)
+
+let test_pid_antiwindup () =
+  (* Saturated command: the integrator must not wind up so far that
+     recovery takes forever. *)
+  let pid =
+    Pid.make ~u_min:(-1.0) ~u_max:1.0
+      ~gains:{ Pid.kp = 1.0; ki = 5.0; kd = 0.0 }
+      ~period:0.1 ()
+  in
+  let plant = pid_plant () in
+  let y = ref 0.0 in
+  (* Unreachable setpoint for a while. *)
+  for _ = 1 to 100 do
+    y := plant (Pid.step pid ~setpoint:50.0 ~measurement:!y)
+  done;
+  (* Now an easy setpoint: with anti-windup the command leaves the rail
+     within a few steps once the error flips. *)
+  let recovered = ref false in
+  for _ = 1 to 30 do
+    let u = Pid.step pid ~setpoint:0.2 ~measurement:!y in
+    y := plant u;
+    if u < 1.0 then recovered := true
+  done;
+  check_bool "recovers from saturation" true !recovered
+
+let test_pid_zn_table () =
+  let g = Pid.tune_ziegler_nichols ~ku:4.0 ~tu:2.0 `Pid in
+  check_float "kp" 2.4 g.Pid.kp;
+  check_float "ki" 2.4 g.Pid.ki;
+  check_float "kd" 0.6 g.Pid.kd;
+  let p = Pid.tune_ziegler_nichols ~ku:4.0 ~tu:2.0 `P in
+  check_float "pure P has no ki" 0.0 p.Pid.ki
+
+let test_pid_reset () =
+  let pid =
+    Pid.make ~gains:{ Pid.kp = 1.0; ki = 1.0; kd = 0.0 } ~period:0.1 ()
+  in
+  let u1 = Pid.step pid ~setpoint:1.0 ~measurement:0.0 in
+  ignore (Pid.step pid ~setpoint:1.0 ~measurement:0.0);
+  Pid.reset pid;
+  check_float "reset repeats" u1 (Pid.step pid ~setpoint:1.0 ~measurement:0.0)
+
+let test_pid_relay_autotune () =
+  (* A second-order oscillatory plant yields a limit cycle under relay
+     feedback. *)
+  let x1 = ref 0.1 and x2 = ref 0.0 in
+  let plant u =
+    (* Discretized mass-spring-damper-ish dynamics. *)
+    let nx1 = !x1 +. (0.2 *. !x2) in
+    let nx2 = !x2 +. (0.2 *. ((-1.0 *. !x1) -. (0.2 *. !x2) +. u)) in
+    x1 := nx1;
+    x2 := nx2;
+    !x1
+  in
+  match Pid.relay_autotune ~plant ~period:0.2 () with
+  | Some (ku, tu) ->
+    check_bool "positive estimates" true (ku > 0.0 && tu > 0.0);
+    (* Natural frequency 1 rad/s -> period ~ 2 pi. *)
+    check_bool "period plausible" true (tu > 3.0 && tu < 13.0)
+  | None -> Alcotest.fail "relay produced no limit cycle"
+
+(* ------------------------------------------------------------------ *)
+(* Reduce                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let weakly_coupled_system () =
+  (* Two modes: a strong slow one and a weak fast one. *)
+  Ss.make ~domain:(Ss.Discrete 1.0)
+    ~a:(Mat.of_lists [ [ 0.9; 0.0 ]; [ 0.0; 0.2 ] ])
+    ~b:(Mat.of_lists [ [ 1.0 ]; [ 0.01 ] ])
+    ~c:(Mat.of_lists [ [ 1.0; 0.01 ] ])
+    ~d:(m1x1 0.0) ()
+
+let test_reduce_hankel_descending () =
+  let s = Reduce.hankel_singular_values (weakly_coupled_system ()) in
+  check_int "two values" 2 (Vec.dim s);
+  check_bool "descending and dominant" true (s.(0) > 10.0 *. s.(1))
+
+let test_reduce_truncation_accuracy () =
+  let sys = weakly_coupled_system () in
+  let red = Reduce.balanced_truncation sys ~order:1 in
+  check_int "reduced order" 1 (Ss.order red);
+  check_bool "stable" true (Ss.is_stable red);
+  (* The H-infinity error must respect the a-priori bound. *)
+  let err = Ss.hinf_norm (Ss.parallel sys (Ss.gain 1 (-1.0) |> Ss.series red)) in
+  let bound = Reduce.error_bound sys ~order:1 in
+  check_bool "within twice-sum-of-tail bound" true (err <= bound +. 1e-6);
+  (* And the dc gain barely moves for this weakly coupled system. *)
+  check_bool "dc preserved" true
+    (Float.abs (Mat.get (Ss.dcgain sys) 0 0 -. Mat.get (Ss.dcgain red) 0 0)
+     < 0.05 *. Float.abs (Mat.get (Ss.dcgain sys) 0 0))
+
+let test_reduce_tolerance_mode () =
+  let sys = weakly_coupled_system () in
+  let red = Reduce.truncate_to_tolerance sys ~tol:0.05 in
+  check_int "weak mode dropped" 1 (Ss.order red)
+
+let test_reduce_rejects_unstable () =
+  let sys = first_order ~domain:(Ss.Discrete 1.0) 1.1 1.0 1.0 0.0 in
+  Alcotest.check_raises "unstable"
+    (Invalid_argument "Reduce: system must be stable") (fun () ->
+      ignore (Reduce.balanced_truncation sys ~order:1))
+
+(* ------------------------------------------------------------------ *)
+(* Mpc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mpc_plant () =
+  Ss.make ~domain:(Ss.Discrete 1.0)
+    ~a:(Mat.of_lists [ [ 0.8 ] ])
+    ~b:(m1x1 0.5)
+    ~c:(m1x1 1.0)
+    ~d:(m1x1 0.0) ()
+
+let test_mpc_tracks () =
+  let plant = mpc_plant () in
+  let mpc =
+    Mpc.make ~plant ~horizon:10 ~q:(m1x1 1.0) ~r:(m1x1 0.01) ()
+  in
+  let x = ref 0.0 in
+  let y = ref 0.0 in
+  for _ = 1 to 60 do
+    let u = Mpc.step mpc ~measurement:[| !y |] ~reference:[| 3.0 |] in
+    x := (0.8 *. !x) +. (0.5 *. u.(0));
+    y := !x
+  done;
+  check_bool "tracks the reference" true (Float.abs (!y -. 3.0) < 0.15)
+
+let test_mpc_horizon_and_prediction () =
+  let plant = mpc_plant () in
+  let mpc = Mpc.make ~plant ~horizon:5 ~q:(m1x1 1.0) ~r:(m1x1 0.1) () in
+  check_int "horizon" 5 (Mpc.horizon mpc);
+  check_int "no prediction before step" 0 (Array.length (Mpc.predicted_outputs mpc));
+  ignore (Mpc.step mpc ~measurement:[| 0.0 |] ~reference:[| 1.0 |]);
+  let pred = Mpc.predicted_outputs mpc in
+  check_int "prediction horizon" 5 (Array.length pred);
+  (* With cheap inputs the anticipated trajectory approaches the target. *)
+  check_bool "prediction heads to target" true (pred.(4).(0) > pred.(0).(0) *. 0.9)
+
+let test_mpc_effort_tradeoff () =
+  (* Heavier input weighting means smaller first moves. *)
+  let plant = mpc_plant () in
+  let cheap = Mpc.make ~plant ~horizon:8 ~q:(m1x1 1.0) ~r:(m1x1 0.01) () in
+  let costly = Mpc.make ~plant ~horizon:8 ~q:(m1x1 1.0) ~r:(m1x1 10.0) () in
+  let u1 = Mpc.step cheap ~measurement:[| 0.0 |] ~reference:[| 1.0 |] in
+  let u2 = Mpc.step costly ~measurement:[| 0.0 |] ~reference:[| 1.0 |] in
+  check_bool "costly moves less" true (Float.abs u2.(0) < Float.abs u1.(0))
+
+let test_mpc_rejects_bad_dims () =
+  let plant = mpc_plant () in
+  Alcotest.check_raises "bad q" (Invalid_argument "Mpc.make: Q must be ny x ny")
+    (fun () ->
+      ignore (Mpc.make ~plant ~horizon:3 ~q:(Mat.identity 2) ~r:(m1x1 1.0) ()))
+
+let round3_cases =
+  [
+    Alcotest.test_case "pid tracks" `Quick test_pid_tracks_setpoint;
+    Alcotest.test_case "pid antiwindup" `Quick test_pid_antiwindup;
+    Alcotest.test_case "pid ZN table" `Quick test_pid_zn_table;
+    Alcotest.test_case "pid reset" `Quick test_pid_reset;
+    Alcotest.test_case "pid relay autotune" `Quick test_pid_relay_autotune;
+    Alcotest.test_case "reduce hankel" `Quick test_reduce_hankel_descending;
+    Alcotest.test_case "reduce accuracy" `Quick test_reduce_truncation_accuracy;
+    Alcotest.test_case "reduce tolerance" `Quick test_reduce_tolerance_mode;
+    Alcotest.test_case "reduce unstable" `Quick test_reduce_rejects_unstable;
+    Alcotest.test_case "mpc tracks" `Quick test_mpc_tracks;
+    Alcotest.test_case "mpc prediction" `Quick test_mpc_horizon_and_prediction;
+    Alcotest.test_case "mpc effort tradeoff" `Quick test_mpc_effort_tradeoff;
+    Alcotest.test_case "mpc bad dims" `Quick test_mpc_rejects_bad_dims;
+  ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Poly and Tf                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_poly_arith () =
+  let p = Poly.of_coefficients [ 1.0; 2.0 ] in
+  (* (1 + 2x)^2 = 1 + 4x + 4x^2 *)
+  check_bool "square" true
+    (Poly.approx_equal (Poly.mul p p) (Poly.of_coefficients [ 1.0; 4.0; 4.0 ]));
+  check_bool "sum" true
+    (Poly.approx_equal (Poly.add p p) (Poly.of_coefficients [ 2.0; 4.0 ]));
+  check_float "eval" 7.0 (Poly.eval p 3.0);
+  check_int "degree" 1 (Poly.degree p);
+  check_bool "derivative" true
+    (Poly.approx_equal (Poly.derivative (Poly.mul p p))
+       (Poly.of_coefficients [ 4.0; 8.0 ]))
+
+let test_poly_roots () =
+  let p = Poly.of_roots [ 1.0; -2.0; 0.5 ] in
+  let rs =
+    Poly.roots p |> Array.to_list
+    |> List.map (fun (z : Complex.t) -> z.re)
+    |> List.sort compare
+  in
+  (match rs with
+  | [ a; b; c ] ->
+    check_bool "roots" true
+      (Float.abs (a +. 2.0) < 1e-6 && Float.abs (b -. 0.5) < 1e-6
+      && Float.abs (c -. 1.0) < 1e-6)
+  | _ -> Alcotest.fail "expected three roots");
+  check_bool "normalize trims" true
+    (Poly.degree (Poly.of_coefficients [ 1.0; 0.0; 0.0 ]) = 0)
+
+let test_tf_roundtrip_ss () =
+  (* G(s) = (s + 2) / (s^2 + 3 s + 5). *)
+  let g =
+    Tf.make ~num:(Poly.of_coefficients [ 2.0; 1.0 ])
+      ~den:(Poly.of_coefficients [ 5.0; 3.0; 1.0 ])
+      ()
+  in
+  let sys = Tf.to_ss g in
+  check_int "order" 2 (Ss.order sys);
+  let g2 = Tf.of_ss sys in
+  (* Compare frequency responses (coefficients may differ by scaling). *)
+  List.iter
+    (fun w ->
+      let r1 = Tf.frequency_response g w and r2 = Tf.frequency_response g2 w in
+      check_bool
+        (Printf.sprintf "response at %g" w)
+        true
+        (Complex.norm (Complex.sub r1 r2) < 1e-8))
+    [ 0.0; 0.5; 2.0; 10.0 ]
+
+let test_tf_matches_ss_freq () =
+  (* The canonical realization must agree with Ss.freq_response. *)
+  let g =
+    Tf.make ~num:(Poly.of_coefficients [ 1.0 ])
+      ~den:(Poly.of_coefficients [ 1.0; 1.0 ])
+      ()
+  in
+  let sys = Tf.to_ss g in
+  let w = 1.3 in
+  let from_ss = Cmat.get (Ss.freq_response sys w) 0 0 in
+  let from_tf = Tf.frequency_response g w in
+  check_bool "same response" true
+    (Complex.norm (Complex.sub from_ss from_tf) < 1e-9)
+
+let test_tf_feedback_and_stability () =
+  (* Unstable 1/(s-1) stabilized by gain 3: closed loop 1/(s+2). *)
+  let g =
+    Tf.make ~num:Poly.one ~den:(Poly.of_coefficients [ -1.0; 1.0 ]) ()
+  in
+  let k = Tf.make ~num:(Poly.of_coefficients [ 3.0 ]) ~den:Poly.one () in
+  check_bool "open unstable" false (Tf.is_stable g);
+  let cl = Tf.feedback g k in
+  check_bool "closed stable" true (Tf.is_stable cl);
+  check_bool "pole at -2" true
+    (Float.abs ((Tf.poles cl).(0).Complex.re +. 2.0) < 1e-9)
+
+let test_tf_series_parallel () =
+  let g1 = Tf.make ~num:Poly.one ~den:(Poly.of_coefficients [ 1.0; 1.0 ]) () in
+  let g2 =
+    Tf.make ~num:(Poly.of_coefficients [ 2.0 ])
+      ~den:(Poly.of_coefficients [ 2.0; 1.0 ]) ()
+  in
+  check_float_loose "series dc" 1.0 (Tf.dcgain (Tf.series g1 g2));
+  check_float_loose "parallel dc" 2.0 (Tf.dcgain (Tf.parallel g1 g2))
+
+let test_tf_improper_rejected () =
+  Alcotest.check_raises "improper"
+    (Invalid_argument "Tf.make: improper transfer function") (fun () ->
+      ignore
+        (Tf.make ~num:(Poly.of_coefficients [ 0.0; 0.0; 1.0 ]) ~den:(Poly.of_coefficients [ 1.0; 1.0 ]) ()))
+
+let test_tf_discrete_dcgain () =
+  (* z-domain: G(z) = 1 / (z - 0.5), dc at z=1 is 2. *)
+  let g =
+    Tf.make ~domain:(Ss.Discrete 1.0) ~num:Poly.one
+      ~den:(Poly.of_coefficients [ -0.5; 1.0 ])
+      ()
+  in
+  check_float_loose "dc" 2.0 (Tf.dcgain g);
+  check_bool "stable" true (Tf.is_stable g)
+
+let poly_tf_cases =
+  [
+    Alcotest.test_case "poly arith" `Quick test_poly_arith;
+    Alcotest.test_case "poly roots" `Quick test_poly_roots;
+    Alcotest.test_case "tf roundtrip" `Quick test_tf_roundtrip_ss;
+    Alcotest.test_case "tf vs ss response" `Quick test_tf_matches_ss_freq;
+    Alcotest.test_case "tf feedback" `Quick test_tf_feedback_and_stability;
+    Alcotest.test_case "tf series/parallel" `Quick test_tf_series_parallel;
+    Alcotest.test_case "tf improper" `Quick test_tf_improper_rejected;
+    Alcotest.test_case "tf discrete" `Quick test_tf_discrete_dcgain;
+  ]
+
+let () =
+  Alcotest.run "control"
+    [
+      ( "ss",
+        [
+          Alcotest.test_case "dims" `Quick test_ss_dims;
+          Alcotest.test_case "dcgain" `Quick test_ss_dcgain;
+          Alcotest.test_case "series" `Quick test_ss_series_gain;
+          Alcotest.test_case "parallel" `Quick test_ss_parallel_gain;
+          Alcotest.test_case "append" `Quick test_ss_append;
+          Alcotest.test_case "static feedback" `Quick test_ss_feedback;
+          Alcotest.test_case "feedback stabilizes" `Quick
+            test_ss_feedback_stabilizes;
+          Alcotest.test_case "simulate" `Quick test_ss_simulate_step;
+          Alcotest.test_case "freq response" `Quick test_ss_freq_response;
+          Alcotest.test_case "hinf norm lowpass" `Quick
+            test_ss_hinf_norm_lowpass;
+          Alcotest.test_case "hinf norm unstable" `Quick
+            test_ss_hinf_norm_unstable;
+          Alcotest.test_case "h2 norm" `Quick test_ss_h2_norm;
+          Alcotest.test_case "lft identity" `Quick test_ss_lft_identity;
+          Alcotest.test_case "transform invariance" `Quick
+            test_ss_transform_invariance;
+        ] );
+      ( "discretize",
+        [
+          Alcotest.test_case "zoh scalar" `Quick test_zoh_scalar;
+          Alcotest.test_case "zoh dc" `Quick test_zoh_preserves_dc;
+          Alcotest.test_case "tustin roundtrip" `Quick test_tustin_roundtrip;
+          Alcotest.test_case "tustin hinf" `Quick test_tustin_preserves_hinf;
+          Alcotest.test_case "tustin stability" `Quick
+            test_tustin_preserves_stability;
+        ] );
+      ( "lyap",
+        [
+          Alcotest.test_case "stein scalar" `Quick test_stein_scalar;
+          Alcotest.test_case "stein residual" `Quick test_stein_residual;
+          Alcotest.test_case "stein unstable" `Quick test_stein_unstable_raises;
+          Alcotest.test_case "continuous" `Quick test_continuous_lyap;
+          Alcotest.test_case "gramians" `Quick test_gramians;
+        ] );
+      ( "care",
+        [
+          Alcotest.test_case "scalar" `Quick test_care_scalar;
+          Alcotest.test_case "random residual" `Quick test_care_residual_random;
+          Alcotest.test_case "no solution" `Quick test_care_no_solution;
+        ] );
+      ( "dare",
+        [
+          Alcotest.test_case "golden ratio" `Quick test_dare_scalar_golden;
+          Alcotest.test_case "random residual" `Quick test_dare_residual_random;
+          Alcotest.test_case "stabilizes" `Quick test_dare_stabilizes_unstable;
+        ] );
+      ( "lqg",
+        [
+          Alcotest.test_case "stabilizes" `Quick test_lqg_stabilizes;
+          Alcotest.test_case "lqr gain" `Quick test_lqr_gain_known;
+          Alcotest.test_case "kalman dual" `Quick test_kalman_gain_dual;
+        ] );
+      ( "hinf",
+        [
+          Alcotest.test_case "continuous" `Quick test_hinf_continuous;
+          Alcotest.test_case "gamma monotone" `Quick test_hinf_gamma_monotone;
+          Alcotest.test_case "discrete" `Quick test_hinf_discrete;
+          Alcotest.test_case "bad partition" `Quick test_hinf_bad_partition;
+        ] );
+      ( "ssv",
+        [
+          Alcotest.test_case "single full block" `Quick
+            test_mu_single_full_block;
+          Alcotest.test_case "diagonal scalars" `Quick test_mu_diagonal_scalars;
+          Alcotest.test_case "scaling beats sigma" `Quick
+            test_mu_scaling_beats_sigma;
+          Alcotest.test_case "homogeneous" `Quick test_mu_homogeneous;
+          Alcotest.test_case "lower below upper" `Quick
+            test_mu_lower_below_upper;
+          Alcotest.test_case "worst-case delta" `Quick
+            test_mu_worst_case_delta_valid;
+          Alcotest.test_case "repeated scalar" `Quick test_mu_repeated_scalar;
+          Alcotest.test_case "validate" `Quick test_mu_validate;
+          Alcotest.test_case "sweep" `Quick test_mu_sweep_runs;
+        ] );
+      ( "dk",
+        [
+          Alcotest.test_case "runs" `Quick test_dk_runs_and_certifies;
+          Alcotest.test_case "no worse than hinf" `Quick
+            test_dk_no_worse_than_hinf;
+          Alcotest.test_case "scale roundtrip" `Quick
+            test_dk_scale_plant_roundtrip;
+        ] );
+      ( "quantize",
+        [
+          Alcotest.test_case "levels" `Quick test_quantize_levels;
+          Alcotest.test_case "project" `Quick test_quantize_project;
+          Alcotest.test_case "radius" `Quick test_quantize_radius;
+        ] );
+      ("edge cases", round2_cases);
+      ("pid/reduce/mpc", round3_cases);
+      ("poly/tf", poly_tf_cases);
+      ("properties", qcheck_cases);
+    ]

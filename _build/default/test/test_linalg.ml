@@ -1,0 +1,690 @@
+(* Unit and property tests for the dense linear algebra substrate. *)
+
+open Linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mat = Alcotest.testable Mat.pp (Mat.approx_equal ~tol:1e-8)
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_basic () =
+  let v = Vec.of_list [ 1.0; -2.0; 3.0 ] in
+  check_int "dim" 3 (Vec.dim v);
+  check_float "dot" 14.0 (Vec.dot v v);
+  check_float "norm2" (sqrt 14.0) (Vec.norm2 v);
+  check_float "norm1" 6.0 (Vec.norm1 v);
+  check_float "norm_inf" 3.0 (Vec.norm_inf v);
+  check_int "max_abs_index" 2 (Vec.max_abs_index v)
+
+let test_vec_arith () =
+  let a = Vec.of_list [ 1.0; 2.0 ] and b = Vec.of_list [ 3.0; -1.0 ] in
+  check_bool "add" true
+    (Vec.approx_equal (Vec.add a b) (Vec.of_list [ 4.0; 1.0 ]));
+  check_bool "sub" true
+    (Vec.approx_equal (Vec.sub a b) (Vec.of_list [ -2.0; 3.0 ]));
+  check_bool "axpy" true
+    (Vec.approx_equal (Vec.axpy 2.0 a b) (Vec.of_list [ 5.0; 3.0 ]));
+  check_bool "scale" true
+    (Vec.approx_equal (Vec.scale (-1.0) a) (Vec.neg a))
+
+let test_vec_basis () =
+  let e1 = Vec.basis 3 1 in
+  check_float "entry" 1.0 e1.(1);
+  check_float "norm" 1.0 (Vec.norm2 e1);
+  Alcotest.check_raises "out of range" (Invalid_argument "Vec.basis: index out of range")
+    (fun () -> ignore (Vec.basis 3 3))
+
+let test_vec_norm2_overflow () =
+  let v = Vec.of_list [ 1e160; 1e160 ] in
+  check_bool "no overflow" true (Float.is_finite (Vec.norm2 v));
+  check_float_loose "value" (sqrt 2.0)
+    (Vec.norm2 v /. 1e160)
+
+let test_vec_slice_concat () =
+  let v = Vec.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  let a = Vec.slice v 1 2 in
+  check_bool "slice" true (Vec.approx_equal a (Vec.of_list [ 2.0; 3.0 ]));
+  check_bool "concat" true
+    (Vec.approx_equal
+       (Vec.concat (Vec.slice v 0 2) (Vec.slice v 2 2))
+       v)
+
+(* ------------------------------------------------------------------ *)
+(* Mat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mat_identity_mul () =
+  let a = Mat.random ~seed:1 4 4 in
+  Alcotest.check mat "I*a = a" a (Mat.mul (Mat.identity 4) a);
+  Alcotest.check mat "a*I = a" a (Mat.mul a (Mat.identity 4))
+
+let test_mat_transpose () =
+  let a = Mat.random ~seed:2 3 5 in
+  let t = Mat.transpose a in
+  check_int "rows" 5 t.Mat.rows;
+  check_int "cols" 3 t.Mat.cols;
+  Alcotest.check mat "involution" a (Mat.transpose t)
+
+let test_mat_mul_known () =
+  let a = Mat.of_lists [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+  let b = Mat.of_lists [ [ 5.0; 6.0 ]; [ 7.0; 8.0 ] ] in
+  let expected = Mat.of_lists [ [ 19.0; 22.0 ]; [ 43.0; 50.0 ] ] in
+  Alcotest.check mat "2x2 product" expected (Mat.mul a b)
+
+let test_mat_blocks () =
+  let a = Mat.of_lists [ [ 1.0 ] ] in
+  let b = Mat.of_lists [ [ 2.0 ] ] in
+  let c = Mat.of_lists [ [ 3.0 ] ] in
+  let d = Mat.of_lists [ [ 4.0 ] ] in
+  let m = Mat.blocks [ [ a; b ]; [ c; d ] ] in
+  let expected = Mat.of_lists [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+  Alcotest.check mat "2x2 block assembly" expected m
+
+let test_mat_block_roundtrip () =
+  let a = Mat.random ~seed:3 6 6 in
+  let tl = Mat.sub_matrix a 0 0 3 3
+  and tr = Mat.sub_matrix a 0 3 3 3
+  and bl = Mat.sub_matrix a 3 0 3 3
+  and br = Mat.sub_matrix a 3 3 3 3 in
+  Alcotest.check mat "split/assemble roundtrip" a
+    (Mat.blocks [ [ tl; tr ]; [ bl; br ] ])
+
+let test_mat_hcat_vcat () =
+  let a = Mat.random ~seed:4 2 3 and b = Mat.random ~seed:5 2 2 in
+  let h = Mat.hcat a b in
+  check_int "hcat cols" 5 h.Mat.cols;
+  Alcotest.check mat "hcat left" a (Mat.sub_matrix h 0 0 2 3);
+  Alcotest.check mat "hcat right" b (Mat.sub_matrix h 0 3 2 2);
+  let c = Mat.random ~seed:6 3 4 and d = Mat.random ~seed:7 1 4 in
+  let v = Mat.vcat c d in
+  check_int "vcat rows" 4 v.Mat.rows;
+  Alcotest.check mat "vcat bottom" d (Mat.sub_matrix v 3 0 1 4)
+
+let test_mat_trace_norms () =
+  let a = Mat.of_lists [ [ 1.0; -2.0 ]; [ 3.0; 4.0 ] ] in
+  check_float "trace" 5.0 (Mat.trace a);
+  check_float "norm_inf" 7.0 (Mat.norm_inf a);
+  check_float "norm1" 6.0 (Mat.norm1 a);
+  check_float "max_abs" 4.0 (Mat.max_abs a);
+  check_float "fro" (sqrt 30.0) (Mat.norm_fro a)
+
+let test_mat_pow () =
+  let a = Mat.of_lists [ [ 1.0; 1.0 ]; [ 0.0; 1.0 ] ] in
+  let a5 = Mat.pow a 5 in
+  check_float "shear power" 5.0 (Mat.get a5 0 1);
+  Alcotest.check mat "pow 0" (Mat.identity 2) (Mat.pow a 0)
+
+let test_mat_symmetrize () =
+  let a = Mat.random ~seed:8 5 5 in
+  check_bool "symmetric" true (Mat.is_symmetric (Mat.symmetrize a))
+
+let test_mat_mul_vec () =
+  let a = Mat.of_lists [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+  let v = Vec.of_list [ 1.0; 1.0 ] in
+  check_bool "a*v" true
+    (Vec.approx_equal (Mat.mul_vec a v) (Vec.of_list [ 3.0; 7.0 ]))
+
+let test_mat_dim_mismatch () =
+  let a = Mat.create 2 3 and b = Mat.create 2 3 in
+  Alcotest.check_raises "mul mismatch"
+    (Invalid_argument "Mat.mul: dimension mismatch") (fun () ->
+      ignore (Mat.mul a b))
+
+(* ------------------------------------------------------------------ *)
+(* LU                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_lu_solve_known () =
+  let a = Mat.of_lists [ [ 4.0; 3.0 ]; [ 6.0; 3.0 ] ] in
+  let b = Vec.of_list [ 10.0; 12.0 ] in
+  let x = Lu.solve_vec (Lu.factorize a) b in
+  check_bool "solution" true (Vec.approx_equal x (Vec.of_list [ 1.0; 2.0 ]))
+
+let test_lu_inverse () =
+  let a = Mat.random ~seed:9 6 6 in
+  let a = Mat.add a (Mat.scalar 6 3.0) in
+  Alcotest.check mat "a * inv a" (Mat.identity 6) (Mat.mul a (Lu.inv a))
+
+let test_lu_det () =
+  let a = Mat.of_lists [ [ 2.0; 0.0 ]; [ 0.0; 3.0 ] ] in
+  check_float "diag det" 6.0 (Lu.det a);
+  let perm = Mat.of_lists [ [ 0.0; 1.0 ]; [ 1.0; 0.0 ] ] in
+  check_float "swap det" (-1.0) (Lu.det perm)
+
+let test_lu_singular () =
+  let a = Mat.of_lists [ [ 1.0; 2.0 ]; [ 2.0; 4.0 ] ] in
+  check_float "singular det" 0.0 (Lu.det a);
+  Alcotest.check_raises "raises" Lu.Singular (fun () -> ignore (Lu.inv a))
+
+let test_lu_solve_right () =
+  let a = Mat.add (Mat.random ~seed:10 4 4) (Mat.scalar 4 3.0) in
+  let b = Mat.random ~seed:11 2 4 in
+  let x = Lu.solve_right b a in
+  Alcotest.check mat "x*a = b" b (Mat.mul x a)
+
+let test_lu_cond () =
+  check_bool "well conditioned" true (Lu.cond_estimate (Mat.identity 3) < 1.5);
+  check_bool "singular -> inf" true
+    (Lu.cond_estimate (Mat.of_lists [ [ 1.0; 1.0 ]; [ 1.0; 1.0 ] ]) = infinity)
+
+(* ------------------------------------------------------------------ *)
+(* QR                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_qr_reconstruct () =
+  let a = Mat.random ~seed:12 6 4 in
+  let { Qr.q; r } = Qr.factorize a in
+  Alcotest.check mat "a = qr" a (Mat.mul q r);
+  check_bool "q orthonormal" true (Qr.orthonormal_columns q)
+
+let test_qr_full () =
+  let a = Mat.random ~seed:13 5 3 in
+  let { Qr.q; r } = Qr.factorize_full a in
+  check_int "square q" 5 q.Mat.cols;
+  Alcotest.check mat "a = qr" a (Mat.mul q r);
+  check_bool "q orthonormal" true (Qr.orthonormal_columns q)
+
+let test_qr_r_triangular () =
+  let a = Mat.random ~seed:14 5 5 in
+  let { Qr.r; _ } = Qr.factorize a in
+  let ok = ref true in
+  for i = 1 to 4 do
+    for j = 0 to i - 1 do
+      if Mat.get r i j <> 0.0 then ok := false
+    done
+  done;
+  check_bool "strictly triangular" true !ok
+
+let test_qr_least_squares () =
+  (* Fit y = 2x + 1 exactly: residual zero. *)
+  let xs = [ 0.0; 1.0; 2.0; 3.0 ] in
+  let a = Mat.of_lists (List.map (fun x -> [ x; 1.0 ]) xs) in
+  let b = Vec.of_list (List.map (fun x -> (2.0 *. x) +. 1.0) xs) in
+  let sol = Qr.solve_least_squares a b in
+  check_float "slope" 2.0 sol.(0);
+  check_float "intercept" 1.0 sol.(1)
+
+let test_qr_least_squares_residual_orthogonal () =
+  let a = Mat.random ~seed:15 8 3 in
+  let b = Vec.init 8 (fun i -> Float.of_int i) in
+  let x = Qr.solve_least_squares a b in
+  let res = Vec.sub (Mat.mul_vec a x) b in
+  (* Residual of LS solution is orthogonal to the column space. *)
+  let proj = Mat.mul_vec (Mat.transpose a) res in
+  check_bool "normal equations" true (Vec.norm_inf proj < 1e-8)
+
+(* ------------------------------------------------------------------ *)
+(* Eig                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_real_parts zs =
+  let l = Array.to_list zs in
+  List.sort compare (List.map (fun (z : Complex.t) -> z.re) l)
+
+let test_eig_diag () =
+  let a = Mat.diag (Vec.of_list [ 3.0; -1.0; 0.5 ]) in
+  let es = sorted_real_parts (Eig.eigenvalues a) in
+  (match es with
+  | [ x; y; z ] ->
+    check_float_loose "e1" (-1.0) x;
+    check_float_loose "e2" 0.5 y;
+    check_float_loose "e3" 3.0 z
+  | _ -> Alcotest.fail "expected 3 eigenvalues");
+  check_float_loose "radius" 3.0 (Eig.spectral_radius a)
+
+let test_eig_rotation_complex () =
+  (* Rotation by 90 degrees has eigenvalues +-i. *)
+  let a = Mat.of_lists [ [ 0.0; -1.0 ]; [ 1.0; 0.0 ] ] in
+  let es = Eig.eigenvalues a in
+  let ims = List.sort compare (List.map (fun (z : Complex.t) -> z.im) (Array.to_list es)) in
+  (match ims with
+  | [ x; y ] ->
+    check_float_loose "im -1" (-1.0) x;
+    check_float_loose "im +1" 1.0 y
+  | _ -> Alcotest.fail "expected 2 eigenvalues");
+  check_float_loose "radius" 1.0 (Eig.spectral_radius a)
+
+let test_eig_known_3x3 () =
+  (* Companion matrix of (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6. *)
+  let a =
+    Mat.of_lists
+      [ [ 6.0; -11.0; 6.0 ]; [ 1.0; 0.0; 0.0 ]; [ 0.0; 1.0; 0.0 ] ]
+  in
+  match sorted_real_parts (Eig.eigenvalues a) with
+  | [ x; y; z ] ->
+    check_float_loose "root 1" 1.0 x;
+    check_float_loose "root 2" 2.0 y;
+    check_float_loose "root 3" 3.0 z
+  | _ -> Alcotest.fail "expected 3 eigenvalues"
+
+let test_eig_trace_sum () =
+  let a = Mat.random ~seed:16 8 8 in
+  let es = Eig.eigenvalues a in
+  let sum_re = Array.fold_left (fun acc (z : Complex.t) -> acc +. z.re) 0.0 es in
+  let sum_im = Array.fold_left (fun acc (z : Complex.t) -> acc +. z.im) 0.0 es in
+  check_float_loose "sum = trace" (Mat.trace a) sum_re;
+  check_float_loose "imaginary parts cancel" 0.0 sum_im
+
+let test_eig_stability_predicates () =
+  let stable = Mat.diag (Vec.of_list [ 0.5; -0.9 ]) in
+  let unstable = Mat.diag (Vec.of_list [ 0.5; -1.1 ]) in
+  check_bool "discrete stable" true (Eig.is_stable_discrete stable);
+  check_bool "discrete unstable" false (Eig.is_stable_discrete unstable);
+  let cs = Mat.diag (Vec.of_list [ -0.1; -2.0 ]) in
+  let cu = Mat.diag (Vec.of_list [ -0.1; 0.3 ]) in
+  check_bool "continuous stable" true (Eig.is_stable_continuous cs);
+  check_bool "continuous unstable" false (Eig.is_stable_continuous cu)
+
+let test_eig_hessenberg_preserves_spectrum () =
+  let a = Mat.random ~seed:17 6 6 in
+  let h = Eig.hessenberg a in
+  (* Hessenberg form: zero below the first subdiagonal. *)
+  let ok = ref true in
+  for i = 2 to 5 do
+    for j = 0 to i - 2 do
+      if Float.abs (Mat.get h i j) > 1e-12 then ok := false
+    done
+  done;
+  check_bool "structure" true !ok;
+  check_float_loose "same trace" (Mat.trace a) (Mat.trace h)
+
+let test_eig_symmetric () =
+  let a = Mat.of_lists [ [ 2.0; 1.0 ]; [ 1.0; 2.0 ] ] in
+  let values, vectors = Eig.symmetric a in
+  check_float_loose "lambda min" 1.0 values.(0);
+  check_float_loose "lambda max" 3.0 values.(1);
+  (* Reconstruct a = V diag V^T. *)
+  let recon = Mat.mul3 vectors (Mat.diag values) (Mat.transpose vectors) in
+  Alcotest.check mat "reconstruction" a recon
+
+let test_eig_psd () =
+  let a = Mat.of_lists [ [ 2.0; 1.0 ]; [ 1.0; 2.0 ] ] in
+  check_bool "pd" true (Eig.is_positive_definite a);
+  let b = Mat.of_lists [ [ 1.0; 2.0 ]; [ 2.0; 1.0 ] ] in
+  check_bool "indefinite" false (Eig.is_positive_semidefinite b);
+  let c = Mat.of_lists [ [ 1.0; 1.0 ]; [ 1.0; 1.0 ] ] in
+  check_bool "psd boundary" true (Eig.is_positive_semidefinite c);
+  check_bool "not pd" false (Eig.is_positive_definite c)
+
+(* ------------------------------------------------------------------ *)
+(* SVD                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_svd_reconstruct () =
+  let a = Mat.random ~seed:18 5 3 in
+  let u, s, v = Svd.decompose a in
+  let recon = Mat.mul3 u (Mat.diag s) (Mat.transpose v) in
+  Alcotest.check mat "u s v^T" a recon;
+  check_bool "u orthonormal" true (Qr.orthonormal_columns u);
+  check_bool "v orthonormal" true (Qr.orthonormal_columns v)
+
+let test_svd_wide () =
+  let a = Mat.random ~seed:19 3 6 in
+  let u, s, v = Svd.decompose a in
+  let recon = Mat.mul3 u (Mat.diag s) (Mat.transpose v) in
+  Alcotest.check mat "wide reconstruction" a recon
+
+let test_svd_descending () =
+  let s = Svd.singular_values (Mat.random ~seed:20 6 6) in
+  let ok = ref true in
+  for i = 0 to Vec.dim s - 2 do
+    if s.(i) < s.(i + 1) then ok := false
+  done;
+  check_bool "descending" true !ok;
+  check_bool "non-negative" true (Array.for_all (fun x -> x >= 0.0) s)
+
+let test_svd_known () =
+  let a = Mat.diag (Vec.of_list [ 3.0; -4.0 ]) in
+  let s = Svd.singular_values a in
+  check_float_loose "sv max" 4.0 s.(0);
+  check_float_loose "sv min" 3.0 s.(1);
+  check_float_loose "norm2" 4.0 (Svd.norm2 a)
+
+let test_svd_rank () =
+  let a = Mat.of_lists [ [ 1.0; 2.0 ]; [ 2.0; 4.0 ] ] in
+  check_int "rank deficient" 1 (Svd.rank a);
+  check_int "full rank" 2 (Svd.rank (Mat.identity 2));
+  check_bool "cond inf" true (Svd.cond a = infinity)
+
+let test_svd_pinv () =
+  let a = Mat.random ~seed:21 5 3 in
+  let p = Svd.pinv a in
+  (* Moore-Penrose: a p a = a. *)
+  Alcotest.check mat "a p a = a" a (Mat.mul3 a p a);
+  Alcotest.check mat "p a p = p" p (Mat.mul3 p a p)
+
+let test_svd_norm2_complex () =
+  let c = Cmat.diag [| { Complex.re = 0.0; im = 5.0 }; { re = 1.0; im = 0.0 } |] in
+  check_float_loose "complex norm" 5.0 (Svd.norm2_complex c)
+
+(* ------------------------------------------------------------------ *)
+(* Cmat                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cmat_mul_inv () =
+  let a =
+    Cmat.init 3 3 (fun i j ->
+        {
+          Complex.re = Float.of_int ((i * 3) + j + 1);
+          im = (if i = j then 2.0 else -1.0);
+        })
+  in
+  let ai = Cmat.inv a in
+  check_bool "a * inv a = I" true
+    (Cmat.approx_equal ~tol:1e-9 (Cmat.mul a ai) (Cmat.identity 3))
+
+let test_cmat_conj_transpose () =
+  let z = { Complex.re = 1.0; im = 2.0 } in
+  let a = Cmat.init 1 2 (fun _ j -> if j = 0 then z else Complex.one) in
+  let h = Cmat.conj_transpose a in
+  let z' = Cmat.get h 0 0 in
+  check_float "re" 1.0 z'.Complex.re;
+  check_float "im" (-2.0) z'.Complex.im
+
+let test_cmat_real_roundtrip () =
+  let m = Mat.random ~seed:22 3 4 in
+  Alcotest.check mat "of_real/real_part" m (Cmat.real_part (Cmat.of_real m));
+  check_bool "imag zero" true
+    (Mat.approx_equal (Cmat.imag_part (Cmat.of_real m)) (Mat.create 3 4))
+
+let test_cmat_solve () =
+  let a = Cmat.of_real (Mat.add (Mat.random ~seed:23 4 4) (Mat.scalar 4 3.0)) in
+  let b = Cmat.of_real (Mat.random ~seed:24 4 2) in
+  let x = Cmat.solve a b in
+  check_bool "a x = b" true (Cmat.approx_equal ~tol:1e-9 (Cmat.mul a x) b)
+
+(* ------------------------------------------------------------------ *)
+(* Expm                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_expm_zero () =
+  Alcotest.check mat "e^0 = I" (Mat.identity 3) (Expm.expm (Mat.create 3 3))
+
+let test_expm_diag () =
+  let a = Mat.diag (Vec.of_list [ 1.0; -2.0 ]) in
+  let e = Expm.expm a in
+  check_float_loose "e^1" (exp 1.0) (Mat.get e 0 0);
+  check_float_loose "e^-2" (exp (-2.0)) (Mat.get e 1 1);
+  check_float_loose "off-diagonal" 0.0 (Mat.get e 0 1)
+
+let test_expm_nilpotent () =
+  (* exp([[0,1],[0,0]]) = [[1,1],[0,1]] exactly. *)
+  let a = Mat.of_lists [ [ 0.0; 1.0 ]; [ 0.0; 0.0 ] ] in
+  Alcotest.check mat "shear" (Mat.of_lists [ [ 1.0; 1.0 ]; [ 0.0; 1.0 ] ])
+    (Expm.expm a)
+
+let test_expm_rotation () =
+  (* exp(theta * [[0,-1],[1,0]]) is rotation by theta. *)
+  let theta = 0.7 in
+  let a = Mat.scale theta (Mat.of_lists [ [ 0.0; -1.0 ]; [ 1.0; 0.0 ] ]) in
+  let e = Expm.expm a in
+  check_float_loose "cos" (cos theta) (Mat.get e 0 0);
+  check_float_loose "sin" (sin theta) (Mat.get e 1 0)
+
+let test_expm_inverse_property () =
+  let a = Mat.random ~seed:25 4 4 in
+  let e = Expm.expm a and em = Expm.expm (Mat.neg a) in
+  check_bool "e^a e^-a = I" true
+    (Mat.approx_equal ~tol:1e-7 (Mat.mul e em) (Mat.identity 4))
+
+(* ------------------------------------------------------------------ *)
+(* Properties (qcheck)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let small_float = QCheck.Gen.float_range (-5.0) 5.0
+
+let gen_mat n =
+  QCheck.Gen.(
+    array_size (return (n * n)) small_float
+    |> map (fun data -> { Mat.rows = n; cols = n; data }))
+
+let arb_mat3 = QCheck.make ~print:(Format.asprintf "%a" Mat.pp) (gen_mat 3)
+
+let arb_mat_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> Format.asprintf "%a@.%a" Mat.pp a Mat.pp b)
+    QCheck.Gen.(pair (gen_mat 3) (gen_mat 3))
+
+let prop_transpose_product =
+  QCheck.Test.make ~name:"(ab)^T = b^T a^T" ~count:100 arb_mat_pair
+    (fun (a, b) ->
+      Mat.approx_equal ~tol:1e-8
+        (Mat.transpose (Mat.mul a b))
+        (Mat.mul (Mat.transpose b) (Mat.transpose a)))
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"a+b = b+a" ~count:100 arb_mat_pair (fun (a, b) ->
+      Mat.approx_equal (Mat.add a b) (Mat.add b a))
+
+let prop_trace_similarity =
+  QCheck.Test.make ~name:"trace(ab) = trace(ba)" ~count:100 arb_mat_pair
+    (fun (a, b) ->
+      Float.abs (Mat.trace (Mat.mul a b) -. Mat.trace (Mat.mul b a)) < 1e-7)
+
+let prop_lu_solve =
+  QCheck.Test.make ~name:"lu solve residual" ~count:100 arb_mat3 (fun a ->
+      (* Shift to ensure invertibility. *)
+      let a = Mat.add a (Mat.scalar 3 20.0) in
+      let b = Vec.of_list [ 1.0; -2.0; 0.5 ] in
+      let x = Lu.solve_vec (Lu.factorize a) b in
+      Vec.norm_inf (Vec.sub (Mat.mul_vec a x) b) < 1e-7)
+
+let prop_qr_orthonormal =
+  QCheck.Test.make ~name:"qr q orthonormal" ~count:60 arb_mat3 (fun a ->
+      let { Qr.q; r } = Qr.factorize a in
+      Qr.orthonormal_columns ~tol:1e-7 q
+      && Mat.approx_equal ~tol:1e-7 (Mat.mul q r) a)
+
+let prop_svd_norm_bounds =
+  QCheck.Test.make ~name:"fro >= 2-norm >= fro/sqrt(n)" ~count:60 arb_mat3
+    (fun a ->
+      let two = Svd.norm2 a and fro = Mat.norm_fro a in
+      two <= fro +. 1e-7 && fro <= (two *. sqrt 3.0) +. 1e-7)
+
+let prop_spectral_radius_bounded =
+  QCheck.Test.make ~name:"rho(a) <= ||a||_inf" ~count:60 arb_mat3 (fun a ->
+      Eig.spectral_radius a <= Mat.norm_inf a +. 1e-6)
+
+let prop_symmetric_eig_bounds =
+  QCheck.Test.make ~name:"symmetric eig within gershgorin" ~count:60 arb_mat3
+    (fun a ->
+      let s = Mat.symmetrize a in
+      let values = Eig.symmetric_values s in
+      let bound = Mat.norm_inf s +. 1e-7 in
+      Array.for_all (fun x -> Float.abs x <= bound) values)
+
+let prop_expm_det =
+  (* det(e^A) = e^trace(A). *)
+  QCheck.Test.make ~name:"det expm = exp trace" ~count:40 arb_mat3 (fun a ->
+      let a = Mat.scale 0.3 a in
+      let lhs = Lu.det (Expm.expm a) in
+      let rhs = exp (Mat.trace a) in
+      Float.abs (lhs -. rhs) <= 1e-5 *. Float.max 1.0 (Float.abs rhs))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_transpose_product;
+      prop_add_commutative;
+      prop_trace_similarity;
+      prop_lu_solve;
+      prop_qr_orthonormal;
+      prop_svd_norm_bounds;
+      prop_spectral_radius_bounded;
+      prop_symmetric_eig_bounds;
+      prop_expm_det;
+    ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Round 2: degenerate shapes and numerical edges                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_matrix_ops () =
+  let e = Mat.create 0 0 in
+  check_int "rows" 0 e.Mat.rows;
+  let p = Mat.mul e e in
+  check_int "product empty" 0 p.Mat.rows;
+  check_float "trace" 0.0 (Mat.trace e);
+  check_float "fro" 0.0 (Mat.norm_fro e)
+
+let test_one_by_one () =
+  let a = Mat.of_lists [ [ 4.0 ] ] in
+  check_float "det" 4.0 (Lu.det a);
+  check_float "inv" 0.25 (Mat.get (Lu.inv a) 0 0);
+  let s = Svd.singular_values a in
+  check_float "sv" 4.0 s.(0);
+  let es = Eig.eigenvalues a in
+  check_float "eig" 4.0 es.(0).Complex.re
+
+let test_mat_pow_negative_rejected () =
+  Alcotest.check_raises "negative power"
+    (Invalid_argument "Mat.pow: negative exponent") (fun () ->
+      ignore (Mat.pow (Mat.identity 2) (-1)))
+
+let test_lu_ill_conditioned_solve () =
+  (* Hilbert-like 4x4: ill conditioned but solvable; residual must stay
+     small even if the error grows. *)
+  let a = Mat.init 4 4 (fun i j -> 1.0 /. Float.of_int (i + j + 1)) in
+  let x_true = Vec.of_list [ 1.0; -1.0; 2.0; 0.5 ] in
+  let b = Mat.mul_vec a x_true in
+  let x = Lu.solve_vec (Lu.factorize a) b in
+  let resid = Vec.norm_inf (Vec.sub (Mat.mul_vec a x) b) in
+  check_bool "residual tiny" true (resid < 1e-10);
+  check_bool "condition detected" true (Lu.cond_estimate a > 1e3)
+
+let test_eig_repeated_eigenvalues () =
+  (* Jordan-ish block: repeated eigenvalue 2. *)
+  let a = Mat.of_lists [ [ 2.0; 1.0 ]; [ 0.0; 2.0 ] ] in
+  let es = Eig.eigenvalues a in
+  Array.iter
+    (fun (z : Complex.t) ->
+      check_bool "eigenvalue 2" true
+        (Float.abs (z.re -. 2.0) < 1e-6 && Float.abs z.im < 1e-6))
+    es
+
+let test_svd_zero_matrix () =
+  let s = Svd.singular_values (Mat.create 3 2) in
+  check_bool "all zero" true (Array.for_all (fun x -> x = 0.0) s);
+  check_float "norm2" 0.0 (Svd.norm2 (Mat.create 3 2));
+  check_int "rank" 0 (Svd.rank (Mat.create 3 2))
+
+let test_expm_large_norm_scaling () =
+  (* Large-norm input exercises the squaring phase. *)
+  let a = Mat.scale 8.0 (Mat.of_lists [ [ 0.0; -1.0 ]; [ 1.0; 0.0 ] ]) in
+  let e = Expm.expm a in
+  (* Rotation by 8 rad. *)
+  check_bool "cos" true (Float.abs (Mat.get e 0 0 -. cos 8.0) < 1e-6);
+  (* And e^a is orthogonal: |det| = 1. *)
+  check_bool "det 1" true (Float.abs (Lu.det e -. 1.0) < 1e-6)
+
+let test_cmat_singular_solve_raises () =
+  let z = Cmat.create 2 2 in
+  Alcotest.check_raises "singular" Lu.Singular (fun () ->
+      ignore (Cmat.solve z (Cmat.identity 2)))
+
+let round2_cases =
+  [
+    Alcotest.test_case "empty matrices" `Quick test_empty_matrix_ops;
+    Alcotest.test_case "1x1" `Quick test_one_by_one;
+    Alcotest.test_case "pow negative" `Quick test_mat_pow_negative_rejected;
+    Alcotest.test_case "ill conditioned" `Quick test_lu_ill_conditioned_solve;
+    Alcotest.test_case "repeated eigenvalues" `Quick
+      test_eig_repeated_eigenvalues;
+    Alcotest.test_case "svd zero" `Quick test_svd_zero_matrix;
+    Alcotest.test_case "expm large norm" `Quick test_expm_large_norm_scaling;
+    Alcotest.test_case "cmat singular" `Quick test_cmat_singular_solve_raises;
+  ]
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic" `Quick test_vec_basic;
+          Alcotest.test_case "arith" `Quick test_vec_arith;
+          Alcotest.test_case "basis" `Quick test_vec_basis;
+          Alcotest.test_case "norm2 overflow" `Quick test_vec_norm2_overflow;
+          Alcotest.test_case "slice/concat" `Quick test_vec_slice_concat;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "identity mul" `Quick test_mat_identity_mul;
+          Alcotest.test_case "transpose" `Quick test_mat_transpose;
+          Alcotest.test_case "mul known" `Quick test_mat_mul_known;
+          Alcotest.test_case "blocks" `Quick test_mat_blocks;
+          Alcotest.test_case "block roundtrip" `Quick test_mat_block_roundtrip;
+          Alcotest.test_case "hcat/vcat" `Quick test_mat_hcat_vcat;
+          Alcotest.test_case "trace and norms" `Quick test_mat_trace_norms;
+          Alcotest.test_case "pow" `Quick test_mat_pow;
+          Alcotest.test_case "symmetrize" `Quick test_mat_symmetrize;
+          Alcotest.test_case "mul_vec" `Quick test_mat_mul_vec;
+          Alcotest.test_case "dim mismatch" `Quick test_mat_dim_mismatch;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve known" `Quick test_lu_solve_known;
+          Alcotest.test_case "inverse" `Quick test_lu_inverse;
+          Alcotest.test_case "det" `Quick test_lu_det;
+          Alcotest.test_case "singular" `Quick test_lu_singular;
+          Alcotest.test_case "solve_right" `Quick test_lu_solve_right;
+          Alcotest.test_case "cond estimate" `Quick test_lu_cond;
+        ] );
+      ( "qr",
+        [
+          Alcotest.test_case "reconstruct" `Quick test_qr_reconstruct;
+          Alcotest.test_case "full" `Quick test_qr_full;
+          Alcotest.test_case "r triangular" `Quick test_qr_r_triangular;
+          Alcotest.test_case "least squares exact" `Quick test_qr_least_squares;
+          Alcotest.test_case "ls residual orthogonal" `Quick
+            test_qr_least_squares_residual_orthogonal;
+        ] );
+      ( "eig",
+        [
+          Alcotest.test_case "diagonal" `Quick test_eig_diag;
+          Alcotest.test_case "rotation complex pair" `Quick
+            test_eig_rotation_complex;
+          Alcotest.test_case "companion 3x3" `Quick test_eig_known_3x3;
+          Alcotest.test_case "trace = sum" `Quick test_eig_trace_sum;
+          Alcotest.test_case "stability predicates" `Quick
+            test_eig_stability_predicates;
+          Alcotest.test_case "hessenberg" `Quick
+            test_eig_hessenberg_preserves_spectrum;
+          Alcotest.test_case "symmetric" `Quick test_eig_symmetric;
+          Alcotest.test_case "psd checks" `Quick test_eig_psd;
+        ] );
+      ( "svd",
+        [
+          Alcotest.test_case "reconstruct tall" `Quick test_svd_reconstruct;
+          Alcotest.test_case "reconstruct wide" `Quick test_svd_wide;
+          Alcotest.test_case "descending" `Quick test_svd_descending;
+          Alcotest.test_case "known values" `Quick test_svd_known;
+          Alcotest.test_case "rank" `Quick test_svd_rank;
+          Alcotest.test_case "pinv" `Quick test_svd_pinv;
+          Alcotest.test_case "complex norm" `Quick test_svd_norm2_complex;
+        ] );
+      ( "cmat",
+        [
+          Alcotest.test_case "mul/inv" `Quick test_cmat_mul_inv;
+          Alcotest.test_case "conj transpose" `Quick test_cmat_conj_transpose;
+          Alcotest.test_case "real roundtrip" `Quick test_cmat_real_roundtrip;
+          Alcotest.test_case "solve" `Quick test_cmat_solve;
+        ] );
+      ( "expm",
+        [
+          Alcotest.test_case "zero" `Quick test_expm_zero;
+          Alcotest.test_case "diagonal" `Quick test_expm_diag;
+          Alcotest.test_case "nilpotent" `Quick test_expm_nilpotent;
+          Alcotest.test_case "rotation" `Quick test_expm_rotation;
+          Alcotest.test_case "inverse property" `Quick
+            test_expm_inverse_property;
+        ] );
+      ("edge cases", round2_cases);
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,728 @@
+(* Tests for the Yukta core library: signal descriptors, the interface
+   exchange, the runtime SSV controller, the target optimizer, the
+   generalized-plant construction, the heuristic baselines, and the
+   multilayer runtime. *)
+
+open Linalg
+open Yukta
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Signal                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let freq_input =
+  Signal.input ~name:"freq" ~minimum:0.2 ~maximum:2.0 ~step:0.1 ~weight:1.0
+
+let perf_output =
+  Signal.output ~name:"perf" ~lo:0.0 ~hi:10.0 ~bound_fraction:0.2 ()
+
+let test_signal_normalization_roundtrip () =
+  let x = 1.3 in
+  check_float_loose "input roundtrip" x
+    (Signal.denormalize_input freq_input (Signal.normalize_input freq_input x));
+  check_float "input center" 0.0 (Signal.normalize_input freq_input 1.1);
+  check_float "input extreme" 1.0 (Signal.normalize_input freq_input 2.0);
+  check_float "output center" 0.0 (Signal.normalize_output perf_output 5.0);
+  check_float "output extreme" (-1.0) (Signal.normalize_output perf_output 0.0)
+
+let test_signal_bounds () =
+  check_float "absolute bound" 2.0 (Signal.bound_absolute perf_output);
+  check_float "normalized bound" 0.4 (Signal.normalized_bound perf_output);
+  check_bool "critical default" false perf_output.Signal.critical;
+  check_bool "integral default" true perf_output.Signal.integral
+
+let test_signal_quantization_uncertainty () =
+  (* step/2 over half-span: 0.05 / 0.9. *)
+  check_float_loose "quantization" (0.05 /. 0.9)
+    (Signal.quantization_uncertainty freq_input)
+
+let test_signal_validation () =
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Signal.output: empty range") (fun () ->
+      ignore (Signal.output ~name:"x" ~lo:1.0 ~hi:1.0 ~bound_fraction:0.1 ()));
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Signal.input: weight must be positive") (fun () ->
+      ignore
+        (Signal.input ~name:"x" ~minimum:0.0 ~maximum:1.0 ~step:0.1 ~weight:0.0))
+
+let test_signal_external_normalization () =
+  let e =
+    { Signal.name = "threads"; info = Signal.Opaque { lo = 0.0; hi = 8.0 } }
+  in
+  check_float "center" 0.0 (Signal.normalize_external e 4.0);
+  check_float "max" 1.0 (Signal.normalize_external e 8.0)
+
+(* ------------------------------------------------------------------ *)
+(* Interface                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let hw_spec_small =
+  {
+    Interface.layer = "hw";
+    inputs = [ freq_input ];
+    outputs = [ perf_output ];
+    wanted_externals = [ ("threads", (0.0, 8.0)) ];
+  }
+
+let sw_spec_small =
+  {
+    Interface.layer = "sw";
+    inputs =
+      [ Signal.input ~name:"threads" ~minimum:0.0 ~maximum:8.0 ~step:1.0 ~weight:2.0 ];
+    outputs = [ Signal.output ~name:"perf" ~lo:0.0 ~hi:8.0 ~bound_fraction:0.1 () ];
+    wanted_externals = [ ("freq", (0.2, 2.0)); ("mystery", (0.0, 1.0)) ];
+  }
+
+let test_interface_resolves_input () =
+  let r = Interface.resolve ~own:hw_spec_small ~peer:sw_spec_small in
+  check_int "resolved count" 1 (List.length r.Interface.externals);
+  (match (List.hd r.Interface.externals).Signal.info with
+  | Signal.From_input ch ->
+    check_float "channel max" 8.0 ch.Control.Quantize.maximum
+  | _ -> Alcotest.fail "expected From_input");
+  check_float "no inflation" 0.0 r.Interface.guardband_inflation
+
+let test_interface_unresolved_inflates () =
+  let r = Interface.resolve ~own:sw_spec_small ~peer:hw_spec_small in
+  check_int "one unresolved" 1 (List.length r.Interface.unresolved);
+  check_bool "inflation positive" true (r.Interface.guardband_inflation > 0.0);
+  (* "freq" resolves as the hw input; "mystery" is opaque. *)
+  (match (List.hd r.Interface.externals).Signal.info with
+  | Signal.From_input _ -> ()
+  | _ -> Alcotest.fail "freq should resolve From_input")
+
+let test_interface_common_outputs () =
+  let common = Interface.common_outputs hw_spec_small sw_spec_small in
+  check_int "perf shared" 1 (List.length common);
+  let name, b1, b2 = List.hd common in
+  Alcotest.(check string) "name" "perf" name;
+  check_float "own bound" 2.0 b1;
+  check_float "peer bound" 0.8 b2
+
+(* ------------------------------------------------------------------ *)
+(* Controller (runtime state machine)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A hand-built "controller" whose command equals the (normalized)
+   deviation of its single output, plus the external: easy to predict. *)
+let toy_controller () =
+  let core =
+    Control.Ss.make ~domain:(Control.Ss.Discrete 0.5)
+      ~a:(Mat.create 0 0) ~b:(Mat.create 0 2)
+      ~c:(Mat.create 1 0)
+      ~d:(Mat.of_lists [ [ 1.0; 0.5 ] ])
+      ()
+  in
+  Controller.make ~controller:core ~inputs:[| freq_input |]
+    ~outputs:[| perf_output |]
+    ~externals:
+      [| { Signal.name = "e"; info = Signal.Opaque { lo = -1.0; hi = 1.0 } } |]
+
+let test_controller_step_quantizes () =
+  let c = toy_controller () in
+  (* deviation = (7.5 - 5.0)/5 = 0.5 normalized; external 0; u_norm = 0.5
+     -> freq = 1.1 + 0.5*0.9 = 1.55 -> quantized 1.5 or 1.6. *)
+  let u =
+    Controller.step c ~measurements:[| 7.5 |] ~targets:[| 5.0 |]
+      ~externals:[| 0.0 |]
+  in
+  check_bool "on grid" true (u.(0) = 1.5 || u.(0) = 1.6);
+  let raw = Controller.last_raw_command c in
+  check_float_loose "raw" 0.5 raw.(0)
+
+let test_controller_external_channel () =
+  let c = toy_controller () in
+  let u0 =
+    Controller.step c ~measurements:[| 5.0 |] ~targets:[| 5.0 |]
+      ~externals:[| 0.0 |]
+  in
+  let u1 =
+    Controller.step c ~measurements:[| 5.0 |] ~targets:[| 5.0 |]
+      ~externals:[| 1.0 |]
+  in
+  (* external normalized to 1.0, weighted 0.5 in D: u_norm = 0.5. *)
+  check_float "no external" 1.1 u0.(0);
+  check_bool "external moves command" true (u1.(0) > u0.(0))
+
+let test_controller_dimension_checks () =
+  let c = toy_controller () in
+  Alcotest.check_raises "bad measurement"
+    (Invalid_argument "Controller.step: measurement dimension mismatch")
+    (fun () ->
+      ignore
+        (Controller.step c ~measurements:[| 1.0; 2.0 |] ~targets:[| 5.0 |]
+           ~externals:[| 0.0 |]))
+
+let test_controller_state_and_reset () =
+  (* An integrating controller accumulates; reset clears it. *)
+  let core =
+    Control.Ss.make ~domain:(Control.Ss.Discrete 0.5)
+      ~a:(Mat.of_lists [ [ 1.0 ] ])
+      ~b:(Mat.of_lists [ [ 1.0 ] ])
+      ~c:(Mat.of_lists [ [ 0.2 ] ])
+      ~d:(Mat.create 1 1) ()
+  in
+  let c =
+    Controller.make ~controller:core ~inputs:[| freq_input |]
+      ~outputs:[| perf_output |] ~externals:[||]
+  in
+  let step () =
+    (Controller.step c ~measurements:[| 10.0 |] ~targets:[| 5.0 |]
+       ~externals:[||]).(0)
+  in
+  let u1 = step () in
+  let u2 = step () in
+  let u3 = step () in
+  check_bool "integrates upward" true (u3 >= u2 && u2 >= u1);
+  Controller.reset c;
+  check_float "reset repeats first step" u1 (step ())
+
+let test_controller_cost_matches_paper_shape () =
+  (* With N=20, I=4, O+E=7 the paper quotes ~700 operations and ~2.6 KB. *)
+  let core =
+    Control.Ss.make ~domain:(Control.Ss.Discrete 0.5)
+      ~a:(Mat.identity 20)
+      ~b:(Mat.create 20 7)
+      ~c:(Mat.create 4 20)
+      ~d:(Mat.create 4 7) ()
+  in
+  let inputs = Hw_layer.inputs () in
+  let outputs = Hw_layer.outputs () in
+  let externals = Hw_layer.externals () in
+  let c = Controller.make ~controller:core ~inputs ~outputs ~externals in
+  let cost = Controller.cost c in
+  check_int "states" 20 cost.Controller.states;
+  check_int "macs" ((20 + 4) * (20 + 7)) cost.Controller.multiply_accumulates;
+  check_bool "storage ~2.6KB" true
+    (cost.Controller.storage_bytes > 2200 && cost.Controller.storage_bytes < 3000)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let power_output =
+  Signal.output ~name:"p" ~lo:0.0 ~hi:6.0 ~bound_fraction:0.1 ~critical:true ()
+
+let test_optimizer_initial_targets () =
+  let o =
+    Optimizer.make
+      ~outputs:[| perf_output; power_output |]
+      ~roles:[| Optimizer.Maximize; Optimizer.Limited 3.3 |]
+  in
+  let t = Optimizer.targets o in
+  check_float "perf starts mid" 5.0 t.(0);
+  (* cap = 3.3 - 0.4*0.6 = 3.06. *)
+  check_float_loose "power starts at cap" 3.06 t.(1)
+
+let test_optimizer_limited_stays_within () =
+  let o =
+    Optimizer.make ~outputs:[| power_output |] ~roles:[| Optimizer.Limited 3.3 |]
+  in
+  (* Feed arbitrary objectives; targets must always respect the cap. *)
+  let ok = ref true in
+  for i = 1 to 60 do
+    let obj = 1.0 +. (0.5 *. sin (Float.of_int i)) in
+    let t = Optimizer.update o ~objective:obj ~measurements:[| 2.0 |] in
+    if t.(0) > 3.0601 || t.(0) < 0.0 then ok := false
+  done;
+  check_bool "cap respected" true !ok
+
+let test_optimizer_maximize_tracks_measurement () =
+  let o =
+    Optimizer.make ~outputs:[| perf_output |] ~roles:[| Optimizer.Maximize |]
+  in
+  let t = Optimizer.update o ~objective:1.0 ~measurements:[| 6.0 |] in
+  (* measurement + 1 bound = 6 + 2 = 8. *)
+  check_float "leads by one bound" 8.0 t.(0);
+  let t2 = Optimizer.update o ~objective:1.0 ~measurements:[| 9.5 |] in
+  check_float "clamped to range" 10.0 t2.(0)
+
+let test_optimizer_descends_when_objective_improves_down () =
+  let o =
+    Optimizer.make ~outputs:[| power_output |] ~roles:[| Optimizer.Limited 3.3 |]
+  in
+  (* Simulate a world where lower targets give lower (better) objective:
+     objective = current target value. After warmup the target must have
+     moved below the cap. *)
+  let target = ref 3.06 in
+  for _ = 1 to 30 do
+    let t = Optimizer.update o ~objective:!target ~measurements:[| !target |] in
+    target := t.(0)
+  done;
+  check_bool "descended" true (!target < 3.0)
+
+let test_optimizer_fixed_role () =
+  let o =
+    Optimizer.make ~outputs:[| perf_output |] ~roles:[| Optimizer.Fixed 7.0 |]
+  in
+  let t = Optimizer.update o ~objective:0.5 ~measurements:[| 2.0 |] in
+  check_float "fixed" 7.0 t.(0);
+  check_float "best tracked" 0.5 (Optimizer.best_objective o)
+
+let test_optimizer_reset () =
+  let o =
+    Optimizer.make ~outputs:[| power_output |] ~roles:[| Optimizer.Limited 3.3 |]
+  in
+  for i = 1 to 20 do
+    ignore
+      (Optimizer.update o ~objective:(Float.of_int i) ~measurements:[| 2.0 |])
+  done;
+  Optimizer.reset o;
+  check_float_loose "back to cap" 3.06 (Optimizer.targets o).(0);
+  check_bool "best cleared" true (Optimizer.best_objective o = infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Design: generalized plant                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_spec =
+  {
+    Design.layer = "tiny";
+    inputs = [| freq_input |];
+    outputs = [| perf_output |];
+    externals =
+      [| { Signal.name = "e"; info = Signal.Opaque { lo = -1.0; hi = 1.0 } } |];
+    uncertainty = 0.3;
+    period = 0.5;
+  }
+
+let tiny_model =
+  (* One-state stable model: y = 0.8 y^- + 0.5 u + 0.1 e. *)
+  Control.Ss.make ~domain:(Control.Ss.Discrete 0.5)
+    ~a:(Mat.of_lists [ [ 0.8 ] ])
+    ~b:(Mat.of_lists [ [ 0.5; 0.1 ] ])
+    ~c:(Mat.of_lists [ [ 1.0 ] ])
+    ~d:(Mat.create 1 2) ()
+
+let test_generalized_plant_dimensions () =
+  let plant, structure = Design.generalized_plant tiny_spec ~model:tiny_model in
+  (* no=1, nu=1, ne=1: nw = 1+1+1+1 = 4, nz = 1+1+1+1 = 4, ny = 2, nu = 1. *)
+  check_int "nw" 4 plant.Control.Hinf.part.Control.Hinf.nw;
+  check_int "nz" 4 plant.Control.Hinf.part.Control.Hinf.nz;
+  check_int "ny" 2 plant.Control.Hinf.part.Control.Hinf.ny;
+  check_int "nu" 1 plant.Control.Hinf.part.Control.Hinf.nu;
+  Control.Hinf.validate_partition plant;
+  (* Structure tiles the z/w channels. *)
+  check_int "structure rows" 4 (Control.Ssv.block_rows structure);
+  check_int "structure cols" 4 (Control.Ssv.block_cols structure);
+  (* Weight states augment the model. *)
+  check_int "order" 2 (Control.Ss.order plant.Control.Hinf.sys)
+
+let test_generalized_plant_rejects_mismatch () =
+  let bad_model =
+    Control.Ss.make ~domain:(Control.Ss.Discrete 0.5)
+      ~a:(Mat.of_lists [ [ 0.5 ] ])
+      ~b:(Mat.of_lists [ [ 1.0 ] ])
+      ~c:(Mat.of_lists [ [ 1.0 ] ])
+      ~d:(Mat.create 1 1) ()
+  in
+  Alcotest.check_raises "input mismatch"
+    (Invalid_argument
+       "Design.generalized_plant: model inputs <> inputs + externals")
+    (fun () -> ignore (Design.generalized_plant tiny_spec ~model:bad_model))
+
+let test_tiny_synthesis_end_to_end () =
+  (* mu-synthesis on the one-state layer: must produce a wrapped runtime
+     controller with the right signature and a finite certificate. *)
+  let syn = Design.synthesize ~dk_iterations:1 ~mu_points:10 tiny_spec ~model:tiny_model in
+  check_bool "mu finite" true (Float.is_finite syn.Design.mu_peak);
+  check_bool "gamma positive" true (syn.Design.gamma > 0.0);
+  let u =
+    Controller.step syn.Design.controller ~measurements:[| 4.0 |]
+      ~targets:[| 5.0 |] ~externals:[| 0.0 |]
+  in
+  check_bool "command on the grid" true
+    (Float.abs ((u.(0) *. 10.0) -. Float.round (u.(0) *. 10.0)) < 1e-9);
+  check_bool "guaranteed bounds scale" true
+    (syn.Design.guaranteed_bounds.(0) >= Signal.bound_absolute perf_output -. 1e-9)
+
+let test_identify_recovers_tiny_model () =
+  (* Generate data from the tiny model and identify it back. *)
+  let exc = { Sysid.Excitation.seed = 2; hold = 2 } in
+  let u_norm =
+    Sysid.Excitation.channels exc
+      ~levels:[| [| -1.0; 0.0; 1.0 |]; [| -1.0; 1.0 |] |]
+      ~length:300
+  in
+  (* Physical u: denormalize channel 0 through the input descriptor,
+     channel 1 through the external range. *)
+  let u_phys =
+    Array.map
+      (fun row ->
+        [| Signal.denormalize_input freq_input row.(0); row.(1) |])
+      u_norm
+  in
+  let y_norm = Control.Ss.simulate tiny_model u_norm in
+  let y_phys =
+    Array.map (fun v -> [| Signal.denormalize_output perf_output v.(0) |]) y_norm
+  in
+  let model = Design.identify ~order:2 tiny_spec ~u:u_phys ~y:y_phys in
+  (* The identified model must reproduce the dc gain of the truth. *)
+  let dc_true = Mat.get (Control.Ss.dcgain tiny_model) 0 0 in
+  let dc_est = Mat.get (Control.Ss.dcgain model) 0 0 in
+  check_bool "dc gain recovered" true (Float.abs (dc_true -. dc_est) < 0.15)
+
+
+let test_synthesis_with_reduction () =
+  (* Ask for a 2-state controller on the tiny layer: the option must never
+     produce a worse certificate or an unstable loop, and when it applies
+     the controller order shrinks. *)
+  let full =
+    Design.synthesize ~dk_iterations:1 ~mu_points:8 tiny_spec ~model:tiny_model
+  in
+  let reduced =
+    Design.synthesize ~dk_iterations:1 ~mu_points:8 ~reduce_order:2 tiny_spec
+      ~model:tiny_model
+  in
+  check_bool "order never grows" true
+    (Controller.order reduced.Design.controller
+     <= Controller.order full.Design.controller);
+  check_bool "certificate not much worse" true
+    (reduced.Design.mu_peak <= (full.Design.mu_peak *. 1.11) +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Layer specifications (Tables II and III)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_hw_layer_table2 () =
+  let spec = Hw_layer.spec () in
+  check_int "4 inputs" 4 (Array.length spec.Design.inputs);
+  check_int "4 outputs" 4 (Array.length spec.Design.outputs);
+  check_int "3 externals" 3 (Array.length spec.Design.externals);
+  check_float "guardband" 0.40 spec.Design.uncertainty;
+  check_float "period" 0.5 spec.Design.period;
+  check_float "input weight" 1.0 spec.Design.inputs.(0).Signal.weight;
+  check_float "perf bound" 0.20 spec.Design.outputs.(0).Signal.bound_fraction;
+  check_float "power bound" 0.10 spec.Design.outputs.(1).Signal.bound_fraction;
+  check_bool "power critical" true spec.Design.outputs.(1).Signal.critical
+
+let test_sw_layer_table3 () =
+  let spec = Sw_layer.spec () in
+  check_int "3 inputs" 3 (Array.length spec.Design.inputs);
+  check_int "3 outputs" 3 (Array.length spec.Design.outputs);
+  check_int "4 externals" 4 (Array.length spec.Design.externals);
+  check_float "guardband" 0.50 spec.Design.uncertainty;
+  check_float "input weight" 2.0 spec.Design.inputs.(0).Signal.weight
+
+let test_layer_interface_consistency () =
+  (* Every hw external must be an sw input and vice versa (Figure 3). *)
+  let hw = Hw_layer.spec () and sw = Sw_layer.spec () in
+  let sw_input_names =
+    Array.to_list
+      (Array.map (fun (i : Signal.input) -> i.Signal.name) sw.Design.inputs)
+  in
+  Array.iter
+    (fun e -> check_bool e.Signal.name true (List.mem e.Signal.name sw_input_names))
+    hw.Design.externals;
+  let hw_input_names =
+    Array.to_list
+      (Array.map (fun (i : Signal.input) -> i.Signal.name) hw.Design.inputs)
+  in
+  Array.iter
+    (fun e -> check_bool e.Signal.name true (List.mem e.Signal.name hw_input_names))
+    sw.Design.externals
+
+let test_hw_command_roundtrip () =
+  let c =
+    { Board.Xu3.big_cores = 3; little_cores = 2; freq_big = 1.4; freq_little = 0.8 }
+  in
+  let c' = Hw_layer.config_of_command (Hw_layer.command_of_config c) in
+  check_bool "roundtrip" true (c = c')
+
+let test_sw_command_roundtrip () =
+  let p = { Board.Xu3.threads_big = 5; tpc_big = 1.5; tpc_little = 1.0 } in
+  let p' = Sw_layer.placement_of_command (Sw_layer.command_of_placement p) in
+  check_bool "roundtrip" true (p = p')
+
+(* ------------------------------------------------------------------ *)
+(* Heuristics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let outputs_with ?(threads = 8) ?(power_big = 2.0) ?(temp = 60.0) () =
+  {
+    Board.Xu3.bips = 8.0;
+    bips_big = 6.0;
+    bips_little = 2.0;
+    power_big;
+    power_little = 0.2;
+    temperature = temp;
+    threads_active = threads;
+    spare_big = 0.0;
+    spare_little = 0.0;
+  }
+
+let mid_config =
+  { Board.Xu3.big_cores = 4; little_cores = 4; freq_big = 1.2; freq_little = 1.0 }
+
+let test_os_coordinated_split () =
+  let p =
+    Heuristics.os_coordinated ~config:mid_config ~outputs:(outputs_with ())
+  in
+  (* Big cluster has more capacity: most threads go big, some little. *)
+  check_bool "big-leaning" true
+    (p.Board.Xu3.threads_big >= 4 && p.Board.Xu3.threads_big <= 7);
+  check_bool "tpc sane" true (p.Board.Xu3.tpc_big >= 1.0)
+
+let test_os_round_robin () =
+  let p = Heuristics.os_round_robin ~outputs:(outputs_with ~threads:8 ()) in
+  check_int "half big" 4 p.Board.Xu3.threads_big;
+  let p1 = Heuristics.os_round_robin ~outputs:(outputs_with ~threads:1 ()) in
+  check_int "single thread goes big" 1 p1.Board.Xu3.threads_big
+
+let test_hw_coordinated_ladder () =
+  let placement = { Board.Xu3.threads_big = 6; tpc_big = 1.5; tpc_little = 1.0 } in
+  let st = Heuristics.coordinated_init () in
+  (* Low power, cool: frequency may rise (on the epochs the governor moves). *)
+  let c1 =
+    Heuristics.hw_coordinated ~state:st ~config:mid_config
+      ~outputs:(outputs_with ~power_big:1.0 ~temp:50.0 ())
+      ~placement ()
+  in
+  let c2 =
+    Heuristics.hw_coordinated ~state:st ~config:mid_config
+      ~outputs:(outputs_with ~power_big:1.0 ~temp:50.0 ())
+      ~placement ()
+  in
+  check_bool "rises when safe" true
+    (Float.max c1.Board.Xu3.freq_big c2.Board.Xu3.freq_big > 1.2);
+  (* High power: backs off. *)
+  let st2 = Heuristics.coordinated_init () in
+  let _ =
+    Heuristics.hw_coordinated ~state:st2 ~config:mid_config
+      ~outputs:(outputs_with ~power_big:3.2 ())
+      ~placement ()
+  in
+  let c3 =
+    Heuristics.hw_coordinated ~state:st2 ~config:mid_config
+      ~outputs:(outputs_with ~power_big:3.2 ())
+      ~placement ()
+  in
+  check_bool "backs off" true (c3.Board.Xu3.freq_big < 1.2)
+
+let test_hw_coordinated_thermal_core_control () =
+  let placement = { Board.Xu3.threads_big = 8; tpc_big = 2.0; tpc_little = 1.0 } in
+  let st = Heuristics.coordinated_init () in
+  let hot =
+    Heuristics.hw_coordinated ~state:st ~config:mid_config
+      ~outputs:(outputs_with ~temp:70.0 ())
+      ~placement ()
+  in
+  check_bool "cores capped when hot" true (hot.Board.Xu3.big_cores <= 2)
+
+let test_hw_decoupled_max_then_backoff () =
+  let st = Heuristics.decoupled_init () in
+  let c1 = Heuristics.hw_decoupled st ~outputs:(outputs_with ~power_big:2.0 ()) in
+  check_float "max freq" 2.0 c1.Board.Xu3.freq_big;
+  (* Needs two consecutive violations before moving. *)
+  let c2 = Heuristics.hw_decoupled st ~outputs:(outputs_with ~power_big:4.5 ()) in
+  check_float "still max after one" 2.0 c2.Board.Xu3.freq_big;
+  let c3 = Heuristics.hw_decoupled st ~outputs:(outputs_with ~power_big:4.5 ()) in
+  check_bool "backs off after two" true (c3.Board.Xu3.freq_big < 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime and experiment drivers (heuristic schemes only: fast)       *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_workload =
+  Board.Workload.scale ~ginsts:40.0 (Board.Workload.by_name "gamess")
+
+let test_runtime_heuristic_schemes_complete () =
+  List.iter
+    (fun scheme ->
+      let r = Runtime.run ~max_time:500.0 scheme [ tiny_workload ] in
+      check_bool (Runtime.scheme_name scheme) true r.Runtime.completed;
+      check_bool "positive energy" true
+        (r.Runtime.metrics.Board.Xu3.total_energy > 0.0))
+    [ Runtime.Coordinated_heuristic; Runtime.Decoupled_heuristic ]
+
+let test_runtime_trace_collection () =
+  let r =
+    Runtime.run ~max_time:500.0 ~collect_trace:true Runtime.Coordinated_heuristic
+      [ tiny_workload ]
+  in
+  check_bool "trace nonempty" true (Array.length r.Runtime.trace > 2);
+  let p = r.Runtime.trace.(1) in
+  check_bool "trace fields sane" true
+    (p.Runtime.time > 0.0 && p.Runtime.power_big >= 0.0 && p.Runtime.big_cores >= 1)
+
+let test_experiment_normalization () =
+  let rows =
+    Experiment.run_suite ~max_time:500.0
+      ~schemes:[ Runtime.Coordinated_heuristic; Runtime.Decoupled_heuristic ]
+      [ ("tiny", [ tiny_workload ]) ]
+  in
+  (match rows with
+  | [ row ] ->
+    check_float "baseline normalized to 1"
+      1.0
+      (List.assoc Runtime.Coordinated_heuristic row.Experiment.exd);
+    check_bool "other scheme positive" true
+      (List.assoc Runtime.Decoupled_heuristic row.Experiment.exd > 0.0)
+  | _ -> Alcotest.fail "expected one row")
+
+let test_scheme_names_distinct () =
+  let names = List.map Runtime.scheme_name Runtime.all_schemes in
+  check_int "six schemes" 6 (List.length (List.sort_uniq compare names))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_controller_commands_on_grid =
+  QCheck.Test.make ~name:"commands land on the input grid" ~count:100
+    QCheck.(pair (float_range (-20.0) 20.0) (float_range (-2.0) 2.0))
+    (fun (meas, ext) ->
+      let c = toy_controller () in
+      let u =
+        Controller.step c ~measurements:[| meas |] ~targets:[| 5.0 |]
+          ~externals:[| ext |]
+      in
+      let steps = (u.(0) -. 0.2) /. 0.1 in
+      u.(0) >= 0.2 -. 1e-9 && u.(0) <= 2.0 +. 1e-9
+      && Float.abs (steps -. Float.round steps) < 1e-6)
+
+let prop_optimizer_targets_in_range =
+  QCheck.Test.make ~name:"optimizer targets stay in output ranges" ~count:50
+    QCheck.(list_of_size (Gen.return 25) (float_range 0.1 10.0))
+    (fun objectives ->
+      let o =
+        Optimizer.make
+          ~outputs:[| perf_output; power_output |]
+          ~roles:[| Optimizer.Maximize; Optimizer.Limited 3.3 |]
+      in
+      List.for_all
+        (fun obj ->
+          let t = Optimizer.update o ~objective:obj ~measurements:[| 5.0; 2.0 |] in
+          t.(0) >= 0.0 && t.(0) <= 10.0 && t.(1) >= 0.0 && t.(1) <= 3.3)
+        objectives)
+
+let prop_signal_normalization_inverse =
+  QCheck.Test.make ~name:"normalize/denormalize inverse" ~count:200
+    QCheck.(float_range (-3.0) 3.0)
+    (fun x ->
+      let y = Signal.denormalize_output perf_output x in
+      Float.abs (Signal.normalize_output perf_output y -. x) < 1e-9)
+
+
+(* Robustness across random workloads: the heuristic schemes and the
+   board protections must keep any synthetic workload finishing without
+   runaway behaviour. *)
+let prop_schemes_complete_on_random_workloads =
+  QCheck.Test.make ~name:"schemes survive random workloads" ~count:6
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let w =
+        Board.Workload.synthetic ~seed ~phases:(1 + (seed mod 3)) ~ginsts:60.0 ()
+      in
+      List.for_all
+        (fun scheme ->
+          let r = Runtime.run ~max_time:600.0 scheme [ w ] in
+          r.Runtime.completed
+          && r.Runtime.metrics.Board.Xu3.total_energy > 0.0)
+        [ Runtime.Coordinated_heuristic; Runtime.Decoupled_heuristic ])
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_controller_commands_on_grid;
+      prop_optimizer_targets_in_range;
+      prop_signal_normalization_inverse;
+      prop_schemes_complete_on_random_workloads;
+    ]
+
+let () =
+  Alcotest.run "yukta"
+    [
+      ( "signal",
+        [
+          Alcotest.test_case "normalization roundtrip" `Quick
+            test_signal_normalization_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_signal_bounds;
+          Alcotest.test_case "quantization uncertainty" `Quick
+            test_signal_quantization_uncertainty;
+          Alcotest.test_case "validation" `Quick test_signal_validation;
+          Alcotest.test_case "external normalization" `Quick
+            test_signal_external_normalization;
+        ] );
+      ( "interface",
+        [
+          Alcotest.test_case "resolves input" `Quick test_interface_resolves_input;
+          Alcotest.test_case "unresolved inflates" `Quick
+            test_interface_unresolved_inflates;
+          Alcotest.test_case "common outputs" `Quick test_interface_common_outputs;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "step quantizes" `Quick test_controller_step_quantizes;
+          Alcotest.test_case "external channel" `Quick
+            test_controller_external_channel;
+          Alcotest.test_case "dimension checks" `Quick
+            test_controller_dimension_checks;
+          Alcotest.test_case "state and reset" `Quick
+            test_controller_state_and_reset;
+          Alcotest.test_case "cost (Section VI-D)" `Quick
+            test_controller_cost_matches_paper_shape;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "initial targets" `Quick test_optimizer_initial_targets;
+          Alcotest.test_case "limited stays within" `Quick
+            test_optimizer_limited_stays_within;
+          Alcotest.test_case "maximize tracks" `Quick
+            test_optimizer_maximize_tracks_measurement;
+          Alcotest.test_case "descends downhill" `Quick
+            test_optimizer_descends_when_objective_improves_down;
+          Alcotest.test_case "fixed role" `Quick test_optimizer_fixed_role;
+          Alcotest.test_case "reset" `Quick test_optimizer_reset;
+        ] );
+      ( "design",
+        [
+          Alcotest.test_case "generalized plant dims" `Quick
+            test_generalized_plant_dimensions;
+          Alcotest.test_case "rejects mismatch" `Quick
+            test_generalized_plant_rejects_mismatch;
+          Alcotest.test_case "tiny synthesis end-to-end" `Slow
+            test_tiny_synthesis_end_to_end;
+          Alcotest.test_case "identify tiny model" `Quick
+            test_identify_recovers_tiny_model;
+          Alcotest.test_case "synthesis with reduction" `Slow
+            test_synthesis_with_reduction;
+        ] );
+      ( "layers",
+        [
+          Alcotest.test_case "table II" `Quick test_hw_layer_table2;
+          Alcotest.test_case "table III" `Quick test_sw_layer_table3;
+          Alcotest.test_case "interface consistency" `Quick
+            test_layer_interface_consistency;
+          Alcotest.test_case "hw command roundtrip" `Quick
+            test_hw_command_roundtrip;
+          Alcotest.test_case "sw command roundtrip" `Quick
+            test_sw_command_roundtrip;
+        ] );
+      ( "heuristics",
+        [
+          Alcotest.test_case "coordinated split" `Quick test_os_coordinated_split;
+          Alcotest.test_case "round robin" `Quick test_os_round_robin;
+          Alcotest.test_case "coordinated ladder" `Quick
+            test_hw_coordinated_ladder;
+          Alcotest.test_case "thermal core control" `Quick
+            test_hw_coordinated_thermal_core_control;
+          Alcotest.test_case "decoupled backoff" `Quick
+            test_hw_decoupled_max_then_backoff;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "heuristic schemes complete" `Quick
+            test_runtime_heuristic_schemes_complete;
+          Alcotest.test_case "trace collection" `Quick test_runtime_trace_collection;
+          Alcotest.test_case "experiment normalization" `Quick
+            test_experiment_normalization;
+          Alcotest.test_case "scheme names" `Quick test_scheme_names_distinct;
+        ] );
+      ("properties", qcheck_cases);
+    ]
