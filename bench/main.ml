@@ -14,6 +14,24 @@ open Yukta
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* Machine-readable results, accumulated by each figure when [--json OUT]
+   is given and written as one JSON document at exit (the BENCH_*.json
+   trajectory seed). *)
+let json_out : (string * Obs.Json.t) list ref = ref []
+
+let json_record key v = json_out := (key, v) :: !json_out
+
+let write_json path =
+  let doc =
+    Obs.Json.Obj
+      (("schema", Obs.Json.String "yukta.bench/v1") :: List.rev !json_out)
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 let scheme_abbrev = function
   | Runtime.Coordinated_heuristic -> "CoordHeur"
   | Runtime.Decoupled_heuristic -> "DecHeur"
@@ -128,13 +146,23 @@ let fig9 ?rows () =
     fig9_schemes (fun r -> r.Experiment.exd);
   print_rows "Figure 9(b): execution time normalized to Coordinated heuristic"
     rows fig9_schemes (fun r -> r.Experiment.time);
+  json_record "fig9" (Experiment.suite_json rows);
   rows
 
 (* ------------------------------------------------------------------ *)
 (* Figures 10 and 11: blackscholes traces                              *)
 (* ------------------------------------------------------------------ *)
 
-let print_trace title pick schemes =
+(* The time label of a row is the simulated timestamp recorded in the
+   trace itself (taken from the longest trace available at that index),
+   not [index * epoch]: trace points are sampled at the *end* of each
+   epoch, so the first point sits at 0.5 s, not 0.0 s. *)
+let row_time traces i =
+  List.find_map
+    (fun t -> if i < Array.length t then Some t.(i).Runtime.time else None)
+    traces
+
+let print_trace key title pick schemes =
   section title;
   let traces =
     List.map
@@ -157,7 +185,11 @@ let print_trace title pick schemes =
   let stride = max 1 (len / 40) in
   let i = ref 0 in
   while !i < len do
-    let t = Float.of_int !i *. 0.5 in
+    let t =
+      match row_time (List.map (fun (_, r) -> r.Runtime.trace) traces) !i with
+      | Some t -> t
+      | None -> Float.of_int (!i + 1) *. 0.5
+    in
     Printf.printf "%-8.1f" t;
     List.iter
       (fun (_, r) ->
@@ -174,16 +206,30 @@ let print_trace title pick schemes =
       Printf.printf "# %-14s completes at %.0f s (energy %.0f J, %d trips)\n"
         (scheme_abbrev s) m.Board.Xu3.execution_time m.Board.Xu3.total_energy
         m.Board.Xu3.trips)
-    traces
+    traces;
+  json_record key
+    (Obs.Json.Obj
+       (List.map
+          (fun (s, r) ->
+            let m = r.Runtime.metrics in
+            ( scheme_abbrev s,
+              Obs.Json.Obj
+                [
+                  ("execution_time_s", Obs.Json.Float m.Board.Xu3.execution_time);
+                  ("energy_j", Obs.Json.Float m.Board.Xu3.total_energy);
+                  ("exd_js", Obs.Json.Float m.Board.Xu3.energy_delay);
+                  ("trips", Obs.Json.Int m.Board.Xu3.trips);
+                ] ))
+          traces))
 
 let fig10 () =
-  print_trace
+  print_trace "fig10"
     "Figure 10: big-cluster power (W) vs time, blackscholes (limit 3.3 W)"
     (fun p -> p.Runtime.power_big)
     fig9_schemes
 
 let fig11 () =
-  print_trace "Figure 11: performance (BIPS) vs time, blackscholes"
+  print_trace "fig11" "Figure 11: performance (BIPS) vs time, blackscholes"
     (fun p -> p.Runtime.bips)
     fig9_schemes
 
@@ -204,7 +250,8 @@ let fig12_13 () =
   print_rows "Figure 12: ExD, LQG-based designs vs Yukta" rows lqg_schemes
     (fun r -> r.Experiment.exd);
   print_rows "Figure 13: execution time, LQG-based designs vs Yukta" rows
-    lqg_schemes (fun r -> r.Experiment.time)
+    lqg_schemes (fun r -> r.Experiment.time);
+  json_record "fig12_13" (Experiment.suite_json rows)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 14: heterogeneous workloads                                  *)
@@ -214,7 +261,29 @@ let fig14 () =
   let schemes = fig9_schemes @ [ Runtime.Lqg_decoupled; Runtime.Lqg_monolithic ] in
   let rows = Experiment.run_suite ~schemes (Experiment.mix_entries ()) in
   print_rows "Figure 14: ExD on heterogeneous mixes" rows schemes (fun r ->
-      r.Experiment.exd)
+      r.Experiment.exd);
+  json_record "fig14" (Experiment.suite_json rows)
+
+(* Wall-clock cost of forcing the two controller designs (cache load or
+   full identify+synthesize, whichever the cache state implies), plus the
+   certified mu/gamma of the result — the "synthesis timings" block of
+   the --json document. *)
+let synthesis_json () =
+  let timed layer force =
+    let t0 = Obs.Collector.now () in
+    let d = force () in
+    let dt = Obs.Collector.now () -. t0 in
+    ( layer,
+      Obs.Json.Obj
+        [
+          ("wall_s", Obs.Json.Float dt);
+          ("mu_peak", Obs.Json.Float d.Design.mu_peak);
+          ("gamma", Obs.Json.Float d.Design.gamma);
+          ("controller_order", Obs.Json.Int (Controller.order d.Design.controller));
+        ] )
+  in
+  json_record "synthesis"
+    (Obs.Json.Obj [ timed "hw" Designs.hw; timed "sw" Designs.sw ])
 
 (* ------------------------------------------------------------------ *)
 (* Section VI-D: controller implementation cost                        *)
@@ -314,7 +383,12 @@ let fig15 () =
   let stride = max 1 (len / 25) in
   let i = ref 0 in
   while !i < len do
-    Printf.printf "%-8.1f" (Float.of_int !i *. 0.5);
+    let t_lbl =
+      match row_time (List.map snd traces) !i with
+      | Some t -> t
+      | None -> Float.of_int (!i + 1) *. 0.5
+    in
+    Printf.printf "%-8.1f" t_lbl;
     List.iter
       (fun (_, t) ->
         if !i < Array.length t then
@@ -454,7 +528,12 @@ let fig17 () =
   let stride = max 1 (len / 30) in
   let i = ref 0 in
   while !i < len do
-    Printf.printf "%-8.1f" (Float.of_int !i *. 0.5);
+    let t_lbl =
+      match row_time (List.map snd traces) !i with
+      | Some t -> t
+      | None -> Float.of_int (!i + 1) *. 0.5
+    in
+    Printf.printf "%-8.1f" t_lbl;
     List.iter
       (fun (_, t) ->
         if !i < Array.length t then
@@ -557,7 +636,14 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let raw = Array.to_list Sys.argv |> List.tl in
+  (* [--json OUT] consumes its value; everything else is a flag. *)
+  let rec split_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | a :: rest -> split_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_path, args = split_json [] raw in
   let has f = List.mem f args in
   let all = args = [] || has "--all" in
   if all || has "--tables" then begin
@@ -565,6 +651,7 @@ let () =
     table3 ();
     table4 ()
   end;
+  if json_path <> None then synthesis_json ();
   if all || has "--fig9" then ignore (fig9 ());
   if all || has "--fig10" then fig10 ();
   if all || has "--fig11" then fig11 ();
@@ -574,4 +661,5 @@ let () =
   if all || has "--fig15" then fig15 ();
   if all || has "--fig16" then fig16 ();
   if all || has "--fig17" then fig17 ();
-  if all || has "--ablation" then ablation ()
+  if all || has "--ablation" then ablation ();
+  match json_path with None -> () | Some path -> write_json path

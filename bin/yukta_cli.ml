@@ -3,7 +3,9 @@
      yukta_cli apps                      list workloads
      yukta_cli schemes                   list controller schemes
      yukta_cli run -s yukta -a mcf       run a scheme on a workload
-     yukta_cli trace -s coord -a x264    CSV trace to stdout
+     yukta_cli run --jsonl out.jsonl ... run with the Obs collector on
+     yukta_cli csv -s coord -a x264      CSV trace to stdout
+     yukta_cli trace out.jsonl           summarize an Obs JSONL trace
      yukta_cli design                    synthesize & describe the designs *)
 
 open Cmdliner
@@ -76,22 +78,39 @@ let schemes_cmd =
   Cmd.v (Cmd.info "schemes" ~doc:"List controller schemes")
     Term.(const run $ const ())
 
+let jsonl_arg =
+  let doc =
+    "Enable the Obs collector for the run and write the JSONL trace \
+     (spans, events, metric dumps) to $(docv). Summarize it afterwards \
+     with `yukta_cli trace $(docv)`."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
-  let run scheme app =
+  let run scheme app jsonl =
     let workloads = workloads_of_name app in
     Printf.printf "running %s on %s...\n%!" (Runtime.scheme_name scheme) app;
-    let r = Runtime.run scheme workloads in
+    let go () = Runtime.run scheme workloads in
+    let r =
+      match jsonl with
+      | None -> go ()
+      | Some file -> Obs.Collector.with_collection ~file go
+    in
     let m = r.Runtime.metrics in
     Printf.printf "completed: %b\n" r.Runtime.completed;
     Printf.printf "execution time: %.1f s\n" m.Board.Xu3.execution_time;
     Printf.printf "energy:         %.1f J\n" m.Board.Xu3.total_energy;
     Printf.printf "E x D:          %.0f J.s\n" m.Board.Xu3.energy_delay;
-    Printf.printf "emergency trips: %d\n" m.Board.Xu3.trips
+    Printf.printf "emergency trips: %d\n" m.Board.Xu3.trips;
+    match jsonl with
+    | Some file -> Printf.printf "trace written to %s\n" file
+    | None -> ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scheme on one workload")
-    Term.(const run $ scheme_arg $ app_arg)
+    Term.(const run $ scheme_arg $ app_arg $ jsonl_arg)
 
-let trace_cmd =
+let csv_cmd =
   let run scheme app =
     let workloads = workloads_of_name app in
     let r = Runtime.run ~collect_trace:true scheme workloads in
@@ -106,8 +125,28 @@ let trace_cmd =
       r.Runtime.trace
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Run one scheme and print a CSV trace to stdout")
+    (Cmd.info "csv" ~doc:"Run one scheme and print a CSV trace to stdout")
     Term.(const run $ scheme_arg $ app_arg)
+
+let trace_cmd =
+  let file_arg =
+    let doc = "JSONL trace file produced by `run --jsonl` or bench." in
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    match Obs.Trace.read_file file with
+    | entries -> print_string (Obs.Trace.render (Obs.Trace.summarize entries))
+    | exception Obs.Trace.Bad_trace msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Summarize an Obs JSONL trace (span timings, event counts)")
+    Term.(const run $ file_arg)
 
 let design_cmd =
   let run () =
@@ -133,4 +172,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ apps_cmd; schemes_cmd; run_cmd; trace_cmd; design_cmd ]))
+       (Cmd.group info
+          [ apps_cmd; schemes_cmd; run_cmd; csv_cmd; trace_cmd; design_cmd ]))

@@ -49,12 +49,24 @@ let create () =
     clock = 0.0;
   }
 
-let register_trip t =
+let trips_metric = Obs.Metrics.counter "emergency.trips"
+
+let register_trip t ~kind ~value =
   t.trips <- t.trips + 1;
   if t.clock -. t.last_trip_time < escalation_window then
     t.escalation <- Float.min escalation_max (t.escalation *. 1.5)
   else t.escalation <- 1.0;
-  t.last_trip_time <- t.clock
+  t.last_trip_time <- t.clock;
+  if Obs.Collector.enabled () then begin
+    Obs.Metrics.incr trips_metric;
+    Obs.Collector.event ~name:"emergency.trip" ~sim:t.clock
+      [
+        ("kind", Obs.Json.String kind);
+        ("value", Obs.Json.Float value);
+        ("trip_index", Obs.Json.Int t.trips);
+        ("escalation", Obs.Json.Float t.escalation);
+      ]
+  end
 
 let step t ~dt ~temperature ~power_big ~power_little =
   t.clock <- t.clock +. dt;
@@ -64,7 +76,7 @@ let step t ~dt ~temperature ~power_big ~power_little =
   t.power_cooldown_little <- Float.max 0.0 (t.power_cooldown_little -. dt);
   (* Thermal trip is immediate. *)
   if temperature >= thermal_trip && t.thermal_cooldown = 0.0 then begin
-    register_trip t;
+    register_trip t ~kind:"thermal" ~value:temperature;
     t.thermal_cooldown <- thermal_clamp_s *. t.escalation
   end;
   (* Power trips need sustained overage. *)
@@ -72,7 +84,7 @@ let step t ~dt ~temperature ~power_big ~power_little =
     t.over_power_big_s <- t.over_power_big_s +. dt
   else t.over_power_big_s <- 0.0;
   if t.over_power_big_s >= power_patience && t.power_cooldown_big = 0.0 then begin
-    register_trip t;
+    register_trip t ~kind:"power_big" ~value:power_big;
     t.power_cooldown_big <- power_clamp_s *. t.escalation;
     t.over_power_big_s <- 0.0
   end;
@@ -81,7 +93,7 @@ let step t ~dt ~temperature ~power_big ~power_little =
   else t.over_power_little_s <- 0.0;
   if t.over_power_little_s >= power_patience && t.power_cooldown_little = 0.0
   then begin
-    register_trip t;
+    register_trip t ~kind:"power_little" ~value:power_little;
     t.power_cooldown_little <- power_clamp_s *. t.escalation;
     t.over_power_little_s <- 0.0
   end;

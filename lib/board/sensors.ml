@@ -31,12 +31,22 @@ let corrupt t x =
     Float.max 0.0 (x *. (1.0 +. (t.noise *. g)))
   end
 
+let refreshes_metric = Obs.Metrics.counter "sensors.power_refreshes"
+
 let observe_power t ~time ~power_big ~power_little =
   if (not t.initialized) || time -. t.last_update >= t.period then begin
     t.held_big <- corrupt t power_big;
     t.held_little <- corrupt t power_little;
     t.last_update <- time;
-    t.initialized <- true
+    t.initialized <- true;
+    if Obs.Collector.enabled () then begin
+      Obs.Metrics.incr refreshes_metric;
+      Obs.Collector.event ~name:"sensors.refresh" ~sim:time
+        [
+          ("power_big", Obs.Json.Float t.held_big);
+          ("power_little", Obs.Json.Float t.held_little);
+        ]
+    end
   end;
   (t.held_big, t.held_little)
 

@@ -151,6 +151,9 @@ let workload_character t =
   if !threads = 0.0 then (0.0, 1.0, 0.0)
   else (!mem /. !threads, !ipc /. !threads, !sync /. !threads)
 
+let dvfs_metric = Obs.Metrics.counter "board.dvfs_transitions"
+let hotplug_metric = Obs.Metrics.counter "board.hotplug_changes"
+
 let set_config t c =
   let c = clamp_config c in
   let old = t.requested in
@@ -165,6 +168,29 @@ let set_config t c =
     let cost = Float.of_int plug_changes *. Dvfs.hotplug_cost_s in
     t.dead_time_big <- t.dead_time_big +. cost;
     t.dead_time_little <- t.dead_time_little +. cost
+  end;
+  if Obs.Collector.enabled () then begin
+    let freq_changes =
+      (if c.freq_big <> old.freq_big then 1 else 0)
+      + if c.freq_little <> old.freq_little then 1 else 0
+    in
+    if freq_changes > 0 then begin
+      Obs.Metrics.incr ~by:freq_changes dvfs_metric;
+      Obs.Collector.event ~name:"board.dvfs" ~sim:t.time
+        [
+          ("freq_big", Obs.Json.Float c.freq_big);
+          ("freq_little", Obs.Json.Float c.freq_little);
+        ]
+    end;
+    if plug_changes > 0 then begin
+      Obs.Metrics.incr ~by:plug_changes hotplug_metric;
+      Obs.Collector.event ~name:"board.hotplug" ~sim:t.time
+        [
+          ("big_cores", Obs.Json.Int c.big_cores);
+          ("little_cores", Obs.Json.Int c.little_cores);
+          ("changed", Obs.Json.Int plug_changes);
+        ]
+    end
   end;
   t.requested <- c
 
@@ -392,9 +418,19 @@ let observe t =
   t.win_insts_little <- 0.0;
   out
 
+let step_hist = Obs.Metrics.histogram "board.step_s"
+
 let run_epoch t epoch =
-  step t epoch;
-  observe t
+  if Obs.Collector.enabled () then begin
+    let t0 = Obs.Collector.now () in
+    step t epoch;
+    Obs.Metrics.observe step_hist (Obs.Collector.now () -. t0);
+    observe t
+  end
+  else begin
+    step t epoch;
+    observe t
+  end
 
 let time t = t.time
 

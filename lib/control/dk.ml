@@ -44,8 +44,11 @@ let scale_plant (plant : Hinf.plant) structure scales =
         ();
   }
 
+let iterations_metric = Obs.Metrics.counter "dk.iterations"
+
 let synthesize ?(iterations = 4) ?(mu_points = 40) ~plant ~structure () =
   Hinf.validate_partition plant;
+  let t0 = if Obs.Collector.enabled () then Obs.Collector.now () else 0.0 in
   let nb = List.length structure in
   let scales = ref (Array.make nb 1.0) in
   let best = ref None in
@@ -55,12 +58,17 @@ let synthesize ?(iterations = 4) ?(mu_points = 40) ~plant ~structure () =
   while (not !stop) && !iter < iterations do
     incr iter;
     let scaled = scale_plant plant structure !scales in
+    let t_k = if Obs.Collector.enabled () then Obs.Collector.now () else 0.0 in
     match Hinf.synthesize scaled with
     | exception Hinf.Synthesis_failed msg ->
       if !best = None then
         raise (Synthesis_failed ("first K-step infeasible: " ^ msg));
       stop := true
     | { Hinf.controller; gamma; _ } ->
+      if Obs.Collector.enabled () then
+        Obs.Collector.record_span ~name:"dk.k_step"
+          ~dur_s:(Obs.Collector.now () -. t_k)
+          [ ("iter", Obs.Json.Int !iter); ("gamma", Obs.Json.Float gamma) ];
       (* mu analysis of the true (unscaled) closed loop. *)
       let cl = Hinf.close_loop plant controller in
       if not (Ss.is_stable cl) then begin
@@ -69,15 +77,44 @@ let synthesize ?(iterations = 4) ?(mu_points = 40) ~plant ~structure () =
         stop := true
       end
       else begin
+        (* The D-step: fit new scales from the frequency sweep's peak. *)
+        let t_d =
+          if Obs.Collector.enabled () then Obs.Collector.now () else 0.0
+        in
         let sweep = Ssv.sweep ~points:mu_points structure cl in
         history := sweep.Ssv.peak :: !history;
         (match !best with
         | Some (_, best_mu, _) when best_mu <= sweep.Ssv.peak -> ()
         | _ -> best := Some (controller, sweep.Ssv.peak, gamma));
-        scales := sweep.Ssv.peak_scales
+        scales := sweep.Ssv.peak_scales;
+        if Obs.Collector.enabled () then begin
+          Obs.Metrics.incr iterations_metric;
+          Obs.Collector.record_span ~name:"dk.d_step"
+            ~dur_s:(Obs.Collector.now () -. t_d)
+            [
+              ("iter", Obs.Json.Int !iter);
+              ("mu_peak", Obs.Json.Float sweep.Ssv.peak);
+              ("gamma", Obs.Json.Float gamma);
+              ( "scales",
+                Obs.Json.List
+                  (Array.to_list
+                     (Array.map (fun s -> Obs.Json.Float s) !scales)) );
+            ]
+        end
       end
   done;
   match !best with
   | None -> raise (Synthesis_failed "no iteration produced a controller")
   | Some (controller, mu_peak, gamma) ->
+    if Obs.Collector.enabled () then
+      Obs.Collector.record_span ~name:"dk.synthesize"
+        ~dur_s:(Obs.Collector.now () -. t0)
+        [
+          ("iterations", Obs.Json.Int !iter);
+          ("mu_peak", Obs.Json.Float mu_peak);
+          ("gamma", Obs.Json.Float gamma);
+          ( "mu_history",
+            Obs.Json.List
+              (List.map (fun m -> Obs.Json.Float m) (List.rev !history)) );
+        ];
     { controller; mu_peak; gamma; history = List.rev !history }

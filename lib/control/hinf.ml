@@ -230,9 +230,13 @@ let synthesize_at_full plant gamma =
 
 let synthesize_at plant gamma = Option.map fst (synthesize_at_full plant gamma)
 
+let synthesis_calls_metric = Obs.Metrics.counter "hinf.synthesize_calls"
+let gamma_steps_metric = Obs.Metrics.counter "hinf.gamma_steps"
+
 let synthesize ?(gamma_min = 1e-3) ?(gamma_max = 0.0) ?(rel_tol = 1e-3)
     ?regularize:(_ = 1e-6) plant =
   validate_partition plant;
+  let t0 = if Obs.Collector.enabled () then Obs.Collector.now () else 0.0 in
   (* Find a feasible upper bound by doubling if none was given. *)
   let upper = ref (if gamma_max > 0.0 then gamma_max else 1.0) in
   let best = ref None in
@@ -260,4 +264,16 @@ let synthesize ?(gamma_min = 1e-3) ?(gamma_max = 0.0) ?(rel_tol = 1e-3)
         best_n := norm
       | None -> lo := mid
     done;
+    if Obs.Collector.enabled () then begin
+      Obs.Metrics.incr synthesis_calls_metric;
+      Obs.Metrics.incr ~by:(!tries + !iterations) gamma_steps_metric;
+      Obs.Collector.record_span ~name:"hinf.synthesize"
+        ~dur_s:(Obs.Collector.now () -. t0)
+        [
+          ("gamma", Obs.Json.Float !best_g);
+          ("achieved_norm", Obs.Json.Float !best_n);
+          ("feasibility_steps", Obs.Json.Int !tries);
+          ("bisection_steps", Obs.Json.Int !iterations);
+        ]
+    end;
     { controller = !best_k; gamma = !best_g; achieved_norm = !best_n }

@@ -78,6 +78,10 @@ let givens x y =
 
 (* Shifted QR iteration on a complex upper Hessenberg matrix. The matrix is
    modified in place; returns the array of eigenvalues. *)
+
+let qr_calls_metric = Obs.Metrics.counter "eig.calls"
+let qr_iters_metric = Obs.Metrics.counter "eig.qr_iterations"
+
 let qr_hessenberg_eigenvalues h =
   let n = h.Cmat.rows in
   let eigs = Array.make n zero in
@@ -177,6 +181,10 @@ let qr_hessenberg_eigenvalues h =
       end
     end
   done;
+  if Obs.Collector.enabled () then begin
+    Obs.Metrics.incr qr_calls_metric;
+    Obs.Metrics.incr ~by:!iter_count qr_iters_metric
+  end;
   eigs
 
 let eigenvalues a =

@@ -1,6 +1,10 @@
 (* One-sided Jacobi SVD: orthogonalize the columns of a working copy of
    [a] with plane rotations accumulated into [v]; at convergence the column
    norms are the singular values. *)
+
+let calls_metric = Obs.Metrics.counter "svd.calls"
+let sweeps_metric = Obs.Metrics.counter "svd.sweeps"
+
 let jacobi_onesided a =
   let m = a.Mat.rows and n = a.Mat.cols in
   let w = Mat.copy a in
@@ -45,6 +49,10 @@ let jacobi_onesided a =
       done
     done
   done;
+  if Obs.Collector.enabled () then begin
+    Obs.Metrics.incr calls_metric;
+    Obs.Metrics.incr ~by:!sweeps sweeps_metric
+  end;
   (w, v)
 
 let rec decompose a =

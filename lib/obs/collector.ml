@@ -1,0 +1,127 @@
+let flag = Atomic.make false
+
+let enabled () = Atomic.get flag
+
+let enable () = Atomic.set flag true
+
+let disable () = Atomic.set flag false
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let buffer : string list ref = ref []
+
+let buffer_write line = buffer := line :: !buffer
+
+let sink : (string -> unit) ref = ref buffer_write
+
+let out : out_channel option ref = ref None
+
+let set_sink f = sink := f
+
+let buffer_sink () =
+  buffer := [];
+  sink := buffer_write
+
+let drain () =
+  let lines = List.rev !buffer in
+  buffer := [];
+  lines
+
+let close () =
+  (match !out with
+  | Some oc ->
+    out := None;
+    close_out oc
+  | None -> ());
+  sink := buffer_write
+
+let open_file path =
+  close ();
+  let oc = open_out path in
+  out := Some oc;
+  sink :=
+    fun line ->
+      output_string oc line;
+      output_char oc '\n'
+
+let emit json = !sink (Json.to_string json)
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let event ~name ~sim fields =
+  if enabled () then
+    emit
+      (Json.Obj
+         [
+           ("type", Json.String "event");
+           ("name", Json.String name);
+           ("sim_s", Json.Float sim);
+           ("fields", Json.Obj fields);
+         ])
+
+let now () = Unix.gettimeofday ()
+
+let span_hist name = Metrics.histogram ("span." ^ name)
+
+let depth = ref 0
+
+let record_span_at ~name ~depth:d ~dur_s fields =
+  Metrics.observe (span_hist name) dur_s;
+  emit
+    (Json.Obj
+       [
+         ("type", Json.String "span");
+         ("name", Json.String name);
+         ("dur_s", Json.Float dur_s);
+         ("depth", Json.Int d);
+         ("fields", Json.Obj fields);
+       ])
+
+let record_span ~name ~dur_s fields =
+  if enabled () then record_span_at ~name ~depth:!depth ~dur_s fields
+
+let span ~name f =
+  if not (enabled ()) then f ()
+  else begin
+    let d = !depth in
+    depth := d + 1;
+    let t0 = now () in
+    match f () with
+    | v ->
+      depth := d;
+      record_span_at ~name ~depth:d ~dur_s:(now () -. t0) [];
+      v
+    | exception exn ->
+      depth := d;
+      record_span_at ~name ~depth:d ~dur_s:(now () -. t0)
+        [ ("raised", Json.String (Printexc.to_string exn)) ];
+      raise exn
+  end
+
+let dump_metrics () = if enabled () then List.iter emit (Metrics.dump ())
+
+(* ------------------------------------------------------------------ *)
+(* Scoped collection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let with_collection ?file f =
+  let was_enabled = enabled () in
+  Metrics.reset_all ();
+  (match file with Some path -> open_file path | None -> buffer_sink ());
+  enable ();
+  let finish () =
+    dump_metrics ();
+    close ();
+    if not was_enabled then disable ()
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception exn ->
+    finish ();
+    raise exn

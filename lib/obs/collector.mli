@@ -1,0 +1,78 @@
+(** The process-global telemetry collector.
+
+    Collection is {e explicitly enabled} and disabled by default; every
+    instrumentation site in the stack guards its emission with
+    {!enabled}, which reads a single atomic flag, so a disabled run pays
+    one branch and allocates nothing. Callers must follow the same
+    discipline: build field lists {e inside} an [if Collector.enabled ()]
+    branch, never before it.
+
+    Two time domains keep run traces deterministic:
+
+    - {b simulated-time events} ({!event}) carry the board's simulated
+      clock and never read the wall clock — two runs of the same
+      experiment produce byte-identical event streams;
+    - {b wall-clock spans} ({!span}, {!record_span}) time synthesis-side
+      code (D-K iteration, H-infinity bisection, experiment drivers)
+      where wall time is the measurement.
+
+    Records are encoded as JSONL and handed to the current sink — an
+    in-memory buffer by default (see {!drain}), or a file via
+    {!open_file}. *)
+
+val enabled : unit -> bool
+(** One atomic load; the only cost a disabled instrumentation site pays. *)
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+(** {1 Sinks} *)
+
+val set_sink : (string -> unit) -> unit
+(** Route encoded JSONL lines (no trailing newline) to [f]. Replaces the
+    default in-memory buffer. *)
+
+val buffer_sink : unit -> unit
+(** Restore the default in-memory buffer sink (clearing it). *)
+
+val drain : unit -> string list
+(** Lines accumulated by the buffer sink, oldest first; clears the
+    buffer. Empty when a custom sink is installed. *)
+
+val open_file : string -> unit
+(** Send subsequent records to [path] (truncating it). *)
+
+val close : unit -> unit
+(** Flush and close the file opened by {!open_file} (no-op otherwise) and
+    fall back to the buffer sink. *)
+
+(** {1 Emission} *)
+
+val event : name:string -> sim:float -> (string * Json.t) list -> unit
+(** Simulated-time event: [{"type":"event","name":...,"sim_s":...,
+    "fields":{...}}]. No-op when disabled. *)
+
+val now : unit -> float
+(** Wall-clock seconds (monotonic for the durations measured here). *)
+
+val record_span : name:string -> dur_s:float -> (string * Json.t) list -> unit
+(** Record an already-measured wall-clock span; also feeds the
+    [span.<name>] histogram so {!Metrics.dump} carries timing summaries.
+    No-op when disabled. *)
+
+val span : name:string -> (unit -> 'a) -> 'a
+(** Time [f ()] and record it as a span (with its nesting [depth]).
+    When disabled, calls [f] directly. Exceptions propagate; the span is
+    still recorded with an ["raised"] field. *)
+
+val dump_metrics : unit -> unit
+(** Write one JSONL record per non-trivial registered metric (see
+    {!Metrics.dump}) to the sink. No-op when disabled. *)
+
+(** {1 Scoped collection} *)
+
+val with_collection : ?file:string -> (unit -> 'a) -> 'a
+(** Reset metrics, enable collection (to [file] if given), run [f], dump
+    metrics, close the file and disable — restoring the previous
+    enabled/sink state even on exceptions. *)

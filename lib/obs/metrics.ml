@@ -1,0 +1,231 @@
+type counter = { c_name : string; mutable count : int }
+
+type gauge = { g_name : string; mutable value : float; mutable set : bool }
+
+type histogram = {
+  h_name : string;
+  buckets : float array;        (* Strictly increasing upper bounds. *)
+  counts : int array;           (* length buckets + 1 (overflow). *)
+  mutable n : int;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+(* Registration order is kept so [dump] output is deterministic. *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let order : [ `C of counter | `G of gauge | `H of histogram ] list ref = ref []
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.add counters name c;
+    order := `C c :: !order;
+    c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+
+let count c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; value = Float.nan; set = false } in
+    Hashtbl.add gauges name g;
+    order := `G g :: !order;
+    g
+
+let set g v =
+  g.value <- v;
+  g.set <- true
+
+let value g = g.value
+
+let default_buckets =
+  (* 1 us .. 1000 s, four bounds per decade. *)
+  Array.init 37 (fun i -> 1e-6 *. (10.0 ** (Float.of_int i /. 4.0)))
+
+let validate_buckets b =
+  if Array.length b = 0 then
+    invalid_arg "Metrics.histogram: empty bucket array";
+  for i = 1 to Array.length b - 1 do
+    if b.(i) <= b.(i - 1) then
+      invalid_arg "Metrics.histogram: buckets must be strictly increasing"
+  done
+
+let histogram ?buckets name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let buckets =
+      match buckets with
+      | Some b ->
+        validate_buckets b;
+        Array.copy b
+      | None -> default_buckets
+    in
+    let h =
+      {
+        h_name = name;
+        buckets;
+        counts = Array.make (Array.length buckets + 1) 0;
+        n = 0;
+        total = 0.0;
+        min_v = infinity;
+        max_v = neg_infinity;
+      }
+    in
+    Hashtbl.add histograms name h;
+    order := `H h :: !order;
+    h
+
+let bucket_index h v =
+  (* Binary search for the first upper bound >= v. *)
+  let nb = Array.length h.buckets in
+  let lo = ref 0 and hi = ref nb in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if h.buckets.(mid) >= v then hi := mid else lo := mid + 1
+  done;
+  !lo (* nb means overflow *)
+
+let observe h v =
+  let i = bucket_index h v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.n <- h.n + 1;
+  h.total <- h.total +. v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v
+
+let percentile h q =
+  if h.n = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. Float.of_int h.n in
+    let nb = Array.length h.buckets in
+    let result = ref h.max_v in
+    let cum = ref 0 and stop = ref false in
+    let i = ref 0 in
+    while (not !stop) && !i <= nb do
+      let c = h.counts.(!i) in
+      if c > 0 then begin
+        let prev = Float.of_int !cum in
+        cum := !cum + c;
+        if Float.of_int !cum >= rank then begin
+          (* Interpolate inside bucket [i], clamped to the observed
+             range so single-bucket histograms stay tight. *)
+          let lo =
+            if !i = 0 then h.min_v else Float.max h.min_v h.buckets.(!i - 1)
+          in
+          let hi = if !i = nb then h.max_v else Float.min h.max_v h.buckets.(!i) in
+          let frac =
+            if c = 0 then 0.0 else (rank -. prev) /. Float.of_int c
+          in
+          result := lo +. (frac *. (hi -. lo));
+          stop := true
+        end
+      end;
+      i := !i + 1
+    done;
+    !result
+  end
+
+type summary = {
+  count : int;
+  total : float;
+  mean : float;
+  min_v : float;
+  max_v : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summarize h =
+  if h.n = 0 then
+    {
+      count = 0;
+      total = 0.0;
+      mean = Float.nan;
+      min_v = Float.nan;
+      max_v = Float.nan;
+      p50 = Float.nan;
+      p90 = Float.nan;
+      p99 = Float.nan;
+    }
+  else
+    {
+      count = h.n;
+      total = h.total;
+      mean = h.total /. Float.of_int h.n;
+      min_v = h.min_v;
+      max_v = h.max_v;
+      p50 = percentile h 0.5;
+      p90 = percentile h 0.9;
+      p99 = percentile h 0.99;
+    }
+
+let reset_all () =
+  Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.value <- Float.nan;
+      g.set <- false)
+    gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.counts 0 (Array.length h.counts) 0;
+      h.n <- 0;
+      h.total <- 0.0;
+      h.min_v <- infinity;
+      h.max_v <- neg_infinity)
+    histograms
+
+let dump () =
+  List.filter_map
+    (function
+      | `C (c : counter) ->
+        if c.count = 0 then None
+        else
+          Some
+            (Json.Obj
+               [
+                 ("type", Json.String "counter");
+                 ("name", Json.String c.c_name);
+                 ("value", Json.Int c.count);
+               ])
+      | `G g ->
+        if not g.set then None
+        else
+          Some
+            (Json.Obj
+               [
+                 ("type", Json.String "gauge");
+                 ("name", Json.String g.g_name);
+                 ("value", Json.Float g.value);
+               ])
+      | `H h ->
+        if h.n = 0 then None
+        else begin
+          let s = summarize h in
+          Some
+            (Json.Obj
+               [
+                 ("type", Json.String "histogram");
+                 ("name", Json.String h.h_name);
+                 ("count", Json.Int s.count);
+                 ("total", Json.Float s.total);
+                 ("mean", Json.Float s.mean);
+                 ("min", Json.Float s.min_v);
+                 ("max", Json.Float s.max_v);
+                 ("p50", Json.Float s.p50);
+                 ("p90", Json.Float s.p90);
+                 ("p99", Json.Float s.p99);
+               ])
+        end)
+    (List.rev !order)

@@ -1,0 +1,77 @@
+(** Process-global metric registry: counters, gauges, and fixed-bucket
+    histograms with percentile summaries.
+
+    Metrics are cheap mutable cells looked up (or created) by name; sites
+    on hot paths should hold the metric value and guard updates behind
+    {!Collector.enabled} so a disabled run costs one branch. The registry
+    survives {!reset_all} (values are zeroed, instances stay valid), so a
+    metric captured at module-initialization time never dangles. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Get or create the counter registered under [name]. *)
+
+val incr : ?by:int -> counter -> unit
+
+val count : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+
+val set : gauge -> float -> unit
+
+val value : gauge -> float
+(** Last value set; [nan] if never set since creation/reset. *)
+
+(** {1 Histograms} *)
+
+type histogram
+
+val default_buckets : float array
+(** Log-spaced upper bounds from 1 microsecond to 1000 seconds — suitable
+    for timing spans. *)
+
+val histogram : ?buckets:float array -> string -> histogram
+(** Get or create. [buckets] are strictly increasing upper bounds; values
+    above the last bound land in an overflow bucket. The bucket layout of
+    an existing histogram is kept (the parameter only applies on
+    creation). *)
+
+val observe : histogram -> float -> unit
+
+val percentile : histogram -> float -> float
+(** [percentile h q] for [q] in [0, 1], linearly interpolated within the
+    containing bucket and clamped to the observed min/max; [nan] when the
+    histogram is empty. *)
+
+type summary = {
+  count : int;
+  total : float;
+  mean : float;
+  min_v : float;
+  max_v : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : histogram -> summary
+
+(** {1 Registry} *)
+
+val reset_all : unit -> unit
+(** Zero every registered metric (instances remain valid). *)
+
+val dump : unit -> Json.t list
+(** One JSON record per registered metric with a non-trivial value
+    (counters at zero, never-set gauges and empty histograms are
+    skipped), in registration order:
+    [{"type":"counter","name":...,"value":...}],
+    [{"type":"gauge",...}], and
+    [{"type":"histogram","name":...,"count":...,"mean":...,"p50":...}]. *)

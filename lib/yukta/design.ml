@@ -54,11 +54,23 @@ let stabilize model =
 
 let identify ?(order = 4) spec ~u ~y =
   validate_spec spec;
+  let t0 = if Obs.Collector.enabled () then Obs.Collector.now () else 0.0 in
   let u_norm, y_norm = normalize_records spec ~u ~y in
   let bj =
     Sysid.Boxjenkins.fit ~na:order ~nb:order ~u:u_norm ~y:y_norm ()
   in
-  stabilize (Sysid.Arx.to_ss bj.Sysid.Boxjenkins.plant ~period:spec.period)
+  let model =
+    stabilize (Sysid.Arx.to_ss bj.Sysid.Boxjenkins.plant ~period:spec.period)
+  in
+  if Obs.Collector.enabled () then
+    Obs.Collector.record_span ~name:"design.identify"
+      ~dur_s:(Obs.Collector.now () -. t0)
+      [
+        ("layer", Obs.Json.String spec.layer);
+        ("order", Obs.Json.Int order);
+        ("samples", Obs.Json.Int (Array.length u));
+      ];
+  model
 
 (* Performance weight dynamics: each tracking-error channel is filtered by
    hf * (z - zero) / (z - pole): the high-frequency gain [hf] below 1
@@ -186,6 +198,7 @@ type synthesis = {
 
 let synthesize ?(dk_iterations = 3) ?(mu_points = 30) ?reduce_order
     ?ignore_quantization spec ~model =
+  let t0 = if Obs.Collector.enabled () then Obs.Collector.now () else 0.0 in
   let plant, structure = generalized_plant ?ignore_quantization spec ~model in
   let result = Dk.synthesize ~iterations:dk_iterations ~mu_points ~plant ~structure () in
   (* Optional balanced-truncation of the controller toward a hardware
@@ -214,6 +227,15 @@ let synthesize ?(dk_iterations = 3) ?(mu_points = 30) ?reduce_order
   let guaranteed_bounds =
     Array.map (fun o -> scale *. Signal.bound_absolute o) spec.outputs
   in
+  if Obs.Collector.enabled () then
+    Obs.Collector.record_span ~name:"design.synthesize"
+      ~dur_s:(Obs.Collector.now () -. t0)
+      [
+        ("layer", Obs.Json.String spec.layer);
+        ("mu_peak", Obs.Json.Float result.Dk.mu_peak);
+        ("gamma", Obs.Json.Float result.Dk.gamma);
+        ("controller_order", Obs.Json.Int (Ss.order result.Dk.controller));
+      ];
   {
     controller =
       Controller.make ~controller:result.Dk.controller ~inputs:spec.inputs

@@ -9,8 +9,22 @@ type app_result = {
 }
 
 let run_app ?max_time scheme (name, workloads) =
+  let t0 = if Obs.Collector.enabled () then Obs.Collector.now () else 0.0 in
   let r = Runtime.run ?max_time scheme workloads in
-  { app = name; scheme; metrics = r.Runtime.metrics; completed = r.Runtime.completed }
+  let result =
+    { app = name; scheme; metrics = r.Runtime.metrics; completed = r.Runtime.completed }
+  in
+  if Obs.Collector.enabled () then
+    Obs.Collector.record_span ~name:"experiment.app"
+      ~dur_s:(Obs.Collector.now () -. t0)
+      [
+        ("app", Obs.Json.String name);
+        ("scheme", Obs.Json.String (Runtime.scheme_name scheme));
+        ("exd_js", Obs.Json.Float r.Runtime.metrics.Board.Xu3.energy_delay);
+        ( "execution_time_s",
+          Obs.Json.Float r.Runtime.metrics.Board.Xu3.execution_time );
+      ];
+  result
 
 let suite_entries () =
   List.map
@@ -27,6 +41,7 @@ type normalized_row = {
   name : string;
   exd : (Runtime.scheme * float) list;   (* Normalized E x D per scheme. *)
   time : (Runtime.scheme * float) list;  (* Normalized execution time. *)
+  raw : (Runtime.scheme * app_result) list;  (* Un-normalized results. *)
 }
 
 (* Run [schemes] on every entry and normalize each metric to the first
@@ -56,7 +71,7 @@ let run_suite ?max_time ~schemes entries =
               /. base.Board.Xu3.execution_time ))
           results
       in
-      { name; exd; time })
+      { name; exd; time; raw = results })
     entries
 
 (* Suite averages in the figure-9 layout: SPEC average, PARSEC average,
@@ -73,3 +88,52 @@ let averages rows ~spec_names ~parsec_names ~value =
     let pav = avg_of (pick parsec_names) scheme in
     let avg = avg_of rows scheme in
     (sav, pav, avg)
+
+(* JSON rendering of a suite: per-app, per-scheme raw and normalized
+   metrics in the shape bench's [--json] output embeds. *)
+let row_json (r : normalized_row) =
+  Obs.Json.Obj
+    [
+      ("app", Obs.Json.String r.name);
+      ( "schemes",
+        Obs.Json.Obj
+          (List.map
+             (fun (s, (a : app_result)) ->
+               let m = a.metrics in
+               ( Runtime.scheme_name s,
+                 Obs.Json.Obj
+                   [
+                     ("exd_norm", Obs.Json.Float (List.assoc s r.exd));
+                     ("time_norm", Obs.Json.Float (List.assoc s r.time));
+                     ("exd_js", Obs.Json.Float m.Board.Xu3.energy_delay);
+                     ( "execution_time_s",
+                       Obs.Json.Float m.Board.Xu3.execution_time );
+                     ("energy_j", Obs.Json.Float m.Board.Xu3.total_energy);
+                     ("trips", Obs.Json.Int m.Board.Xu3.trips);
+                     ("completed", Obs.Json.Bool a.completed);
+                   ] ))
+             r.raw) );
+    ]
+
+let suite_json rows =
+  let schemes =
+    match rows with [] -> [] | r :: _ -> List.map fst r.raw
+  in
+  let avg value scheme =
+    average (List.map (fun r -> List.assoc scheme (value r)) rows)
+  in
+  Obs.Json.Obj
+    [
+      ("rows", Obs.Json.List (List.map row_json rows));
+      ( "averages",
+        Obs.Json.Obj
+          (List.map
+             (fun s ->
+               ( Runtime.scheme_name s,
+                 Obs.Json.Obj
+                   [
+                     ("exd_norm", Obs.Json.Float (avg (fun r -> r.exd) s));
+                     ("time_norm", Obs.Json.Float (avg (fun r -> r.time) s));
+                   ] ))
+             schemes) );
+    ]

@@ -24,6 +24,8 @@ type normalized_row = {
   name : string;
   exd : (Runtime.scheme * float) list;   (** Normalized E x D per scheme. *)
   time : (Runtime.scheme * float) list;  (** Normalized execution time. *)
+  raw : (Runtime.scheme * app_result) list;
+      (** The un-normalized per-scheme results behind the ratios. *)
 }
 
 val run_suite :
@@ -42,3 +44,8 @@ val averages :
   float * float * float
 (** [(SAv, PAv, Avg)] — the SPEC, PARSEC and overall averages of the
     Figure 9 bar layout. *)
+
+val suite_json : normalized_row list -> Obs.Json.t
+(** Machine-readable form of a suite: per-app rows with raw and
+    normalized E x D / execution-time metrics per scheme, plus suite
+    averages — the shape [bench --json] embeds per figure. *)

@@ -79,6 +79,7 @@ let exd_update t o =
 
 (* One layer driven by an SSV (or LQG) controller plus optimizer. *)
 type controlled_layer = {
+  label : string;               (* "hw" / "sw" / "mono", for telemetry. *)
   controller : Controller.t;
   optimizer : Optimizer.t;
   tracker : exd_tracker;
@@ -95,6 +96,11 @@ let layer_reset l =
   l.tracker.primed <- false;
   l.epoch_index <- 0
 
+let floats_json v =
+  Obs.Json.List (Array.to_list (Array.map (fun x -> Obs.Json.Float x) v))
+
+let decisions_metric = Obs.Metrics.counter "runtime.decisions"
+
 let layer_step l board o =
   l.epoch_index <- l.epoch_index + 1;
   let objective = exd_update l.tracker o in
@@ -108,10 +114,32 @@ let layer_step l board o =
     Controller.step l.controller ~measurements:meas ~targets
       ~externals:(l.external_values board)
   in
-  l.apply board u
+  l.apply board u;
+  if Obs.Collector.enabled () then begin
+    (* The pre-quantization normalized command shows which inputs the
+       controller drove into saturation this epoch. *)
+    let raw = Controller.last_raw_command l.controller in
+    let saturated =
+      Array.fold_left
+        (fun acc x -> if Float.abs x >= 1.0 -. 1e-9 then acc + 1 else acc)
+        0 raw
+    in
+    Obs.Metrics.incr decisions_metric;
+    Obs.Collector.event ~name:"runtime.decision" ~sim:(Xu3.time board)
+      [
+        ("layer", Obs.Json.String l.label);
+        ("epoch", Obs.Json.Int l.epoch_index);
+        ("objective_exd", Obs.Json.Float objective);
+        ("measurements", floats_json meas);
+        ("targets", floats_json targets);
+        ("command", floats_json u);
+        ("saturated_inputs", Obs.Json.Int saturated);
+      ]
+  end
 
 let hw_ssv_layer (syn : Design.synthesis) =
   {
+    label = "hw";
     controller = syn.Design.controller;
     optimizer = Hw_layer.make_optimizer ();
     tracker = exd_tracker ();
@@ -125,6 +153,7 @@ let hw_ssv_layer (syn : Design.synthesis) =
 
 let sw_ssv_layer (syn : Design.synthesis) =
   {
+    label = "sw";
     controller = syn.Design.controller;
     optimizer = Sw_layer.make_optimizer ();
     tracker = exd_tracker ();
@@ -138,6 +167,7 @@ let sw_ssv_layer (syn : Design.synthesis) =
 
 let lqg_hw_layer controller =
   {
+    label = "hw";
     controller;
     optimizer = Hw_layer.make_optimizer ();
     tracker = exd_tracker ();
@@ -150,6 +180,7 @@ let lqg_hw_layer controller =
 
 let lqg_sw_layer controller =
   {
+    label = "sw";
     controller;
     optimizer = Sw_layer.make_optimizer ();
     tracker = exd_tracker ();
@@ -162,6 +193,7 @@ let lqg_sw_layer controller =
 
 let lqg_monolithic_layer controller =
   {
+    label = "mono";
     controller;
     optimizer = Lqg_layer.monolithic_optimizer ();
     tracker = exd_tracker ();
@@ -284,6 +316,33 @@ let trace_point board (o : Xu3.outputs) =
     big_cores = eff.Xu3.big_cores;
   }
 
+let epochs_metric = Obs.Metrics.counter "runtime.epochs"
+
+(* The per-epoch record is built once and drives both consumers: the
+   in-memory [result.trace] array and the collector's event stream carry
+   the same data by construction (they used to be two separate code
+   paths). The whole block is skipped — one branch, no allocation — when
+   neither consumer is active. *)
+let emit_epoch_event (p : trace_point) =
+  Obs.Metrics.incr epochs_metric;
+  Obs.Collector.event ~name:"runtime.epoch" ~sim:p.time
+    [
+      ("power_big", Obs.Json.Float p.power_big);
+      ("power_big_sensor", Obs.Json.Float p.power_big_sensor);
+      ("power_little", Obs.Json.Float p.power_little);
+      ("bips", Obs.Json.Float p.bips);
+      ("temperature", Obs.Json.Float p.temperature);
+      ("freq_big", Obs.Json.Float p.freq_big);
+      ("big_cores", Obs.Json.Int p.big_cores);
+    ]
+
+let record_epoch board o ~collect trace =
+  if collect || Obs.Collector.enabled () then begin
+    let p = trace_point board o in
+    if collect then trace := p :: !trace;
+    if Obs.Collector.enabled () then emit_epoch_event p
+  end
+
 let run_driver ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period
     driver workloads =
   let board = Xu3.create ?sensor_period workloads in
@@ -292,8 +351,19 @@ let run_driver ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period
   while (not (Xu3.finished board)) && Xu3.time board < max_time do
     let o = Xu3.run_epoch board epoch in
     driver.act board o;
-    if collect_trace then trace := trace_point board o :: !trace
+    record_epoch board o ~collect:collect_trace trace
   done;
+  if Obs.Collector.enabled () then begin
+    let m = Xu3.metrics board in
+    Obs.Collector.event ~name:"runtime.run_complete" ~sim:(Xu3.time board)
+      [
+        ("execution_time_s", Obs.Json.Float m.Xu3.execution_time);
+        ("energy_j", Obs.Json.Float m.Xu3.total_energy);
+        ("energy_delay_js", Obs.Json.Float m.Xu3.energy_delay);
+        ("trips", Obs.Json.Int m.Xu3.trips);
+        ("completed", Obs.Json.Bool (Xu3.finished board));
+      ]
+  end;
   {
     metrics = Xu3.metrics board;
     completed = Xu3.finished board;
@@ -328,7 +398,7 @@ let run_fixed_targets ?(max_time = 120.0) ~hw_design ~sw_design ~hw_targets
         ~externals:(Hw_layer.externals_of_placement (Xu3.placement board))
     in
     Xu3.set_config board (Hw_layer.config_of_command u_hw);
-    trace := trace_point board o :: !trace
+    record_epoch board o ~collect:true trace
   done;
   Array.of_list (List.rev !trace)
 

@@ -1,0 +1,372 @@
+(* Tests for the observability stack (lib/obs): the JSON codec, metric
+   math, collector semantics, and the runtime instrumentation contract —
+   collection enabled emits well-formed per-epoch events, disabled emits
+   nothing and allocates nothing in the guard. *)
+
+open Yukta
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Json: encoder / parser                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_basic () =
+  let open Obs.Json in
+  Alcotest.(check string) "null" "null" (to_string Null);
+  Alcotest.(check string) "bool" "true" (to_string (Bool true));
+  Alcotest.(check string) "int" "42" (to_string (Int 42));
+  Alcotest.(check string)
+    "obj" {|{"a":1,"b":[2.5,"x"]}|}
+    (to_string (Obj [ ("a", Int 1); ("b", List [ Float 2.5; String "x" ]) ]));
+  (* Floats always carry a decimal point or exponent so they parse back
+     as Float, not Int. *)
+  (match of_string (to_string (Float 3.0)) with
+  | Float f -> check_float "float-ness survives" 3.0 f
+  | j -> Alcotest.failf "expected Float, got %s" (to_string j));
+  (* Non-finite floats have no JSON representation. *)
+  Alcotest.(check string) "nan" "null" (to_string (Float Float.nan));
+  Alcotest.(check string) "inf" "null" (to_string (Float Float.infinity))
+
+let test_json_escaping () =
+  let open Obs.Json in
+  let s = "quote\" backslash\\ newline\n tab\t nul\x00 unit\x1f" in
+  (match of_string (to_string (String s)) with
+  | String s' -> Alcotest.(check string) "escape round-trip" s s'
+  | _ -> Alcotest.fail "expected String");
+  (* \uXXXX escapes decode to UTF-8, including surrogate pairs. *)
+  (match of_string {|"é😀"|} with
+  | String s -> Alcotest.(check string) "unicode escapes" "\xc3\xa9\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "expected String");
+  match of_string "1 2" with
+  | exception Parse_error _ -> ()
+  | j -> Alcotest.failf "trailing garbage accepted: %s" (to_string j)
+
+let test_json_accessors () =
+  let open Obs.Json in
+  let j = of_string {|{"a":{"b":3},"c":[1,2],"s":"x","f":1.5}|} in
+  Alcotest.(check (option int))
+    "member/int"
+    (Some 3)
+    (Option.bind (member "a" j) (member "b") |> fun o ->
+     Option.bind o to_int_opt);
+  Alcotest.(check bool)
+    "int widens to float" true
+    (Option.bind (member "a" j) (member "b")
+     |> fun o -> Option.bind o to_float_opt = Some 3.0);
+  Alcotest.(check (option string))
+    "member/string" (Some "x")
+    (Option.bind (member "s" j) to_string_opt);
+  Alcotest.(check bool)
+    "list" true
+    (match Option.bind (member "c" j) to_list_opt with
+    | Some [ Int 1; Int 2 ] -> true
+    | _ -> false);
+  Alcotest.(check bool) "missing member" true (member "zz" j = None)
+
+(* Property: any string round-trips through encode/parse, whatever
+   control characters or high bytes it contains. *)
+let json_string_roundtrip =
+  QCheck.Test.make ~name:"json string encode/parse round-trip" ~count:500
+    QCheck.(string_gen (Gen.char_range '\x00' '\xff'))
+    (fun s ->
+      match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.String s)) with
+      | Obs.Json.String s' -> String.equal s s'
+      | _ -> false)
+
+(* Property: int round-trip, including min_int/max_int neighborhoods. *)
+let json_int_roundtrip =
+  QCheck.Test.make ~name:"json int round-trip" ~count:500
+    QCheck.(
+      oneof
+        [ int; int_range (max_int - 100) max_int; int_range min_int (min_int + 100) ])
+    (fun i ->
+      match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Int i)) with
+      | Obs.Json.Int i' -> i = i'
+      | _ -> false)
+
+(* Property: finite floats survive encode/parse exactly (shortest
+   round-trip representation). *)
+let json_float_roundtrip =
+  QCheck.Test.make ~name:"json float round-trip" ~count:500
+    QCheck.(map (fun f -> if Float.is_finite f then f else 0.0) float)
+    (fun f ->
+      match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Float f)) with
+      | Obs.Json.Float f' -> Float.equal f f'
+      | Obs.Json.Int i -> Float.equal f (Float.of_int i)
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  Obs.Metrics.reset_all ();
+  let c = Obs.Metrics.counter "test.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Metrics.count c);
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:41 c;
+  Alcotest.(check int) "incr" 42 (Obs.Metrics.count c);
+  (* Same name resolves to the same cell. *)
+  Alcotest.(check int) "shared by name" 42
+    (Obs.Metrics.count (Obs.Metrics.counter "test.counter"));
+  Obs.Metrics.reset_all ();
+  Alcotest.(check int) "reset zeroes, instance stays valid" 0
+    (Obs.Metrics.count c);
+  Obs.Metrics.incr c;
+  Alcotest.(check int) "usable after reset" 1 (Obs.Metrics.count c)
+
+let test_gauges () =
+  Obs.Metrics.reset_all ();
+  let g = Obs.Metrics.gauge "test.gauge" in
+  Alcotest.(check bool) "unset is nan" true (Float.is_nan (Obs.Metrics.value g));
+  Obs.Metrics.set g 2.5;
+  check_float "set/value" 2.5 (Obs.Metrics.value g)
+
+let test_histogram_percentiles () =
+  Obs.Metrics.reset_all ();
+  (* Unit-width buckets 1..100: percentile interpolation is accurate to
+     within one bucket. *)
+  let buckets = Array.init 100 (fun i -> Float.of_int (i + 1)) in
+  let h = Obs.Metrics.histogram ~buckets "test.hist" in
+  Alcotest.(check bool) "empty percentile is nan" true
+    (Float.is_nan (Obs.Metrics.percentile h 0.5));
+  for v = 1 to 100 do
+    Obs.Metrics.observe h (Float.of_int v)
+  done;
+  let s = Obs.Metrics.summarize h in
+  Alcotest.(check int) "count" 100 s.Obs.Metrics.count;
+  check_float "total" 5050.0 s.Obs.Metrics.total;
+  check_float "mean" 50.5 s.Obs.Metrics.mean;
+  check_float "min" 1.0 s.Obs.Metrics.min_v;
+  check_float "max" 100.0 s.Obs.Metrics.max_v;
+  let near q expect =
+    let p = Obs.Metrics.percentile h q in
+    if Float.abs (p -. expect) > 1.5 then
+      Alcotest.failf "p%.0f = %.3f, expected ~%.1f" (100.0 *. q) p expect
+  in
+  near 0.5 50.0;
+  near 0.9 90.0;
+  near 0.99 99.0;
+  check_float "p0 clamps to min" 1.0 (Obs.Metrics.percentile h 0.0);
+  check_float "p100 clamps to max" 100.0 (Obs.Metrics.percentile h 1.0)
+
+let test_histogram_single_and_overflow () =
+  Obs.Metrics.reset_all ();
+  let h = Obs.Metrics.histogram ~buckets:[| 1.0; 2.0 |] "test.hist2" in
+  Obs.Metrics.observe h 1.5;
+  check_float "single value p50" 1.5 (Obs.Metrics.percentile h 0.5);
+  check_float "single value p99" 1.5 (Obs.Metrics.percentile h 0.99);
+  (* A value above the last bound lands in the overflow bucket; the
+     summary still reports the true max. *)
+  Obs.Metrics.observe h 50.0;
+  let s = Obs.Metrics.summarize h in
+  check_float "overflow max" 50.0 s.Obs.Metrics.max_v;
+  check_float "overflow p100" 50.0 (Obs.Metrics.percentile h 1.0)
+
+let test_metrics_dump () =
+  Obs.Metrics.reset_all ();
+  let c = Obs.Metrics.counter "dump.counter" in
+  let _empty = Obs.Metrics.counter "dump.zero" in
+  Obs.Metrics.incr ~by:7 c;
+  let records = Obs.Metrics.dump () in
+  let names =
+    List.filter_map
+      (fun j -> Option.bind (Obs.Json.member "name" j) Obs.Json.to_string_opt)
+      records
+  in
+  Alcotest.(check bool) "non-zero counter dumped" true
+    (List.mem "dump.counter" names);
+  Alcotest.(check bool) "zero counter skipped" false
+    (List.mem "dump.zero" names)
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let drain_json () = List.map Obs.Json.of_string (Obs.Collector.drain ())
+
+let field name j = Obs.Json.member name j
+
+let sfield name j = Option.bind (field name j) Obs.Json.to_string_opt
+
+let test_disabled_is_silent () =
+  Obs.Collector.disable ();
+  Obs.Collector.buffer_sink ();
+  Obs.Collector.event ~name:"x" ~sim:1.0 [];
+  Obs.Collector.record_span ~name:"y" ~dur_s:0.1 [];
+  Alcotest.(check int) "nothing emitted" 0 (List.length (Obs.Collector.drain ()))
+
+let test_span_nesting () =
+  Obs.Collector.buffer_sink ();
+  Obs.Collector.enable ();
+  let r =
+    Obs.Collector.span ~name:"outer" (fun () ->
+        Obs.Collector.span ~name:"inner" (fun () -> 7) + 1)
+  in
+  Obs.Collector.disable ();
+  Alcotest.(check int) "span returns f's value" 8 r;
+  match drain_json () with
+  | [ inner; outer ] ->
+    (* Inner completes (and is emitted) first. *)
+    Alcotest.(check (option string)) "inner name" (Some "inner")
+      (sfield "name" inner);
+    Alcotest.(check (option string)) "outer name" (Some "outer")
+      (sfield "name" outer);
+    Alcotest.(check (option int)) "inner depth" (Some 1)
+      (Option.bind (field "depth" inner) Obs.Json.to_int_opt);
+    Alcotest.(check (option int)) "outer depth" (Some 0)
+      (Option.bind (field "depth" outer) Obs.Json.to_int_opt);
+    let dur j =
+      match Option.bind (field "dur_s" j) Obs.Json.to_float_opt with
+      | Some d -> d
+      | None -> Alcotest.fail "span without dur_s"
+    in
+    Alcotest.(check bool) "durations non-negative" true
+      (dur inner >= 0.0 && dur outer >= 0.0);
+    Alcotest.(check bool) "outer covers inner" true (dur outer >= dur inner)
+  | lines -> Alcotest.failf "expected 2 spans, got %d lines" (List.length lines)
+
+let test_span_exception () =
+  Obs.Collector.buffer_sink ();
+  Obs.Collector.enable ();
+  (try
+     Obs.Collector.span ~name:"boom" (fun () -> failwith "expected") |> ignore
+   with Failure _ -> ());
+  Obs.Collector.disable ();
+  match drain_json () with
+  | [ j ] ->
+    Alcotest.(check bool) "raised field present" true
+      (Option.bind (field "fields" j) (Obs.Json.member "raised") <> None)
+  | _ -> Alcotest.fail "expected one span record"
+
+let test_with_collection () =
+  let v =
+    Obs.Collector.with_collection (fun () ->
+        Obs.Collector.event ~name:"probe" ~sim:2.0
+          [ ("k", Obs.Json.Int 1) ];
+        Obs.Metrics.incr (Obs.Metrics.counter "probe.counter");
+        "done")
+  in
+  Alcotest.(check string) "returns f's value" "done" v;
+  Alcotest.(check bool) "disabled after" false (Obs.Collector.enabled ());
+  let lines = drain_json () in
+  Alcotest.(check bool) "event + metric dump captured" true
+    (List.length lines >= 2);
+  let kinds = List.filter_map (sfield "type") lines in
+  Alcotest.(check bool) "has event" true (List.mem "event" kinds);
+  Alcotest.(check bool) "has counter dump" true (List.mem "counter" kinds)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime instrumentation contract                                    *)
+(* ------------------------------------------------------------------ *)
+
+let short_run () =
+  Runtime.run ~max_time:5.0 Runtime.Coordinated_heuristic
+    [ Board.Workload.by_name "blackscholes" ]
+
+let test_runtime_events_enabled () =
+  let r = Obs.Collector.with_collection short_run in
+  Alcotest.(check bool) "run progressed" true
+    (r.Runtime.metrics.Board.Xu3.execution_time > 0.0);
+  let lines = drain_json () in
+  let epochs =
+    List.filter (fun j -> sfield "name" j = Some "runtime.epoch") lines
+  in
+  (* 5 s of simulated time at 0.5 s epochs: one record per epoch, stamped
+     at the *end* of its epoch (0.5, 1.0, ...). The board clock
+     accumulates sub-epoch steps, so rounding may admit one extra epoch
+     before the [time < max_time] check trips. *)
+  let n = List.length epochs in
+  if n < 10 || n > 11 then
+    Alcotest.failf "expected 10-11 epoch events, got %d" n;
+  let sim j =
+    match Option.bind (field "sim_s" j) Obs.Json.to_float_opt with
+    | Some t -> t
+    | None -> Alcotest.fail "epoch event without sim_s"
+  in
+  List.iteri
+    (fun i j ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "epoch %d timestamp" i)
+        (0.5 *. Float.of_int (i + 1))
+        (sim j);
+      let fields =
+        match field "fields" j with
+        | Some f -> f
+        | None -> Alcotest.fail "epoch event without fields"
+      in
+      List.iter
+        (fun key ->
+          match Option.bind (Obs.Json.member key fields) Obs.Json.to_float_opt with
+          | Some v ->
+            if not (Float.is_finite v) then
+              Alcotest.failf "epoch field %s not finite" key
+          | None -> Alcotest.failf "epoch event missing field %s" key)
+        [ "power_big"; "power_little"; "bips"; "temperature"; "freq_big" ])
+    epochs;
+  (* The run-complete record carries the final metrics. *)
+  Alcotest.(check bool) "run_complete emitted" true
+    (List.exists (fun j -> sfield "name" j = Some "runtime.run_complete") lines)
+
+let test_runtime_silent_disabled () =
+  Obs.Collector.disable ();
+  Obs.Collector.buffer_sink ();
+  ignore (short_run ());
+  Alcotest.(check int) "disabled run emits nothing" 0
+    (List.length (Obs.Collector.drain ()))
+
+(* The disabled guard is one atomic load: a tight loop over it must not
+   allocate (no minor-heap growth beyond noise). This is the cost every
+   instrumentation site pays when collection is off. *)
+let test_disabled_guard_no_alloc () =
+  Obs.Collector.disable ();
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    if Obs.Collector.enabled () then
+      failwith "collector unexpectedly enabled"
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 256.0 then
+    Alcotest.failf "disabled guard allocated %.0f words over 100k checks" delta
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "basic encoding" `Quick test_json_basic;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ]
+        @ qsuite
+            [ json_string_roundtrip; json_int_roundtrip; json_float_roundtrip ]
+      );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "histogram single/overflow" `Quick
+            test_histogram_single_and_overflow;
+          Alcotest.test_case "dump" `Quick test_metrics_dump;
+        ] );
+      ( "collector",
+        [
+          Alcotest.test_case "disabled is silent" `Quick test_disabled_is_silent;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span exception" `Quick test_span_exception;
+          Alcotest.test_case "with_collection" `Quick test_with_collection;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "enabled run emits epoch events" `Quick
+            test_runtime_events_enabled;
+          Alcotest.test_case "disabled run is silent" `Quick
+            test_runtime_silent_disabled;
+          Alcotest.test_case "disabled guard allocates nothing" `Quick
+            test_disabled_guard_no_alloc;
+        ] );
+    ]
