@@ -32,13 +32,30 @@ let write_json path =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
-let scheme_abbrev = function
-  | Runtime.Coordinated_heuristic -> "CoordHeur"
-  | Runtime.Decoupled_heuristic -> "DecHeur"
-  | Runtime.Hw_ssv_os_heuristic -> "HWssv+OSheur"
-  | Runtime.Hw_ssv_os_ssv -> "HWssv+OSssv"
-  | Runtime.Lqg_decoupled -> "DecLQG"
-  | Runtime.Lqg_monolithic -> "MonoLQG"
+(* All naming comes from the scheme registry; the harness keeps no
+   tables of its own. *)
+let scheme_abbrev (s : Schemes.info) = s.Schemes.abbrev
+
+let scheme key = Schemes.find_exn key
+
+(* [--smoke]: a CI-sized run — two suite entries, capped simulated time.
+   Shapes are meaningless at this size; the point is exercising every
+   code path and the JSON schema. *)
+let smoke = ref false
+
+let run_max_time () = if !smoke then Some 120.0 else None
+
+let suite_entries () =
+  let entries = Experiment.suite_entries () in
+  if !smoke then
+    match entries with a :: b :: _ -> [ a; b ] | short -> short
+  else entries
+
+let mix_entries () =
+  let entries = Experiment.mix_entries () in
+  if !smoke then
+    match entries with a :: _ -> [ a ] | [] -> []
+  else entries
 
 (* ------------------------------------------------------------------ *)
 (* Tables II-IV: the controller specifications                         *)
@@ -81,25 +98,24 @@ let table3 () =
   print_signal_table (Sw_layer.spec ())
 
 let table4 () =
-  section "Table IV: the two-layer schemes";
+  section "Table IV: the registered schemes";
   List.iter
-    (fun s -> Printf.printf "  %-14s %s\n" (scheme_abbrev s) (Runtime.scheme_name s))
-    Runtime.all_schemes
+    (fun (s : Schemes.info) ->
+      Printf.printf "  %-12s %-26s %d layers  [%s]\n" s.Schemes.abbrev
+        s.Schemes.name
+        (List.length s.Schemes.layers)
+        s.Schemes.citation)
+    Schemes.all
 
 (* ------------------------------------------------------------------ *)
 (* Figure 9: ExD and execution time, 4 schemes x full suite            *)
 (* ------------------------------------------------------------------ *)
 
 let fig9_schemes =
-  [
-    Runtime.Coordinated_heuristic;
-    Runtime.Decoupled_heuristic;
-    Runtime.Hw_ssv_os_heuristic;
-    Runtime.Hw_ssv_os_ssv;
-  ]
+  [ scheme "coord"; scheme "decoupled"; scheme "hw-ssv"; scheme "yukta" ]
 
 let suite_rows schemes =
-  Experiment.run_suite ~schemes (Experiment.suite_entries ())
+  Experiment.run_suite ?max_time:(run_max_time ()) ~schemes (suite_entries ())
 
 let print_rows title rows schemes value =
   section title;
@@ -159,7 +175,7 @@ let fig9 ?rows () =
    epoch, so the first point sits at 0.5 s, not 0.0 s. *)
 let row_time traces i =
   List.find_map
-    (fun t -> if i < Array.length t then Some t.(i).Runtime.time else None)
+    (fun t -> if i < Array.length t then Some t.(i).Stack.time else None)
     traces
 
 let print_trace key title pick schemes =
@@ -168,7 +184,7 @@ let print_trace key title pick schemes =
     List.map
       (fun s ->
         let r =
-          Runtime.run ~collect_trace:true s
+          Schemes.run ?max_time:(run_max_time ()) ~collect_trace:true s
             [ Board.Workload.by_name "blackscholes" ]
         in
         (s, r))
@@ -179,22 +195,22 @@ let print_trace key title pick schemes =
   Printf.printf "\n";
   let len =
     List.fold_left
-      (fun acc (_, r) -> max acc (Array.length r.Runtime.trace))
+      (fun acc (_, r) -> max acc (Array.length r.Stack.trace))
       0 traces
   in
   let stride = max 1 (len / 40) in
   let i = ref 0 in
   while !i < len do
     let t =
-      match row_time (List.map (fun (_, r) -> r.Runtime.trace) traces) !i with
+      match row_time (List.map (fun (_, r) -> r.Stack.trace) traces) !i with
       | Some t -> t
       | None -> Float.of_int (!i + 1) *. 0.5
     in
     Printf.printf "%-8.1f" t;
     List.iter
       (fun (_, r) ->
-        if !i < Array.length r.Runtime.trace then
-          Printf.printf " %12.2f" (pick r.Runtime.trace.(!i))
+        if !i < Array.length r.Stack.trace then
+          Printf.printf " %12.2f" (pick r.Stack.trace.(!i))
         else Printf.printf " %12s" "-")
       traces;
     Printf.printf "\n";
@@ -202,7 +218,7 @@ let print_trace key title pick schemes =
   done;
   List.iter
     (fun (s, r) ->
-      let m = r.Runtime.metrics in
+      let m = r.Stack.metrics in
       Printf.printf "# %-14s completes at %.0f s (energy %.0f J, %d trips)\n"
         (scheme_abbrev s) m.Board.Xu3.execution_time m.Board.Xu3.total_energy
         m.Board.Xu3.trips)
@@ -211,7 +227,7 @@ let print_trace key title pick schemes =
     (Obs.Json.Obj
        (List.map
           (fun (s, r) ->
-            let m = r.Runtime.metrics in
+            let m = r.Stack.metrics in
             ( scheme_abbrev s,
               Obs.Json.Obj
                 [
@@ -225,12 +241,12 @@ let print_trace key title pick schemes =
 let fig10 () =
   print_trace "fig10"
     "Figure 10: big-cluster power (W) vs time, blackscholes (limit 3.3 W)"
-    (fun p -> p.Runtime.power_big)
+    (fun p -> p.Stack.power_big)
     fig9_schemes
 
 let fig11 () =
   print_trace "fig11" "Figure 11: performance (BIPS) vs time, blackscholes"
-    (fun p -> p.Runtime.bips)
+    (fun p -> p.Stack.bips)
     fig9_schemes
 
 (* ------------------------------------------------------------------ *)
@@ -238,12 +254,7 @@ let fig11 () =
 (* ------------------------------------------------------------------ *)
 
 let lqg_schemes =
-  [
-    Runtime.Coordinated_heuristic;
-    Runtime.Lqg_decoupled;
-    Runtime.Lqg_monolithic;
-    Runtime.Hw_ssv_os_ssv;
-  ]
+  [ scheme "coord"; scheme "lqg-dec"; scheme "lqg-mono"; scheme "yukta" ]
 
 let fig12_13 () =
   let rows = suite_rows lqg_schemes in
@@ -258,8 +269,10 @@ let fig12_13 () =
 (* ------------------------------------------------------------------ *)
 
 let fig14 () =
-  let schemes = fig9_schemes @ [ Runtime.Lqg_decoupled; Runtime.Lqg_monolithic ] in
-  let rows = Experiment.run_suite ~schemes (Experiment.mix_entries ()) in
+  let schemes = fig9_schemes @ [ scheme "lqg-dec"; scheme "lqg-mono" ] in
+  let rows =
+    Experiment.run_suite ?max_time:(run_max_time ()) ~schemes (mix_entries ())
+  in
   print_rows "Figure 14: ExD on heterogeneous mixes" rows schemes (fun r ->
       r.Experiment.exd);
   json_record "fig14" (Experiment.suite_json rows)
@@ -392,7 +405,7 @@ let fig15 () =
     List.iter
       (fun (_, t) ->
         if !i < Array.length t then
-          Printf.printf " %20.2f" t.(!i).Runtime.bips
+          Printf.printf " %20.2f" t.(!i).Stack.bips
         else Printf.printf " %20s" "-")
       traces;
     Printf.printf "\n";
@@ -406,7 +419,7 @@ let fig15 () =
       Array.iteri
         (fun i p ->
           if i > 50 then begin
-            let d = p.Runtime.bips -. 8.0 in
+            let d = p.Stack.bips -. 8.0 in
             sum := !sum +. (d *. d);
             incr n
           end)
@@ -416,30 +429,20 @@ let fig15 () =
           (Float.sqrt (!sum /. Float.of_int !n)))
     traces;
   section "Figure 15(b): ExD vs bounds (suite average, normalized)";
-  let baseline_rows =
-    Experiment.run_suite ~schemes:[ Runtime.Coordinated_heuristic ]
-      (Experiment.suite_entries ())
-  in
-  ignore baseline_rows;
   List.iter
     (fun (b, label) ->
       let hw, sw = variant_designs b in
-      let schemes = [ Runtime.Coordinated_heuristic ] in
-      ignore schemes;
       (* Run Yukta-full with the variant designs against the baseline. *)
       let total_ratio = ref 0.0 and n = ref 0 in
       List.iter
-        (fun entry ->
-          let name, workloads = entry in
-          ignore name;
+        (fun (_, workloads) ->
           let base =
-            (Runtime.run Runtime.Coordinated_heuristic workloads).Runtime.metrics
+            (Schemes.run (scheme "coord") workloads).Stack.metrics
           in
-          let driver = Runtime.yukta_full_driver hw sw in
-          let r = Runtime.run_driver driver workloads in
+          let r = Stack.run (Schemes.yukta_full_stack hw sw) workloads in
           total_ratio :=
             !total_ratio
-            +. (r.Runtime.metrics.Board.Xu3.energy_delay
+            +. (r.Stack.metrics.Board.Xu3.energy_delay
                 /. base.Board.Xu3.energy_delay);
           incr n)
         (Experiment.suite_entries ());
@@ -482,13 +485,12 @@ let fig16 () =
       List.iter
         (fun (_, workloads) ->
           let base =
-            (Runtime.run Runtime.Coordinated_heuristic workloads).Runtime.metrics
+            (Schemes.run (scheme "coord") workloads).Stack.metrics
           in
-          let driver = Runtime.yukta_full_driver hw sw in
-          let r = Runtime.run_driver driver workloads in
+          let r = Stack.run (Schemes.yukta_full_stack hw sw) workloads in
           total_ratio :=
             !total_ratio
-            +. (r.Runtime.metrics.Board.Xu3.energy_delay
+            +. (r.Stack.metrics.Board.Xu3.energy_delay
                 /. base.Board.Xu3.energy_delay);
           incr n)
         (Experiment.suite_entries ());
@@ -537,7 +539,7 @@ let fig17 () =
     List.iter
       (fun (_, t) ->
         if !i < Array.length t then
-          Printf.printf " %12.2f" t.(!i).Runtime.power_big
+          Printf.printf " %12.2f" t.(!i).Stack.power_big
         else Printf.printf " %12s" "-")
       traces;
     Printf.printf "\n";
@@ -551,7 +553,7 @@ let fig17 () =
       Array.iteri
         (fun i p ->
           if i > 40 && i < Array.length t then begin
-            acc := !acc +. Float.abs (p.Runtime.power_big -. t.(i - 1).Runtime.power_big);
+            acc := !acc +. Float.abs (p.Stack.power_big -. t.(i - 1).Stack.power_big);
             incr n
           end)
         t;
@@ -567,31 +569,35 @@ let fig17 () =
 let ablation () =
   section "Ablation: value of coordination, optimizer, and sensors";
   let entries = Experiment.suite_entries () in
-  let avg_ratio driver =
+  let avg_ratio stack =
     let total = ref 0.0 and n = ref 0 in
     List.iter
       (fun (_, workloads) ->
         let base =
-          (Runtime.run Runtime.Coordinated_heuristic workloads).Runtime.metrics
+          (Schemes.run (scheme "coord") workloads).Stack.metrics
         in
-        let r = Runtime.run_driver (driver ()) workloads in
+        let r = Stack.run (stack ()) workloads in
         total :=
           !total
-          +. (r.Runtime.metrics.Board.Xu3.energy_delay
+          +. (r.Stack.metrics.Board.Xu3.energy_delay
               /. base.Board.Xu3.energy_delay);
         incr n)
       entries;
     !total /. Float.of_int !n
   in
-  let full () = Runtime.yukta_full_driver (Designs.hw ()) (Designs.sw ()) in
+  let full () = Schemes.yukta_full_stack (Designs.hw ()) (Designs.sw ()) in
   Printf.printf "  Yukta full:                         ExD = %.3f\n"
     (avg_ratio full);
   (* Without external signals: controllers synthesized with the externals
      zeroed at runtime (the information channel is cut). *)
-  let no_ext () = Runtime.yukta_full_no_externals_driver (Designs.hw ()) (Designs.sw ()) in
+  let no_ext () =
+    Schemes.yukta_no_externals_stack (Designs.hw ()) (Designs.sw ())
+  in
   Printf.printf "  ... external signals zeroed:        ExD = %.3f\n"
     (avg_ratio no_ext);
-  let no_opt () = Runtime.yukta_full_fixed_targets_driver (Designs.hw ()) (Designs.sw ()) in
+  let no_opt () =
+    Schemes.yukta_fixed_targets_stack (Designs.hw ()) (Designs.sw ())
+  in
   Printf.printf "  ... optimizer off (fixed targets):  ExD = %.3f\n"
     (avg_ratio no_opt);
   (* Quantization-aware synthesis vs the continuous-input assumption of
@@ -604,7 +610,7 @@ let ablation () =
     in
     Design.synthesize ~ignore_quantization:true spec ~model
   in
-  let no_quant () = Runtime.yukta_full_driver hw_no_quant (Designs.sw ()) in
+  let no_quant () = Schemes.yukta_full_stack hw_no_quant (Designs.sw ()) in
   Printf.printf "  ... quantization-unaware HW design: ExD = %.3f\n"
     (avg_ratio no_quant);
   (* Power-sensor refresh period. *)
@@ -613,14 +619,12 @@ let ablation () =
     List.iter
       (fun (_, workloads) ->
         let base =
-          (Runtime.run Runtime.Coordinated_heuristic workloads).Runtime.metrics
+          (Schemes.run (scheme "coord") workloads).Stack.metrics
         in
-        let r =
-          Runtime.run_driver ~sensor_period:period (full ()) workloads
-        in
+        let r = Stack.run ~sensor_period:period (full ()) workloads in
         total :=
           !total
-          +. (r.Runtime.metrics.Board.Xu3.energy_delay
+          +. (r.Stack.metrics.Board.Xu3.energy_delay
               /. base.Board.Xu3.energy_delay);
         incr n)
       entries;
@@ -644,6 +648,16 @@ let () =
     | [] -> (None, List.rev acc)
   in
   let json_path, args = split_json [] raw in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--smoke" then begin
+          smoke := true;
+          false
+        end
+        else true)
+      args
+  in
   let has f = List.mem f args in
   let all = args = [] || has "--all" in
   if all || has "--tables" then begin

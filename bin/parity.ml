@@ -1,0 +1,22 @@
+(* Full-precision metrics for every registered scheme on a fixed short
+   workload.
+
+   The output is meant to be diffed across refactors of the runtime: any
+   change in a scheme's stepping order, optimizer cadence, or signal
+   wiring shows up as a bit-level difference in these numbers.
+
+     dune exec bin/parity.exe            -- every scheme
+     dune exec bin/parity.exe -- mcf     -- another workload *)
+
+let () =
+  let app = if Array.length Sys.argv > 1 then Sys.argv.(1) else "blackscholes" in
+  let w = Board.Workload.scale ~ginsts:150.0 (Board.Workload.by_name app) in
+  List.iter
+    (fun (scheme : Yukta.Schemes.info) ->
+      let r = Yukta.Schemes.run ~max_time:1000.0 scheme [ w ] in
+      let m = r.Yukta.Stack.metrics in
+      Printf.printf "%-28s time=%.17g energy=%.17g exd=%.17g trips=%d done=%b\n%!"
+        scheme.Yukta.Schemes.name m.Board.Xu3.execution_time
+        m.Board.Xu3.total_energy m.Board.Xu3.energy_delay m.Board.Xu3.trips
+        r.Yukta.Stack.completed)
+    Yukta.Schemes.all

@@ -1,8 +1,9 @@
 (* Command-line driver for the Yukta reproduction.
 
      yukta_cli apps                      list workloads
-     yukta_cli schemes                   list controller schemes
+     yukta_cli schemes                   list registered schemes
      yukta_cli run -s yukta -a mcf       run a scheme on a workload
+     yukta_cli run -s three-layer        run the 3-layer demo stack
      yukta_cli run --jsonl out.jsonl ... run with the Obs collector on
      yukta_cli csv -s coord -a x264      CSV trace to stdout
      yukta_cli trace out.jsonl           summarize an Obs JSONL trace
@@ -11,30 +12,20 @@
 open Cmdliner
 open Yukta
 
-let scheme_assoc =
-  [
-    ("coord", Runtime.Coordinated_heuristic);
-    ("decoupled", Runtime.Decoupled_heuristic);
-    ("hw-ssv", Runtime.Hw_ssv_os_heuristic);
-    ("yukta", Runtime.Hw_ssv_os_ssv);
-    ("lqg-dec", Runtime.Lqg_decoupled);
-    ("lqg-mono", Runtime.Lqg_monolithic);
-  ]
-
+(* Scheme names come from the registry: canonical keys, their aliases,
+   and (case-insensitively) abbreviations and display names all parse. *)
 let scheme_conv =
   let parse s =
-    match List.assoc_opt s scheme_assoc with
-    | Some v -> Ok v
+    match Schemes.find s with
+    | Some info -> Ok info
     | None ->
       Error
         (`Msg
            (Printf.sprintf "unknown scheme %S (one of: %s)" s
-              (String.concat ", " (List.map fst scheme_assoc))))
+              (String.concat ", "
+                 (List.map (fun (i : Schemes.info) -> i.Schemes.key) Schemes.all))))
   in
-  let print fmt v =
-    let name, _ = List.find (fun (_, s) -> s = v) scheme_assoc in
-    Format.pp_print_string fmt name
-  in
+  let print fmt (i : Schemes.info) = Format.pp_print_string fmt i.Schemes.key in
   Arg.conv (parse, print)
 
 let workloads_of_name name =
@@ -50,7 +41,7 @@ let scheme_arg =
   let doc = "Controller scheme (see `schemes`)." in
   Arg.(
     value
-    & opt scheme_conv Runtime.Hw_ssv_os_ssv
+    & opt scheme_conv (Schemes.find_exn "yukta")
     & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
 
 let apps_cmd =
@@ -72,10 +63,17 @@ let apps_cmd =
 let schemes_cmd =
   let run () =
     List.iter
-      (fun (key, s) -> Printf.printf "  %-10s %s\n" key (Runtime.scheme_name s))
-      scheme_assoc
+      (fun (i : Schemes.info) ->
+        Printf.printf "  %-12s %-14s [%s] %s\n" i.Schemes.key i.Schemes.abbrev
+          (String.concat ">" i.Schemes.layers)
+          i.Schemes.description;
+        Printf.printf "  %-12s %s%s\n" "" i.Schemes.citation
+          (match i.Schemes.aliases with
+          | [] -> ""
+          | a -> "; aliases: " ^ String.concat ", " a))
+      Schemes.all
   in
-  Cmd.v (Cmd.info "schemes" ~doc:"List controller schemes")
+  Cmd.v (Cmd.info "schemes" ~doc:"List registered schemes")
     Term.(const run $ const ())
 
 let jsonl_arg =
@@ -88,17 +86,19 @@ let jsonl_arg =
     value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let run scheme app jsonl =
+  let run (scheme : Schemes.info) app jsonl =
     let workloads = workloads_of_name app in
-    Printf.printf "running %s on %s...\n%!" (Runtime.scheme_name scheme) app;
-    let go () = Runtime.run scheme workloads in
+    Printf.printf "running %s (%s) on %s...\n%!" scheme.Schemes.name
+      (String.concat ">" scheme.Schemes.layers)
+      app;
+    let go () = Schemes.run scheme workloads in
     let r =
       match jsonl with
       | None -> go ()
       | Some file -> Obs.Collector.with_collection ~file go
     in
-    let m = r.Runtime.metrics in
-    Printf.printf "completed: %b\n" r.Runtime.completed;
+    let m = r.Stack.metrics in
+    Printf.printf "completed: %b\n" r.Stack.completed;
     Printf.printf "execution time: %.1f s\n" m.Board.Xu3.execution_time;
     Printf.printf "energy:         %.1f J\n" m.Board.Xu3.total_energy;
     Printf.printf "E x D:          %.0f J.s\n" m.Board.Xu3.energy_delay;
@@ -113,16 +113,16 @@ let run_cmd =
 let csv_cmd =
   let run scheme app =
     let workloads = workloads_of_name app in
-    let r = Runtime.run ~collect_trace:true scheme workloads in
+    let r = Schemes.run ~collect_trace:true scheme workloads in
     print_endline
       "time_s,power_big_w,power_big_sensor_w,power_little_w,bips,temp_c,freq_big_ghz,big_cores";
     Array.iter
-      (fun (p : Runtime.trace_point) ->
-        Printf.printf "%.1f,%.3f,%.3f,%.3f,%.3f,%.1f,%.1f,%d\n" p.Runtime.time
-          p.Runtime.power_big p.Runtime.power_big_sensor p.Runtime.power_little
-          p.Runtime.bips p.Runtime.temperature p.Runtime.freq_big
-          p.Runtime.big_cores)
-      r.Runtime.trace
+      (fun (p : Stack.trace_point) ->
+        Printf.printf "%.1f,%.3f,%.3f,%.3f,%.3f,%.1f,%.1f,%d\n" p.Stack.time
+          p.Stack.power_big p.Stack.power_big_sensor p.Stack.power_little
+          p.Stack.bips p.Stack.temperature p.Stack.freq_big
+          p.Stack.big_cores)
+      r.Stack.trace
   in
   Cmd.v
     (Cmd.info "csv" ~doc:"Run one scheme and print a CSV trace to stdout")

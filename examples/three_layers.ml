@@ -8,7 +8,12 @@
    layers below it) and actuates an application knob. Here a video
    pipeline adjusts its quality level (work per frame) to hold a frame
    target while the two-layer Yukta system underneath manages power,
-   placement and thermals — three coordinated SSV controllers in total. *)
+   placement and thermals — three coordinated SSV controllers in total.
+
+   The registry ships a ready-made version of this arrangement
+   (`yukta_cli run -s three-layer`, built on Schemes.qos_layer); this
+   example goes one step further and trains the application controller
+   on the live system before wiring it in as a Layer. *)
 
 open Yukta
 open Board
@@ -46,12 +51,12 @@ let app_spec =
 let () =
   Printf.printf "loading the two lower-layer designs (cached)...\n%!";
   let hw = Designs.hw () and sw = Designs.sw () in
+  let lower = Schemes.yukta_full_stack hw sw in
 
-  (* --- Train the application layer on the live three-layer stack. --- *)
+  (* --- Train the application layer on the live two-layer stack. --- *)
   Printf.printf "training the application layer on the running system...\n%!";
   let board = Xu3.create [ Workload.by_name "x264" ] in
-  let driver = Runtime.yukta_full_driver hw sw in
-  driver.Runtime.reset ();
+  Stack.reset lower;
   let exc = { Sysid.Excitation.seed = 11; hold = 3 } in
   let quality_seq =
     Sysid.Excitation.multilevel exc
@@ -63,7 +68,7 @@ let () =
     (fun q ->
       if not (Xu3.finished board) then begin
         let o = Xu3.run_epoch board 0.5 in
-        driver.Runtime.act board o;
+        Stack.step lower board o;
         let f = (Xu3.effective_config board).Xu3.freq_big in
         u_rec := [| q; f |] :: !u_rec;
         y_rec := [| fps ~bips:o.Xu3.bips ~quality:q |] :: !y_rec
@@ -79,32 +84,38 @@ let () =
     (Controller.order app.Design.controller)
     app.Design.mu_peak;
 
-  (* --- Run the three-layer closed loop. --- *)
+  (* --- Wire the trained controller in as a third Layer and run the
+     closed loop as one Stack. --- *)
   let target_fps = 30.0 in
+  let quality = ref 3.0 in
+  let app_layer =
+    Layer.controlled ~label:"app" ~measures:[| "fps" |]
+      ~actuates:[| "quality" |]
+      ~on_reset:(fun () -> quality := 3.0)
+      ~controller:app.Design.controller
+      ~targets:(Layer.Fixed [| target_fps |])
+      ~measure:(fun o -> [| fps ~bips:o.Xu3.bips ~quality:!quality |])
+      ~externals:(fun board -> [| (Xu3.effective_config board).Xu3.freq_big |])
+      ~actuate:(fun _board u -> quality := u.(0))
+      ()
+  in
+  let stack =
+    Stack.make ~label:"three-layer" (Stack.layers lower @ [ app_layer ])
+  in
   Printf.printf "\nrunning three layers (frame target %.0f fps):\n" target_fps;
   Printf.printf "%8s %8s %8s %8s %8s\n" "time(s)" "fps" "quality" "Pbig(W)"
     "freq";
   let board = Xu3.create [ Workload.by_name "x264" ] in
-  driver.Runtime.reset ();
-  Controller.reset app.Design.controller;
-  let quality = ref 3.0 in
+  Stack.reset stack;
   let epoch = ref 0 in
   while (not (Xu3.finished board)) && !epoch < 200 do
     incr epoch;
     let o = Xu3.run_epoch board 0.5 in
-    (* Lower two layers act as before. *)
-    driver.Runtime.act board o;
-    (* Application layer: hold the frame rate by trading quality. *)
-    let f = fps ~bips:o.Xu3.bips ~quality:!quality in
-    let u =
-      Controller.step app.Design.controller ~measurements:[| f |]
-        ~targets:[| target_fps |]
-        ~externals:[| (Xu3.effective_config board).Xu3.freq_big |]
-    in
-    quality := u.(0);
+    Stack.step stack board o;
     if !epoch mod 12 = 0 then
-      Printf.printf "%8.1f %8.1f %8.1f %8.2f %8.1f\n"
-        (Xu3.time board) f !quality o.Xu3.power_big
+      Printf.printf "%8.1f %8.1f %8.1f %8.2f %8.1f\n" (Xu3.time board)
+        (fps ~bips:o.Xu3.bips ~quality:!quality)
+        !quality o.Xu3.power_big
         (Xu3.effective_config board).Xu3.freq_big
   done;
   Printf.printf

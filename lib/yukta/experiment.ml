@@ -1,28 +1,30 @@
 (* Evaluation drivers: run schemes across the paper's suite and normalize
-   to the Coordinated heuristic baseline, as every figure does. *)
+   to the Coordinated heuristic baseline, as every figure does. Rows are
+   keyed by registry entries ({!Schemes.info}), so any registered scheme —
+   including stacks of more than two layers — joins a suite unchanged. *)
 
 type app_result = {
   app : string;
-  scheme : Runtime.scheme;
+  scheme : Schemes.info;
   metrics : Board.Xu3.metrics;
   completed : bool;
 }
 
 let run_app ?max_time scheme (name, workloads) =
   let t0 = if Obs.Collector.enabled () then Obs.Collector.now () else 0.0 in
-  let r = Runtime.run ?max_time scheme workloads in
+  let r = Schemes.run ?max_time scheme workloads in
   let result =
-    { app = name; scheme; metrics = r.Runtime.metrics; completed = r.Runtime.completed }
+    { app = name; scheme; metrics = r.Stack.metrics; completed = r.Stack.completed }
   in
   if Obs.Collector.enabled () then
     Obs.Collector.record_span ~name:"experiment.app"
       ~dur_s:(Obs.Collector.now () -. t0)
       [
         ("app", Obs.Json.String name);
-        ("scheme", Obs.Json.String (Runtime.scheme_name scheme));
-        ("exd_js", Obs.Json.Float r.Runtime.metrics.Board.Xu3.energy_delay);
+        ("scheme", Obs.Json.String scheme.Schemes.name);
+        ("exd_js", Obs.Json.Float r.Stack.metrics.Board.Xu3.energy_delay);
         ( "execution_time_s",
-          Obs.Json.Float r.Runtime.metrics.Board.Xu3.execution_time );
+          Obs.Json.Float r.Stack.metrics.Board.Xu3.execution_time );
       ];
   result
 
@@ -35,13 +37,15 @@ let mix_entries () = Board.Workload.mixes
 
 (* Geometric-mean-free averaging as in the paper's bar charts: arithmetic
    mean of per-application normalized values. *)
-let average xs = List.fold_left ( +. ) 0.0 xs /. Float.of_int (List.length xs)
+let average = function
+  | [] -> invalid_arg "Experiment.average: empty list"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. Float.of_int (List.length xs)
 
 type normalized_row = {
   name : string;
-  exd : (Runtime.scheme * float) list;   (* Normalized E x D per scheme. *)
-  time : (Runtime.scheme * float) list;  (* Normalized execution time. *)
-  raw : (Runtime.scheme * app_result) list;  (* Un-normalized results. *)
+  exd : (Schemes.info * float) list;   (* Normalized E x D per scheme. *)
+  time : (Schemes.info * float) list;  (* Normalized execution time. *)
+  raw : (Schemes.info * app_result) list;  (* Un-normalized results. *)
 }
 
 (* Run [schemes] on every entry and normalize each metric to the first
@@ -75,13 +79,17 @@ let run_suite ?max_time ~schemes entries =
     entries
 
 (* Suite averages in the figure-9 layout: SPEC average, PARSEC average,
-   and overall average, computed on the normalized values. *)
+   and overall average, computed on the normalized values. An empty
+   subset (e.g. a reduced suite with no PARSEC entries) averages to nan,
+   which the table printers render as a blank column. *)
 let averages rows ~spec_names ~parsec_names ~value =
   let pick names =
     List.filter (fun r -> List.mem r.name names) rows
   in
   let avg_of rows_subset scheme =
-    average (List.map (fun r -> List.assoc scheme (value r)) rows_subset)
+    match rows_subset with
+    | [] -> Float.nan
+    | _ -> average (List.map (fun r -> List.assoc scheme (value r)) rows_subset)
   in
   fun scheme ->
     let sav = avg_of (pick spec_names) scheme in
@@ -98,9 +106,9 @@ let row_json (r : normalized_row) =
       ( "schemes",
         Obs.Json.Obj
           (List.map
-             (fun (s, (a : app_result)) ->
+             (fun ((s : Schemes.info), (a : app_result)) ->
                let m = a.metrics in
-               ( Runtime.scheme_name s,
+               ( s.Schemes.name,
                  Obs.Json.Obj
                    [
                      ("exd_norm", Obs.Json.Float (List.assoc s r.exd));
@@ -120,7 +128,9 @@ let suite_json rows =
     match rows with [] -> [] | r :: _ -> List.map fst r.raw
   in
   let avg value scheme =
-    average (List.map (fun r -> List.assoc scheme (value r)) rows)
+    match rows with
+    | [] -> Float.nan
+    | _ -> average (List.map (fun r -> List.assoc scheme (value r)) rows)
   in
   Obs.Json.Obj
     [
@@ -128,8 +138,8 @@ let suite_json rows =
       ( "averages",
         Obs.Json.Obj
           (List.map
-             (fun s ->
-               ( Runtime.scheme_name s,
+             (fun (s : Schemes.info) ->
+               ( s.Schemes.name,
                  Obs.Json.Obj
                    [
                      ("exd_norm", Obs.Json.Float (avg (fun r -> r.exd) s));

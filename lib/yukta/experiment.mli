@@ -1,16 +1,19 @@
 (** Evaluation drivers: run scheme sets across workload suites and
     normalize every metric to the first scheme (the baseline), the way
-    every figure in the paper's evaluation reports its bars. *)
+    every figure in the paper's evaluation reports its bars.
+
+    Suites are keyed by registry entries ({!Schemes.info}), so any
+    registered scheme — two layers or ten — joins a suite unchanged. *)
 
 type app_result = {
   app : string;
-  scheme : Runtime.scheme;
+  scheme : Schemes.info;
   metrics : Board.Xu3.metrics;
   completed : bool;
 }
 
 val run_app :
-  ?max_time:float -> Runtime.scheme -> string * Board.Workload.t list -> app_result
+  ?max_time:float -> Schemes.info -> string * Board.Workload.t list -> app_result
 
 val suite_entries : unit -> (string * Board.Workload.t list) list
 (** The Figure 9 suite: 6 SPEC + 8 PARSEC applications, one job each. *)
@@ -19,18 +22,19 @@ val mix_entries : unit -> (string * Board.Workload.t list) list
 (** The Figure 14 heterogeneous mixes (two 4-thread jobs each). *)
 
 val average : float list -> float
+(** Arithmetic mean. @raise Invalid_argument on an empty list. *)
 
 type normalized_row = {
   name : string;
-  exd : (Runtime.scheme * float) list;   (** Normalized E x D per scheme. *)
-  time : (Runtime.scheme * float) list;  (** Normalized execution time. *)
-  raw : (Runtime.scheme * app_result) list;
+  exd : (Schemes.info * float) list;   (** Normalized E x D per scheme. *)
+  time : (Schemes.info * float) list;  (** Normalized execution time. *)
+  raw : (Schemes.info * app_result) list;
       (** The un-normalized per-scheme results behind the ratios. *)
 }
 
 val run_suite :
   ?max_time:float ->
-  schemes:Runtime.scheme list ->
+  schemes:Schemes.info list ->
   (string * Board.Workload.t list) list ->
   normalized_row list
 (** Run every scheme on every entry; normalize to the first scheme. *)
@@ -39,11 +43,12 @@ val averages :
   normalized_row list ->
   spec_names:string list ->
   parsec_names:string list ->
-  value:(normalized_row -> (Runtime.scheme * float) list) ->
-  Runtime.scheme ->
+  value:(normalized_row -> (Schemes.info * float) list) ->
+  Schemes.info ->
   float * float * float
 (** [(SAv, PAv, Avg)] — the SPEC, PARSEC and overall averages of the
-    Figure 9 bar layout. *)
+    Figure 9 bar layout. A subset with no matching rows averages to
+    [nan] (rendered blank by the table printers). *)
 
 val suite_json : normalized_row list -> Obs.Json.t
 (** Machine-readable form of a suite: per-app rows with raw and

@@ -1,0 +1,192 @@
+(* A single resource-control layer: heuristic or controlled, stepped
+   once per epoch by a Stack. *)
+
+open Linalg
+open Board
+
+(* Retarget interval: the optimizer moves every few epochs so the
+   controller has time to settle on each target set. *)
+let optimizer_interval = 5
+
+(* Exponentially averaged E x D rate: instantaneous power over squared
+   performance is the per-epoch proxy for E x D (Section IV-D). *)
+let exd_rate (o : Xu3.outputs) =
+  (o.Xu3.power_big +. o.Xu3.power_little)
+  /. (Float.max 0.2 o.Xu3.bips ** 2.0)
+
+type exd_tracker = { mutable ema : float; mutable primed : bool }
+
+let exd_tracker () = { ema = 0.0; primed = false }
+
+let exd_update t o =
+  let v = exd_rate o in
+  if t.primed then t.ema <- (0.5 *. t.ema) +. (0.5 *. v)
+  else begin
+    t.ema <- v;
+    t.primed <- true
+  end;
+  t.ema
+
+type targets =
+  | Optimized of Optimizer.t
+  | Fixed of Vec.t
+
+type controlled = {
+  controller : Controller.t;
+  mutable targets : targets;
+  tracker : exd_tracker;
+  measure : Xu3.outputs -> Vec.t;
+  mutable externals : Xu3.t -> Vec.t;
+  actuate : Xu3.t -> Vec.t -> unit;
+  on_reset : unit -> unit;
+  mutable epoch_index : int;
+}
+
+type heuristic = {
+  h_reset : unit -> unit;
+  h_act : Xu3.t -> Xu3.outputs -> unit;
+  mutable h_epoch : int;
+}
+
+type kind = Heuristic of heuristic | Controlled of controlled
+
+type t = {
+  label : string;
+  measures_ : string array;
+  actuates_ : string array;
+  kind : kind;
+}
+
+let heuristic ~label ?(measures = [||]) ?(actuates = [||])
+    ?(reset = fun () -> ()) ~act () =
+  {
+    label;
+    measures_ = measures;
+    actuates_ = actuates;
+    kind = Heuristic { h_reset = reset; h_act = act; h_epoch = 0 };
+  }
+
+let controlled ~label ?(measures = [||]) ?(actuates = [||])
+    ?(on_reset = fun () -> ()) ~controller ~targets ~measure ~externals
+    ~actuate () =
+  {
+    label;
+    measures_ = measures;
+    actuates_ = actuates;
+    kind =
+      Controlled
+        {
+          controller;
+          targets;
+          tracker = exd_tracker ();
+          measure;
+          externals;
+          actuate;
+          on_reset;
+          epoch_index = 0;
+        };
+  }
+
+let label t = t.label
+let measures t = t.measures_
+let actuates t = t.actuates_
+
+let is_controlled t =
+  match t.kind with Controlled _ -> true | Heuristic _ -> false
+
+let as_controlled op t =
+  match t.kind with
+  | Controlled c -> c
+  | Heuristic _ ->
+    invalid_arg (Printf.sprintf "Layer.%s: %s is a heuristic layer" op t.label)
+
+let with_externals t externals =
+  let c = as_controlled "with_externals" t in
+  { t with kind = Controlled { c with externals } }
+
+let with_fixed_targets t targets =
+  let c = as_controlled "with_fixed_targets" t in
+  { t with kind = Controlled { c with targets = Fixed targets } }
+
+let reset t =
+  match t.kind with
+  | Heuristic h ->
+    h.h_epoch <- 0;
+    h.h_reset ()
+  | Controlled c ->
+    Controller.reset c.controller;
+    (match c.targets with
+    | Optimized o -> Optimizer.reset o
+    | Fixed _ -> ());
+    c.tracker.ema <- 0.0;
+    c.tracker.primed <- false;
+    c.epoch_index <- 0;
+    c.on_reset ()
+
+let floats_json v =
+  Obs.Json.List (Array.to_list (Array.map (fun x -> Obs.Json.Float x) v))
+
+let decisions_metric = Obs.Metrics.counter "runtime.decisions"
+
+let step t board o =
+  match t.kind with
+  | Heuristic h ->
+    h.h_epoch <- h.h_epoch + 1;
+    h.h_act board o;
+    if Obs.Collector.enabled () then begin
+      Obs.Metrics.incr decisions_metric;
+      Obs.Collector.event ~name:"runtime.decision" ~sim:(Xu3.time board)
+        [
+          ("layer", Obs.Json.String t.label);
+          ("epoch", Obs.Json.Int h.h_epoch);
+          ("kind", Obs.Json.String "heuristic");
+        ]
+    end
+  | Controlled c ->
+    c.epoch_index <- c.epoch_index + 1;
+    let objective = exd_update c.tracker o in
+    let meas = c.measure o in
+    let targets =
+      match c.targets with
+      | Fixed v -> v
+      | Optimized opt ->
+        if c.epoch_index mod optimizer_interval = 0 then
+          Optimizer.update opt ~objective ~measurements:meas
+        else Optimizer.targets opt
+    in
+    let u =
+      Controller.step c.controller ~measurements:meas ~targets
+        ~externals:(c.externals board)
+    in
+    c.actuate board u;
+    if Obs.Collector.enabled () then begin
+      (* The pre-quantization normalized command shows which inputs the
+         controller drove into saturation this epoch. *)
+      let raw = Controller.last_raw_command c.controller in
+      let saturated =
+        Array.fold_left
+          (fun acc x -> if Float.abs x >= 1.0 -. 1e-9 then acc + 1 else acc)
+          0 raw
+      in
+      Obs.Metrics.incr decisions_metric;
+      Obs.Collector.event ~name:"runtime.decision" ~sim:(Xu3.time board)
+        [
+          ("layer", Obs.Json.String t.label);
+          ("epoch", Obs.Json.Int c.epoch_index);
+          ("kind", Obs.Json.String "controlled");
+          ("objective_exd", Obs.Json.Float objective);
+          ("measurements", floats_json meas);
+          ("targets", floats_json targets);
+          ("command", floats_json u);
+          ("saturated_inputs", Obs.Json.Int saturated);
+        ]
+    end
+
+module Wire = struct
+  type 'a wire = { mutable value : 'a; default : 'a }
+
+  let create default = { value = default; default }
+  let set w v = w.value <- v
+  let get w = w.value
+  let reset w = w.value <- w.default
+end

@@ -1,13 +1,5 @@
-(* The multilayer runtime (Figures 4, 5 and 7).
-
-   Every 500 ms (the power-sensor-limited invocation period of Section
-   V-A) each layer's controller samples the board and actuates its own
-   inputs; the SSV controllers additionally read the other layer's current
-   inputs as external signals, and their optimizers retarget every few
-   epochs from the measured E x D rate. *)
-
-open Linalg
-open Board
+(* Compatibility façade: the historical scheme variants, mapped onto
+   the Layer/Stack/Schemes architecture. *)
 
 type scheme =
   | Coordinated_heuristic
@@ -17,13 +9,17 @@ type scheme =
   | Lqg_decoupled
   | Lqg_monolithic
 
-let scheme_name = function
-  | Coordinated_heuristic -> "Coordinated heuristic"
-  | Decoupled_heuristic -> "Decoupled heuristic"
-  | Hw_ssv_os_heuristic -> "Yukta: HW SSV+OS heuristic"
-  | Hw_ssv_os_ssv -> "Yukta: HW SSV+OS SSV"
-  | Lqg_decoupled -> "Decoupled HW LQG+OS LQG"
-  | Lqg_monolithic -> "Monolithic LQG"
+let key_of_scheme = function
+  | Coordinated_heuristic -> "coord"
+  | Decoupled_heuristic -> "decoupled"
+  | Hw_ssv_os_heuristic -> "hw-ssv"
+  | Hw_ssv_os_ssv -> "yukta"
+  | Lqg_decoupled -> "lqg-dec"
+  | Lqg_monolithic -> "lqg-mono"
+
+let info s = Schemes.find_exn (key_of_scheme s)
+
+let scheme_name s = (info s).Schemes.name
 
 let all_schemes =
   [
@@ -35,9 +31,9 @@ let all_schemes =
     Lqg_monolithic;
   ]
 
-type trace_point = {
+type trace_point = Stack.trace_point = {
   time : float;
-  power_big : float;         (* True instantaneous big-cluster power. *)
+  power_big : float;
   power_big_sensor : float;
   power_little : float;
   bips : float;
@@ -46,423 +42,18 @@ type trace_point = {
   big_cores : int;
 }
 
-type result = {
-  metrics : Xu3.metrics;
+type result = Stack.result = {
+  metrics : Board.Xu3.metrics;
   completed : bool;
   trace : trace_point array;
 }
 
-let epoch = 0.5
-
-(* Retarget interval: the optimizer moves every few epochs so the
-   controller has time to settle on each target set. *)
-let optimizer_interval = 5
-
-(* Exponentially averaged E x D rate: instantaneous power over squared
-   performance is the per-epoch proxy for E x D (Section IV-D). *)
-let exd_rate (o : Xu3.outputs) =
-  (o.Xu3.power_big +. o.Xu3.power_little)
-  /. (Float.max 0.2 o.Xu3.bips ** 2.0)
-
-type exd_tracker = { mutable ema : float; mutable primed : bool }
-
-let exd_tracker () = { ema = 0.0; primed = false }
-
-let exd_update t o =
-  let v = exd_rate o in
-  if t.primed then t.ema <- (0.5 *. t.ema) +. (0.5 *. v)
-  else begin
-    t.ema <- v;
-    t.primed <- true
-  end;
-  t.ema
-
-(* One layer driven by an SSV (or LQG) controller plus optimizer. *)
-type controlled_layer = {
-  label : string;               (* "hw" / "sw" / "mono", for telemetry. *)
-  controller : Controller.t;
-  optimizer : Optimizer.t;
-  tracker : exd_tracker;
-  measurements : Xu3.outputs -> Vec.t;
-  external_values : Xu3.t -> Vec.t;
-  apply : Xu3.t -> Vec.t -> unit;
-  mutable epoch_index : int;
-}
-
-let layer_reset l =
-  Controller.reset l.controller;
-  Optimizer.reset l.optimizer;
-  l.tracker.ema <- 0.0;
-  l.tracker.primed <- false;
-  l.epoch_index <- 0
-
-let floats_json v =
-  Obs.Json.List (Array.to_list (Array.map (fun x -> Obs.Json.Float x) v))
-
-let decisions_metric = Obs.Metrics.counter "runtime.decisions"
-
-let layer_step l board o =
-  l.epoch_index <- l.epoch_index + 1;
-  let objective = exd_update l.tracker o in
-  let meas = l.measurements o in
-  let targets =
-    if l.epoch_index mod optimizer_interval = 0 then
-      Optimizer.update l.optimizer ~objective ~measurements:meas
-    else Optimizer.targets l.optimizer
-  in
-  let u =
-    Controller.step l.controller ~measurements:meas ~targets
-      ~externals:(l.external_values board)
-  in
-  l.apply board u;
-  if Obs.Collector.enabled () then begin
-    (* The pre-quantization normalized command shows which inputs the
-       controller drove into saturation this epoch. *)
-    let raw = Controller.last_raw_command l.controller in
-    let saturated =
-      Array.fold_left
-        (fun acc x -> if Float.abs x >= 1.0 -. 1e-9 then acc + 1 else acc)
-        0 raw
-    in
-    Obs.Metrics.incr decisions_metric;
-    Obs.Collector.event ~name:"runtime.decision" ~sim:(Xu3.time board)
-      [
-        ("layer", Obs.Json.String l.label);
-        ("epoch", Obs.Json.Int l.epoch_index);
-        ("objective_exd", Obs.Json.Float objective);
-        ("measurements", floats_json meas);
-        ("targets", floats_json targets);
-        ("command", floats_json u);
-        ("saturated_inputs", Obs.Json.Int saturated);
-      ]
-  end
-
-let hw_ssv_layer (syn : Design.synthesis) =
-  {
-    label = "hw";
-    controller = syn.Design.controller;
-    optimizer = Hw_layer.make_optimizer ();
-    tracker = exd_tracker ();
-    measurements = Hw_layer.measurements;
-    external_values =
-      (fun board -> Hw_layer.externals_of_placement (Xu3.placement board));
-    apply =
-      (fun board u -> Xu3.set_config board (Hw_layer.config_of_command u));
-    epoch_index = 0;
-  }
-
-let sw_ssv_layer (syn : Design.synthesis) =
-  {
-    label = "sw";
-    controller = syn.Design.controller;
-    optimizer = Sw_layer.make_optimizer ();
-    tracker = exd_tracker ();
-    measurements = Sw_layer.measurements;
-    external_values =
-      (fun board -> Sw_layer.externals_of_config (Xu3.config board));
-    apply =
-      (fun board u -> Xu3.set_placement board (Sw_layer.placement_of_command u));
-    epoch_index = 0;
-  }
-
-let lqg_hw_layer controller =
-  {
-    label = "hw";
-    controller;
-    optimizer = Hw_layer.make_optimizer ();
-    tracker = exd_tracker ();
-    measurements = Hw_layer.measurements;
-    external_values = (fun _ -> [||]);
-    apply =
-      (fun board u -> Xu3.set_config board (Hw_layer.config_of_command u));
-    epoch_index = 0;
-  }
-
-let lqg_sw_layer controller =
-  {
-    label = "sw";
-    controller;
-    optimizer = Sw_layer.make_optimizer ();
-    tracker = exd_tracker ();
-    measurements = Sw_layer.measurements;
-    external_values = (fun _ -> [||]);
-    apply =
-      (fun board u -> Xu3.set_placement board (Sw_layer.placement_of_command u));
-    epoch_index = 0;
-  }
-
-let lqg_monolithic_layer controller =
-  {
-    label = "mono";
-    controller;
-    optimizer = Lqg_layer.monolithic_optimizer ();
-    tracker = exd_tracker ();
-    measurements = Lqg_layer.monolithic_measurements;
-    external_values = (fun _ -> [||]);
-    apply =
-      (fun board u ->
-        Xu3.set_config board (Hw_layer.config_of_command (Vec.slice u 0 4));
-        Xu3.set_placement board
-          (Sw_layer.placement_of_command (Vec.slice u 4 3)));
-    epoch_index = 0;
-  }
-
-(* Per-epoch action of each scheme: heuristic layers are pure functions of
-   the observation; controlled layers carry state. *)
-type driver = {
-  reset : unit -> unit;
-  act : Xu3.t -> Xu3.outputs -> unit;
-}
-
-let coordinated_driver () =
-  let st = Heuristics.coordinated_init () in
-  {
-    reset = (fun () -> st.Heuristics.tick <- 0);
-    act =
-      (fun board o ->
-        let placement =
-          Heuristics.os_coordinated ~config:(Xu3.config board) ~outputs:o
-        in
-        Xu3.set_placement board placement;
-        let config =
-          Heuristics.hw_coordinated ~state:st
-            ~config:(Xu3.effective_config board)
-            ~outputs:o ~placement ()
-        in
-        Xu3.set_config board config);
-  }
-
-let decoupled_driver () =
-  let st = Heuristics.decoupled_init () in
-  {
-    reset = (fun () -> Heuristics.decoupled_reset st);
-    act =
-      (fun board o ->
-        Xu3.set_placement board (Heuristics.os_round_robin ~outputs:o);
-        Xu3.set_config board (Heuristics.hw_decoupled st ~outputs:o));
-  }
-
-let hw_ssv_os_heuristic_driver syn =
-  let hw = hw_ssv_layer syn in
-  {
-    reset = (fun () -> layer_reset hw);
-    act =
-      (fun board o ->
-        (* The OS heuristic of scheme (c) is the scheduler of the
-           Coordinated heuristic (Table IV); the TMU-style core control
-           lives in the hardware layer, which is the SSV controller
-           here. *)
-        let placement =
-          Heuristics.os_coordinated ~config:(Xu3.config board) ~outputs:o
-        in
-        Xu3.set_placement board placement;
-        layer_step hw board o);
-  }
-
-let yukta_full_driver hw_syn sw_syn =
-  let hw = hw_ssv_layer hw_syn and sw = sw_ssv_layer sw_syn in
-  {
-    reset =
-      (fun () ->
-        layer_reset hw;
-        layer_reset sw);
-    act =
-      (fun board o ->
-        (* Both layers sample the same observation; each reads the other's
-           current inputs as external signals. *)
-        layer_step sw board o;
-        layer_step hw board o);
-  }
-
-let lqg_decoupled_driver hw_ctrl sw_ctrl =
-  let hw = lqg_hw_layer hw_ctrl and sw = lqg_sw_layer sw_ctrl in
-  {
-    reset =
-      (fun () ->
-        layer_reset hw;
-        layer_reset sw);
-    act =
-      (fun board o ->
-        layer_step sw board o;
-        layer_step hw board o);
-  }
-
-let lqg_monolithic_driver ctrl =
-  let mono = lqg_monolithic_layer ctrl in
-  {
-    reset = (fun () -> layer_reset mono);
-    act = (fun board o -> layer_step mono board o);
-  }
-
-let driver_of_scheme = function
-  | Coordinated_heuristic -> coordinated_driver ()
-  | Decoupled_heuristic -> decoupled_driver ()
-  | Hw_ssv_os_heuristic -> hw_ssv_os_heuristic_driver (Designs.hw ())
-  | Hw_ssv_os_ssv -> yukta_full_driver (Designs.hw ()) (Designs.sw ())
-  | Lqg_decoupled -> lqg_decoupled_driver (Designs.lqg_hw ()) (Designs.lqg_sw ())
-  | Lqg_monolithic -> lqg_monolithic_driver (Designs.lqg_monolithic ())
-
-let trace_point board (o : Xu3.outputs) =
-  let pb, pl = Xu3.true_power board in
-  let eff = Xu3.effective_config board in
-  {
-    time = Xu3.time board;
-    power_big = pb;
-    power_big_sensor = o.Xu3.power_big;
-    power_little = pl;
-    bips = o.Xu3.bips;
-    temperature = o.Xu3.temperature;
-    freq_big = eff.Xu3.freq_big;
-    big_cores = eff.Xu3.big_cores;
-  }
-
-let epochs_metric = Obs.Metrics.counter "runtime.epochs"
-
-(* The per-epoch record is built once and drives both consumers: the
-   in-memory [result.trace] array and the collector's event stream carry
-   the same data by construction (they used to be two separate code
-   paths). The whole block is skipped — one branch, no allocation — when
-   neither consumer is active. *)
-let emit_epoch_event (p : trace_point) =
-  Obs.Metrics.incr epochs_metric;
-  Obs.Collector.event ~name:"runtime.epoch" ~sim:p.time
-    [
-      ("power_big", Obs.Json.Float p.power_big);
-      ("power_big_sensor", Obs.Json.Float p.power_big_sensor);
-      ("power_little", Obs.Json.Float p.power_little);
-      ("bips", Obs.Json.Float p.bips);
-      ("temperature", Obs.Json.Float p.temperature);
-      ("freq_big", Obs.Json.Float p.freq_big);
-      ("big_cores", Obs.Json.Int p.big_cores);
-    ]
-
-let record_epoch board o ~collect trace =
-  if collect || Obs.Collector.enabled () then begin
-    let p = trace_point board o in
-    if collect then trace := p :: !trace;
-    if Obs.Collector.enabled () then emit_epoch_event p
-  end
-
-let run_driver ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period
-    driver workloads =
-  let board = Xu3.create ?sensor_period workloads in
-  driver.reset ();
-  let trace = ref [] in
-  while (not (Xu3.finished board)) && Xu3.time board < max_time do
-    let o = Xu3.run_epoch board epoch in
-    driver.act board o;
-    record_epoch board o ~collect:collect_trace trace
-  done;
-  if Obs.Collector.enabled () then begin
-    let m = Xu3.metrics board in
-    Obs.Collector.event ~name:"runtime.run_complete" ~sim:(Xu3.time board)
-      [
-        ("execution_time_s", Obs.Json.Float m.Xu3.execution_time);
-        ("energy_j", Obs.Json.Float m.Xu3.total_energy);
-        ("energy_delay_js", Obs.Json.Float m.Xu3.energy_delay);
-        ("trips", Obs.Json.Int m.Xu3.trips);
-        ("completed", Obs.Json.Bool (Xu3.finished board));
-      ]
-  end;
-  {
-    metrics = Xu3.metrics board;
-    completed = Xu3.finished board;
-    trace = Array.of_list (List.rev !trace);
-  }
-
 let run ?max_time ?collect_trace ?sensor_period scheme workloads =
-  run_driver ?max_time ?collect_trace ?sensor_period
-    (driver_of_scheme scheme)
-    workloads
+  Schemes.run ?max_time ?collect_trace ?sensor_period (info scheme) workloads
 
-(* Fixed-target mode (Sections VI-E1 and VI-E3): the optimizers are
-   replaced by constant targets so tracking quality itself is visible. *)
-let run_fixed_targets ?(max_time = 120.0) ~hw_design ~sw_design ~hw_targets
-    ~sw_targets workloads =
-  let hw : Design.synthesis = hw_design and sw : Design.synthesis = sw_design in
-  Controller.reset hw.Design.controller;
-  Controller.reset sw.Design.controller;
-  let board = Xu3.create workloads in
-  let trace = ref [] in
-  while (not (Xu3.finished board)) && Xu3.time board < max_time do
-    let o = Xu3.run_epoch board epoch in
-    let u_sw =
-      Controller.step sw.Design.controller
-        ~measurements:(Sw_layer.measurements o) ~targets:sw_targets
-        ~externals:(Sw_layer.externals_of_config (Xu3.config board))
-    in
-    Xu3.set_placement board (Sw_layer.placement_of_command u_sw);
-    let u_hw =
-      Controller.step hw.Design.controller
-        ~measurements:(Hw_layer.measurements o) ~targets:hw_targets
-        ~externals:(Hw_layer.externals_of_placement (Xu3.placement board))
-    in
-    Xu3.set_config board (Hw_layer.config_of_command u_hw);
-    record_epoch board o ~collect:true trace
-  done;
-  Array.of_list (List.rev !trace)
-
-(* ------------------------------------------------------------------ *)
-(* Ablation drivers (DESIGN.md section 4)                              *)
-(* ------------------------------------------------------------------ *)
-
-(* Coordination value: the same SSV controllers with their external-signal
-   channels fed the center value (no information flows between layers). *)
-let yukta_full_no_externals_driver hw_syn sw_syn =
-  let hw = hw_ssv_layer hw_syn and sw = sw_ssv_layer sw_syn in
-  let hw_n = Array.length (Hw_layer.externals ()) in
-  let sw_n = Array.length (Sw_layer.externals ()) in
-  let hw_centers _ =
-    Array.map
-      (fun e ->
-        let lo, hi = Signal.external_range e in
-        (lo +. hi) /. 2.0)
-      (Hw_layer.externals ())
+let run_fixed_targets ?max_time ~hw_design ~sw_design ~hw_targets ~sw_targets
+    workloads =
+  let stack =
+    Schemes.fixed_targets_stack ~hw_design ~sw_design ~hw_targets ~sw_targets
   in
-  let sw_centers _ =
-    Array.map
-      (fun e ->
-        let lo, hi = Signal.external_range e in
-        (lo +. hi) /. 2.0)
-      (Sw_layer.externals ())
-  in
-  ignore hw_n;
-  ignore sw_n;
-  let hw = { hw with external_values = hw_centers } in
-  let sw = { sw with external_values = sw_centers } in
-  {
-    reset =
-      (fun () ->
-        layer_reset hw;
-        layer_reset sw);
-    act =
-      (fun board o ->
-        layer_step sw board o;
-        layer_step hw board o);
-  }
-
-(* Optimizer value: both controllers track their initial targets forever. *)
-let yukta_full_fixed_targets_driver hw_syn sw_syn =
-  let hw : Design.synthesis = hw_syn and sw : Design.synthesis = sw_syn in
-  let hw_targets = Optimizer.targets (Hw_layer.make_optimizer ()) in
-  let sw_targets = Optimizer.targets (Sw_layer.make_optimizer ()) in
-  {
-    reset =
-      (fun () ->
-        Controller.reset hw.Design.controller;
-        Controller.reset sw.Design.controller);
-    act =
-      (fun board o ->
-        let u_sw =
-          Controller.step sw.Design.controller
-            ~measurements:(Sw_layer.measurements o) ~targets:sw_targets
-            ~externals:(Sw_layer.externals_of_config (Xu3.config board))
-        in
-        Xu3.set_placement board (Sw_layer.placement_of_command u_sw);
-        let u_hw =
-          Controller.step hw.Design.controller
-            ~measurements:(Hw_layer.measurements o) ~targets:hw_targets
-            ~externals:(Hw_layer.externals_of_placement (Xu3.placement board))
-        in
-        Xu3.set_config board (Hw_layer.config_of_command u_hw));
-  }
+  (Stack.run ?max_time ~collect_trace:true stack workloads).trace

@@ -1,11 +1,12 @@
-(** The multilayer runtime (Figures 4, 5 and 7).
+(** Compatibility façade over the {!Layer}/{!Stack}/{!Schemes}
+    architecture.
 
-    Every 500 ms each layer's controller samples the board and actuates
-    its own inputs; SSV controllers additionally read the other layer's
-    current inputs as external signals, and their optimizers retarget
-    every few epochs from the measured E x D rate. This module wires every
-    Table IV scheme (plus the Section VI-B LQG arrangements) to the board
-    and runs executions to completion. *)
+    The original runtime hardwired the two-layer prototype: one
+    stepping loop per execution mode, one driver per scheme. All of
+    that now lives in {!Stack} (the one loop) and {!Schemes} (the
+    registry and builders); this module keeps the historical variant
+    API for existing callers. New code should consume the registry
+    directly. *)
 
 type scheme =
   | Coordinated_heuristic   (** Table IV(a) — the evaluation baseline. *)
@@ -15,10 +16,18 @@ type scheme =
   | Lqg_decoupled           (** Section VI-B: per-layer LQG, no channels. *)
   | Lqg_monolithic          (** Section VI-B: one LQG over both layers. *)
 
-val scheme_name : scheme -> string
-val all_schemes : scheme list
+val info : scheme -> Schemes.info
+(** The registry entry behind a variant. *)
 
-type trace_point = {
+val scheme_name : scheme -> string
+(** [(info s).Schemes.name]. *)
+
+val all_schemes : scheme list
+(** The six two-layer schemes, in the registry's order. The registry
+    ({!Schemes.all}) may list more — e.g. the three-layer demo — that
+    have no variant here. *)
+
+type trace_point = Stack.trace_point = {
   time : float;
   power_big : float;          (** True instantaneous big-cluster power. *)
   power_big_sensor : float;   (** What the 260 ms sensor reported. *)
@@ -29,7 +38,7 @@ type trace_point = {
   big_cores : int;
 }
 
-type result = {
+type result = Stack.result = {
   metrics : Board.Xu3.metrics;
   completed : bool;
   trace : trace_point array;  (** Per-epoch; empty unless requested. *)
@@ -42,33 +51,7 @@ val run :
   scheme ->
   Board.Workload.t list ->
   result
-(** Run a scheme to workload completion (or [max_time], default 3000 s).
-    SSV/LQG schemes use the default {!Designs}; [sensor_period] overrides
-    the power sensor refresh for the sensitivity ablation. *)
-
-(** {1 Custom drivers}
-
-    The pieces the benchmark harness composes for sensitivity studies. *)
-
-type driver = { reset : unit -> unit; act : Board.Xu3.t -> Board.Xu3.outputs -> unit }
-
-val run_driver :
-  ?max_time:float ->
-  ?collect_trace:bool ->
-  ?sensor_period:float ->
-  driver ->
-  Board.Workload.t list ->
-  result
-
-val yukta_full_driver : Design.synthesis -> Design.synthesis -> driver
-(** Scheme (d) with explicit (e.g. variant) designs: HW then SW. *)
-
-val yukta_full_no_externals_driver : Design.synthesis -> Design.synthesis -> driver
-(** Ablation: the same controllers with their external-signal channels fed
-    the constant center value (the coordination channel cut). *)
-
-val yukta_full_fixed_targets_driver : Design.synthesis -> Design.synthesis -> driver
-(** Ablation: optimizers replaced by their initial constant targets. *)
+(** [Schemes.run] on the variant's registry entry. *)
 
 val run_fixed_targets :
   ?max_time:float ->
@@ -79,4 +62,5 @@ val run_fixed_targets :
   Board.Workload.t list ->
   trace_point array
 (** The fixed-target mode of Sections VI-E1/VI-E3: both controllers track
-    the given constant targets; returns the per-epoch trace. *)
+    the given constant targets; returns the per-epoch trace.
+    [Schemes.fixed_targets_stack] under [Stack.run ~collect_trace]. *)

@@ -1,0 +1,108 @@
+(* An N-layer control stack and the one stepping loop every execution
+   mode shares. *)
+
+open Board
+
+type t = { label : string; layers : Layer.t list }
+
+let make ?(label = "stack") layers =
+  if layers = [] then invalid_arg "Stack.make: empty layer list";
+  let labels = List.map Layer.label layers in
+  if List.length (List.sort_uniq compare labels) <> List.length labels then
+    invalid_arg
+      (Printf.sprintf "Stack.make: duplicate layer labels in [%s]"
+         (String.concat "; " labels));
+  { label; layers }
+
+let label t = t.label
+let layers t = t.layers
+let reset t = List.iter Layer.reset t.layers
+let step t board o = List.iter (fun l -> Layer.step l board o) t.layers
+
+let epoch = 0.5
+
+type trace_point = {
+  time : float;
+  power_big : float;
+  power_big_sensor : float;
+  power_little : float;
+  bips : float;
+  temperature : float;
+  freq_big : float;
+  big_cores : int;
+}
+
+type result = {
+  metrics : Xu3.metrics;
+  completed : bool;
+  trace : trace_point array;
+}
+
+let trace_point board (o : Xu3.outputs) =
+  let pb, pl = Xu3.true_power board in
+  let eff = Xu3.effective_config board in
+  {
+    time = Xu3.time board;
+    power_big = pb;
+    power_big_sensor = o.Xu3.power_big;
+    power_little = pl;
+    bips = o.Xu3.bips;
+    temperature = o.Xu3.temperature;
+    freq_big = eff.Xu3.freq_big;
+    big_cores = eff.Xu3.big_cores;
+  }
+
+let epochs_metric = Obs.Metrics.counter "runtime.epochs"
+
+(* The per-epoch record is built once and drives both consumers: the
+   in-memory [result.trace] array and the collector's event stream carry
+   the same data by construction. The whole block is skipped — one
+   branch, no allocation — when neither consumer is active. *)
+let emit_epoch_event (p : trace_point) =
+  Obs.Metrics.incr epochs_metric;
+  Obs.Collector.event ~name:"runtime.epoch" ~sim:p.time
+    [
+      ("power_big", Obs.Json.Float p.power_big);
+      ("power_big_sensor", Obs.Json.Float p.power_big_sensor);
+      ("power_little", Obs.Json.Float p.power_little);
+      ("bips", Obs.Json.Float p.bips);
+      ("temperature", Obs.Json.Float p.temperature);
+      ("freq_big", Obs.Json.Float p.freq_big);
+      ("big_cores", Obs.Json.Int p.big_cores);
+    ]
+
+let record_epoch board o ~collect trace =
+  if collect || Obs.Collector.enabled () then begin
+    let p = trace_point board o in
+    if collect then trace := p :: !trace;
+    if Obs.Collector.enabled () then emit_epoch_event p
+  end
+
+let run ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period t
+    workloads =
+  let board = Xu3.create ?sensor_period workloads in
+  reset t;
+  let trace = ref [] in
+  while (not (Xu3.finished board)) && Xu3.time board < max_time do
+    let o = Xu3.run_epoch board epoch in
+    step t board o;
+    record_epoch board o ~collect:collect_trace trace
+  done;
+  if Obs.Collector.enabled () then begin
+    let m = Xu3.metrics board in
+    Obs.Collector.event ~name:"runtime.run_complete" ~sim:(Xu3.time board)
+      [
+        ("stack", Obs.Json.String t.label);
+        ("layers", Obs.Json.Int (List.length t.layers));
+        ("execution_time_s", Obs.Json.Float m.Xu3.execution_time);
+        ("energy_j", Obs.Json.Float m.Xu3.total_energy);
+        ("energy_delay_js", Obs.Json.Float m.Xu3.energy_delay);
+        ("trips", Obs.Json.Int m.Xu3.trips);
+        ("completed", Obs.Json.Bool (Xu3.finished board));
+      ]
+  end;
+  {
+    metrics = Xu3.metrics board;
+    completed = Xu3.finished board;
+    trace = Array.of_list (List.rev !trace);
+  }

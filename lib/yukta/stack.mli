@@ -1,0 +1,66 @@
+(** An N-layer control stack: the multilayer runtime of Figures 4, 5
+    and 7, generalized from the paper's HW+OS prototype to any number
+    of {!Layer}s.
+
+    Every 500 ms (the power-sensor-limited invocation period of Section
+    V-A) the stack steps its layers {e in declared order} against the
+    same board observation: each layer samples, decides and actuates
+    before the next runs, so a lower layer sees the settings a higher
+    layer just applied (the paper steps the OS layer before the
+    hardware layer). External signals travel through the board itself —
+    a layer actuates its inputs there and any other layer reads them
+    back — or through a {!Layer.Wire} for values the board does not
+    hold.
+
+    This module owns the single stepping loop every execution mode
+    shares: scheme runs, ablations, fixed-target studies and sensor
+    sweeps are all stacks, differing only in their layer lists. *)
+
+type t
+
+val make : ?label:string -> Layer.t list -> t
+(** [make layers] — stepped first-to-last each epoch.
+    @raise Invalid_argument on an empty list or duplicate labels. *)
+
+val label : t -> string
+
+val layers : t -> Layer.t list
+(** In stepping order. *)
+
+val reset : t -> unit
+(** Reset every layer (start of an execution). *)
+
+val step : t -> Board.Xu3.t -> Board.Xu3.outputs -> unit
+(** One epoch: step every layer in declared order. *)
+
+val epoch : float
+(** The invocation period, seconds (0.5 — Section V-A). *)
+
+type trace_point = {
+  time : float;
+  power_big : float;          (** True instantaneous big-cluster power. *)
+  power_big_sensor : float;   (** What the 260 ms sensor reported. *)
+  power_little : float;
+  bips : float;
+  temperature : float;
+  freq_big : float;           (** Effective (post-emergency) frequency. *)
+  big_cores : int;
+}
+
+type result = {
+  metrics : Board.Xu3.metrics;
+  completed : bool;
+  trace : trace_point array;  (** Per-epoch; empty unless requested. *)
+}
+
+val run :
+  ?max_time:float ->
+  ?collect_trace:bool ->
+  ?sensor_period:float ->
+  t ->
+  Board.Workload.t list ->
+  result
+(** Run the stack to workload completion (or [max_time], default
+    3000 s). [sensor_period] overrides the power-sensor refresh for the
+    sensitivity ablation. Emits per-epoch [runtime.epoch] events and a
+    [runtime.run_complete] summary when the Obs collector is on. *)

@@ -551,23 +551,172 @@ let test_runtime_trace_collection () =
     (p.Runtime.time > 0.0 && p.Runtime.power_big >= 0.0 && p.Runtime.big_cores >= 1)
 
 let test_experiment_normalization () =
+  let coord = Schemes.find_exn "coord" in
+  let dec = Schemes.find_exn "decoupled" in
   let rows =
-    Experiment.run_suite ~max_time:500.0
-      ~schemes:[ Runtime.Coordinated_heuristic; Runtime.Decoupled_heuristic ]
+    Experiment.run_suite ~max_time:500.0 ~schemes:[ coord; dec ]
       [ ("tiny", [ tiny_workload ]) ]
   in
   (match rows with
   | [ row ] ->
     check_float "baseline normalized to 1"
       1.0
-      (List.assoc Runtime.Coordinated_heuristic row.Experiment.exd);
+      (List.assoc coord row.Experiment.exd);
     check_bool "other scheme positive" true
-      (List.assoc Runtime.Decoupled_heuristic row.Experiment.exd > 0.0)
+      (List.assoc dec row.Experiment.exd > 0.0)
   | _ -> Alcotest.fail "expected one row")
 
 let test_scheme_names_distinct () =
   let names = List.map Runtime.scheme_name Runtime.all_schemes in
   check_int "six schemes" 6 (List.length (List.sort_uniq compare names))
+
+(* ------------------------------------------------------------------ *)
+(* Layer / Stack / scheme registry                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Toy layers over the toy controller: the full Layer/Stack machinery
+   without any mu-synthesis. The controlled layer drives freq_big from
+   the board's throughput. *)
+let toy_controlled_layer ?(label = "toy") ?(targets = Layer.Fixed [| 5.0 |]) ()
+    =
+  Layer.controlled ~label ~measures:[| "perf" |] ~actuates:[| "freq" |]
+    ~controller:(toy_controller ()) ~targets
+    ~measure:(fun o -> [| o.Board.Xu3.bips |])
+    ~externals:(fun _ -> [| 0.0 |])
+    ~actuate:(fun board u ->
+      Board.Xu3.set_config board
+        { (Board.Xu3.config board) with Board.Xu3.freq_big = u.(0) })
+    ()
+
+let toy_heuristic_layer ?(label = "heur") () =
+  Layer.heuristic ~label ~act:(fun _ _ -> ()) ()
+
+let test_registry_roundtrip () =
+  check_bool "registry nonempty" true (List.length Schemes.all >= 7);
+  List.iter
+    (fun (i : Schemes.info) ->
+      let same via = function
+        | Some (j : Schemes.info) ->
+          Alcotest.(check string) (via ^ " finds " ^ i.Schemes.key)
+            i.Schemes.key j.Schemes.key
+        | None -> Alcotest.failf "%s %S did not parse" via i.Schemes.key
+      in
+      same "key" (Schemes.find i.Schemes.key);
+      same "name" (Schemes.find i.Schemes.name);
+      same "abbrev" (Schemes.find i.Schemes.abbrev);
+      same "abbrev (case)" (Schemes.find (String.lowercase_ascii i.Schemes.abbrev));
+      List.iter (fun a -> same "alias" (Schemes.find a)) i.Schemes.aliases;
+      check_bool "has layers" true (i.Schemes.layers <> []))
+    Schemes.all;
+  check_bool "unknown is None" true (Schemes.find "no-such-scheme" = None);
+  check_bool "find_exn raises" true
+    (match Schemes.find_exn "no-such-scheme" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_three_layer_registered () =
+  let i = Schemes.find_exn "three-layer" in
+  Alcotest.(check (list string)) "declared layers" [ "qos"; "sw"; "hw" ]
+    i.Schemes.layers;
+  check_bool "alias qos" true (Schemes.find "qos" = Some i);
+  check_bool "in all" true (List.mem i Schemes.all)
+
+let test_average_empty_raises () =
+  Alcotest.check_raises "empty average"
+    (Invalid_argument "Experiment.average: empty list") (fun () ->
+      ignore (Experiment.average []));
+  check_float "singleton" 2.0 (Experiment.average [ 2.0 ])
+
+let test_stack_make_validation () =
+  check_bool "empty rejected" true
+    (match Stack.make [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "duplicate labels rejected" true
+    (match
+       Stack.make [ toy_heuristic_layer (); toy_heuristic_layer () ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_layer_kind_guards () =
+  let h = toy_heuristic_layer () in
+  check_bool "heuristic" false (Layer.is_controlled h);
+  check_bool "with_externals rejects heuristic" true
+    (match Layer.with_externals h (fun _ -> [||]) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "with_fixed_targets rejects heuristic" true
+    (match Layer.with_fixed_targets h [| 1.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let c = toy_controlled_layer () in
+  check_bool "controlled" true (Layer.is_controlled c);
+  Alcotest.(check string) "label" "toy" (Layer.label c)
+
+(* A three-layer stack must step its layers in declared order every
+   epoch; the [runtime.decision] event stream is the ground truth. *)
+let test_stack_steps_in_declared_order () =
+  let stack =
+    Stack.make ~label:"test3"
+      [
+        Schemes.qos_layer ();
+        toy_heuristic_layer ~label:"mid" ();
+        toy_controlled_layer ~label:"low" ();
+      ]
+  in
+  Obs.Collector.buffer_sink ();
+  Obs.Collector.enable ();
+  let r = Stack.run ~max_time:3.0 stack [ tiny_workload ] in
+  Obs.Collector.disable ();
+  check_bool "progressed" true
+    (r.Stack.metrics.Board.Xu3.execution_time > 0.0);
+  let lines = List.map Obs.Json.of_string (Obs.Collector.drain ()) in
+  let decisions =
+    List.filter_map
+      (fun j ->
+        match Option.bind (Obs.Json.member "name" j) Obs.Json.to_string_opt with
+        | Some "runtime.decision" ->
+          Option.bind (Obs.Json.member "fields" j) (fun f ->
+              Option.bind (Obs.Json.member "layer" f) Obs.Json.to_string_opt)
+        | _ -> None)
+      lines
+  in
+  check_bool "at least two epochs" true (List.length decisions >= 6);
+  List.iteri
+    (fun i layer ->
+      let expected =
+        match i mod 3 with 0 -> "qos" | 1 -> "mid" | _ -> "low"
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "decision %d" i)
+        expected layer)
+    decisions
+
+(* The ablation combinators (external channels cut, optimizer frozen)
+   compose through Layer and run to completion with sane metrics. *)
+let test_ablation_stacks_complete () =
+  let opt_targets () =
+    Layer.Optimized
+      (Optimizer.make ~outputs:[| perf_output |] ~roles:[| Optimizer.Maximize |])
+  in
+  let base label = toy_controlled_layer ~label ~targets:(opt_targets ()) () in
+  let stacks =
+    [
+      ("plain", Stack.make [ base "a"; toy_heuristic_layer ~label:"b" () ]);
+      ( "no-externals",
+        Stack.make [ Layer.with_externals (base "a") (fun _ -> [| 0.0 |]) ] );
+      ( "fixed-targets",
+        Stack.make [ Layer.with_fixed_targets (base "a") [| 5.0 |] ] );
+    ]
+  in
+  List.iter
+    (fun (name, stack) ->
+      let r = Stack.run ~max_time:500.0 stack [ tiny_workload ] in
+      check_bool (name ^ " completed") true r.Stack.completed;
+      check_bool (name ^ " energy positive") true
+        (r.Stack.metrics.Board.Xu3.total_energy > 0.0))
+    stacks
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
@@ -723,6 +872,20 @@ let () =
           Alcotest.test_case "experiment normalization" `Quick
             test_experiment_normalization;
           Alcotest.test_case "scheme names" `Quick test_scheme_names_distinct;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "registry roundtrip" `Quick test_registry_roundtrip;
+          Alcotest.test_case "three-layer registered" `Quick
+            test_three_layer_registered;
+          Alcotest.test_case "average empty raises" `Quick
+            test_average_empty_raises;
+          Alcotest.test_case "make validation" `Quick test_stack_make_validation;
+          Alcotest.test_case "layer kind guards" `Quick test_layer_kind_guards;
+          Alcotest.test_case "steps in declared order" `Quick
+            test_stack_steps_in_declared_order;
+          Alcotest.test_case "ablation stacks complete" `Quick
+            test_ablation_stacks_complete;
         ] );
       ("properties", qcheck_cases);
     ]
