@@ -563,6 +563,93 @@ let fig17 () =
     traces
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: fault campaigns (DESIGN.md section 8)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The regenerable form of the paper's robustness claim (Section V):
+   replay one seeded fault schedule against every scheme, in-guardband
+   (plant drifts inside the synthesis' uncertainty ball) and
+   out-of-guardband. Everything here runs on simulated time only, so
+   the JSON block is byte-for-byte reproducible across runs. *)
+
+let robustness_seed = 42
+
+let robustness_schemes () =
+  if !smoke then
+    [ scheme "coord"; scheme "decoupled"; scheme "lqg-dec"; scheme "yukta" ]
+  else
+    [
+      scheme "coord";
+      scheme "decoupled";
+      scheme "hw-ssv";
+      scheme "lqg-dec";
+      scheme "lqg-mono";
+      scheme "yukta";
+    ]
+
+(* The campaign horizon is matched to the slowest scheme's clean
+   makespan: every scheme's whole execution is exposed to the fault
+   window, so exposure does not depend on how fast a scheme finishes.
+   An over-long workload would concentrate faults in the early phase
+   and weight the verdict by scheme speed rather than robustness. *)
+let robustness_workloads () =
+  [ Board.Workload.scale ~ginsts:400.0 (Board.Workload.by_name "blackscholes") ]
+
+let print_campaign title (outcomes : Fault.Campaign.outcome list) =
+  Printf.printf "\n%s\n" title;
+  Printf.printf "%-14s %12s %12s %10s %7s %11s %9s\n" "scheme" "clean ExD"
+    "faulted ExD" "inflation" "+trips" "recover(s)" "survived";
+  List.iter
+    (fun (o : Fault.Campaign.outcome) ->
+      Printf.printf "%-14s %12.1f %12.1f %10.3f %7d %11s %9b\n"
+        (scheme_abbrev o.Fault.Campaign.scheme)
+        o.Fault.Campaign.clean.Board.Xu3.energy_delay
+        o.Fault.Campaign.faulted.Board.Xu3.energy_delay
+        o.Fault.Campaign.exd_inflation o.Fault.Campaign.extra_trips
+        (match o.Fault.Campaign.recovery_s with
+        | Some s -> Printf.sprintf "%.1f" s
+        | None -> "never")
+        o.Fault.Campaign.survived)
+    outcomes;
+  match Fault.Campaign.least_inflated outcomes with
+  | Some o ->
+    Printf.printf "# least degraded: %s (ExD x%.3f)\n"
+      (scheme_abbrev o.Fault.Campaign.scheme)
+      o.Fault.Campaign.exd_inflation
+  | None -> ()
+
+let robustness () =
+  section "Robustness: scheme degradation under fault campaigns";
+  let horizon = 60.0 in
+  let count = 6 in
+  let workloads = robustness_workloads () in
+  let campaign title profile =
+    let schedule = Fault.Schedule.generate ~seed:robustness_seed profile in
+    Printf.printf "\n%s schedule (seed %d):\n" title robustness_seed;
+    List.iter (fun f -> Printf.printf "  %s\n" (Fault.Spec.describe f)) schedule;
+    let outcomes =
+      Fault.Campaign.run ?max_time:(run_max_time ())
+        ~schemes:(robustness_schemes ()) ~workloads schedule
+    in
+    print_campaign (title ^ " campaign:") outcomes;
+    Fault.Campaign.to_json ~schedule outcomes
+  in
+  let in_g =
+    campaign "In-guardband" (Fault.Schedule.in_guardband ~horizon ~count ())
+  in
+  let out_g =
+    campaign "Out-of-guardband"
+      (Fault.Schedule.out_of_guardband ~horizon ~count ())
+  in
+  json_record "robustness"
+    (Obs.Json.Obj
+       [
+         ("seed", Obs.Json.Int robustness_seed);
+         ("in_guardband", in_g);
+         ("out_of_guardband", out_g);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md section 4)                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -665,7 +752,10 @@ let () =
     table3 ();
     table4 ()
   end;
-  if json_path <> None then synthesis_json ();
+  (* Synthesis timings are wall-clock and therefore nondeterministic;
+     they join the JSON document only on full runs so that selective
+     invocations (notably --robustness) stay byte-for-byte reproducible. *)
+  if json_path <> None && all then synthesis_json ();
   if all || has "--fig9" then ignore (fig9 ());
   if all || has "--fig10" then fig10 ();
   if all || has "--fig11" then fig11 ();
@@ -675,5 +765,6 @@ let () =
   if all || has "--fig15" then fig15 ();
   if all || has "--fig16" then fig16 ();
   if all || has "--fig17" then fig17 ();
+  if all || has "--robustness" then robustness ();
   if all || has "--ablation" then ablation ();
   match json_path with None -> () | Some path -> write_json path

@@ -7,7 +7,9 @@
      yukta_cli run --jsonl out.jsonl ... run with the Obs collector on
      yukta_cli csv -s coord -a x264      CSV trace to stdout
      yukta_cli trace out.jsonl           summarize an Obs JSONL trace
-     yukta_cli design                    synthesize & describe the designs *)
+     yukta_cli design                    synthesize & describe the designs
+     yukta_cli faults                    show a deterministic fault schedule
+     yukta_cli faults --run -s yukta     replay it against a scheme *)
 
 open Cmdliner
 open Yukta
@@ -165,6 +167,76 @@ let design_cmd =
     (Cmd.info "design" ~doc:"Synthesize and describe the default controllers")
     Term.(const run $ const ())
 
+let faults_cmd =
+  let seed_arg =
+    let doc = "Schedule seed: same seed, same schedule." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Draw the out-of-guardband profile (plant drifts leave the \
+       certified uncertainty ball) instead of the in-guardband one."
+    in
+    Arg.(value & flag & info [ "out-of-guardband"; "out" ] ~doc)
+  in
+  let horizon_arg =
+    let doc = "Campaign horizon in simulated seconds." in
+    Arg.(value & opt float 120.0 & info [ "horizon" ] ~docv:"S" ~doc)
+  in
+  let count_arg =
+    let doc = "Number of faults drawn." in
+    Arg.(value & opt int 6 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let run_arg =
+    let doc =
+      "Also replay the schedule against the selected scheme (-s) and \
+       workload (-a): one clean run, one faulted run, and the \
+       degradation between them."
+    in
+    Arg.(value & flag & info [ "run" ] ~doc)
+  in
+  let run seed out horizon count do_run (scheme : Schemes.info) app =
+    let profile =
+      if out then Fault.Schedule.out_of_guardband ~horizon ~count ()
+      else Fault.Schedule.in_guardband ~horizon ~count ()
+    in
+    let schedule = Fault.Schedule.generate ~seed profile in
+    Printf.printf "%s schedule (seed %d, %d faults over %.0f s):\n"
+      profile.Fault.Schedule.label seed count horizon;
+    List.iter
+      (fun f -> Printf.printf "  %s\n" (Fault.Spec.describe f))
+      schedule;
+    if do_run then begin
+      let workloads = workloads_of_name app in
+      Printf.printf "\nreplaying against %s on %s...\n%!"
+        scheme.Schemes.name app;
+      match
+        Fault.Campaign.run ~schemes:[ scheme ] ~workloads schedule
+      with
+      | [] -> ()
+      | o :: _ ->
+        let open Fault.Campaign in
+        Printf.printf "clean   E x D: %10.1f J.s   trips: %d\n"
+          o.clean.Board.Xu3.energy_delay o.clean.Board.Xu3.trips;
+        Printf.printf "faulted E x D: %10.1f J.s   trips: %d\n"
+          o.faulted.Board.Xu3.energy_delay o.faulted.Board.Xu3.trips;
+        Printf.printf "inflation: x%.3f   extra trips: %d   survived: %b\n"
+          o.exd_inflation o.extra_trips o.survived;
+        Printf.printf "faults injected: %d   recovery: %s\n" o.injections
+          (match o.recovery_s with
+          | Some s -> Printf.sprintf "%.1f s after last clear" s
+          | None -> "never")
+    end
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Show a deterministic fault schedule; with --run, replay it \
+          against a scheme and report degradation")
+    Term.(
+      const run $ seed_arg $ out_arg $ horizon_arg $ count_arg $ run_arg
+      $ scheme_arg $ app_arg)
+
 let () =
   let info =
     Cmd.info "yukta_cli" ~version:"1.0"
@@ -173,4 +245,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ apps_cmd; schemes_cmd; run_cmd; csv_cmd; trace_cmd; design_cmd ]))
+          [
+            apps_cmd;
+            schemes_cmd;
+            run_cmd;
+            csv_cmd;
+            trace_cmd;
+            design_cmd;
+            faults_cmd;
+          ]))

@@ -1,7 +1,8 @@
 type t = {
   noise : float;
   period : float;
-  rng : Random.State.t;
+  seed : int;
+  mutable rng : Random.State.t;
   mutable last_update : float;
   mutable held_big : float;
   mutable held_little : float;
@@ -15,6 +16,7 @@ let create ?(noise = 0.0) ?(seed = 17) ?(period = power_update_period) () =
   {
     noise;
     period;
+    seed;
     rng = Random.State.make [| seed |];
     last_update = 0.0;
     held_big = 0.0;
@@ -51,6 +53,7 @@ let observe_power t ~time ~power_big ~power_little =
   (t.held_big, t.held_little)
 
 let reset t =
+  t.rng <- Random.State.make [| t.seed |];
   t.last_update <- 0.0;
   t.held_big <- 0.0;
   t.held_little <- 0.0;

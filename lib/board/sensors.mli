@@ -21,6 +21,9 @@ val observe_power :
     time; returns the (held) sensor readings. *)
 
 val reset : t -> unit
+(** Restore the creation state: held values, the refresh clock, {e and}
+    the noise RNG (re-seeded from the creation seed), so a reset sensor
+    replays the identical noise sequence. *)
 
 val read : t -> float * float
 (** Last held power readings without feeding new samples (pure read). *)

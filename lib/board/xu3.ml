@@ -25,6 +25,28 @@ type job = {
   mutable phase_remaining : float;  (* Ginst left in the current phase. *)
 }
 
+type injector = {
+  on_tick : time:float -> unit;
+  sense : time:float -> outputs -> outputs;
+  transform_config : time:float -> current:config -> config -> config;
+  transform_placement :
+    time:float -> current:placement -> placement -> placement;
+  power_gain : time:float -> float;
+  thermal_gain : time:float -> float;
+  perf_gain : time:float -> float;
+}
+
+let identity_injector =
+  {
+    on_tick = (fun ~time:_ -> ());
+    sense = (fun ~time:_ o -> o);
+    transform_config = (fun ~time:_ ~current:_ c -> c);
+    transform_placement = (fun ~time:_ ~current:_ p -> p);
+    power_gain = (fun ~time:_ -> 1.0);
+    thermal_gain = (fun ~time:_ -> 1.0);
+    perf_gain = (fun ~time:_ -> 1.0);
+  }
+
 type t = {
   mutable time : float;
   mutable energy : float;
@@ -48,6 +70,7 @@ type t = {
   mutable last_power_big : float;
   mutable last_power_little : float;
   mutable last_action : Emergency.action;
+  injector : injector option;
 }
 
 let tick = 0.01
@@ -86,7 +109,7 @@ let job_of_workload w =
     }
 
 let create ?(sensor_noise = 0.0) ?(seed = 17)
-    ?(sensor_period = Sensors.power_update_period) workloads =
+    ?(sensor_period = Sensors.power_update_period) ?injector workloads =
   if workloads = [] then invalid_arg "Board.create: no workloads";
   let jobs = List.map job_of_workload workloads in
   {
@@ -117,6 +140,7 @@ let create ?(sensor_noise = 0.0) ?(seed = 17)
         cap_freq_little = None;
         cap_big_cores = None;
       };
+    injector;
   }
 
 let job_finished j = j.phases_left = []
@@ -156,6 +180,15 @@ let hotplug_metric = Obs.Metrics.counter "board.hotplug_changes"
 
 let set_config t c =
   let c = clamp_config c in
+  (* Actuator faults intercept the request before any accounting: dead
+     time and Obs events reflect what the hardware actually applied. The
+     hook only ever returns configurations that were themselves clamped
+     (the current or an earlier request), so no re-clamp is needed. *)
+  let c =
+    match t.injector with
+    | None -> c
+    | Some inj -> inj.transform_config ~time:t.time ~current:t.requested c
+  in
   let old = t.requested in
   if c.freq_big <> old.freq_big then
     t.dead_time_big <- t.dead_time_big +. Dvfs.transition_cost_s;
@@ -200,6 +233,11 @@ let migration_cost_s = 0.003
 
 let set_placement t p =
   let p = clamp_placement p in
+  let p =
+    match t.injector with
+    | None -> p
+    | Some inj -> inj.transform_placement ~time:t.time ~current:t.placement p
+  in
   let old = t.placement in
   let moved = abs (p.threads_big - old.threads_big) in
   let repack =
@@ -280,6 +318,9 @@ let sync_blend ~sync ~tb ~tl ~gips_big ~gips_little =
   end
 
 let one_tick t =
+  (match t.injector with
+  | None -> ()
+  | Some inj -> inj.on_tick ~time:t.time);
   let threads = active_threads t in
   let mem, ipc, sync = workload_character t in
   (* Apply the emergency caps decided at the end of the previous tick to
@@ -322,6 +363,15 @@ let one_tick t =
   let gips_big, gips_little =
     sync_blend ~sync ~tb ~tl ~gips_big ~gips_little
   in
+  (* Workload phase-shift faults scale the retire rate (an IPC drop the
+     identified model never saw). *)
+  let gips_big, gips_little =
+    match t.injector with
+    | None -> (gips_big, gips_little)
+    | Some inj ->
+      let g = inj.perf_gain ~time:t.time in
+      (gips_big *. g, gips_little *. g)
+  in
   (* Transition/migration dead time eats into this tick's compute. *)
   let eat_dead current available =
     let used = Float.min current available in
@@ -359,9 +409,20 @@ let one_tick t =
         temperature = temp;
       }
   in
+  (* Power-model gain drift scales the actual draw (everything downstream
+     — sensors, energy, thermal, protection — sees the drifted plant);
+     thermal-resistance drift additionally scales only the heat path. *)
+  let p_big, p_little, thermal_g =
+    match t.injector with
+    | None -> (p_big, p_little, 1.0)
+    | Some inj ->
+      let g = inj.power_gain ~time:t.time in
+      (p_big *. g, p_little *. g, inj.thermal_gain ~time:t.time)
+  in
   t.last_power_big <- p_big;
   t.last_power_little <- p_little;
-  Thermal.step t.thermal ~power_big:p_big ~power_little:p_little ~dt:tick;
+  Thermal.step t.thermal ~power_big:(p_big *. thermal_g)
+    ~power_little:(p_little *. thermal_g) ~dt:tick;
   t.energy <- t.energy +. ((p_big +. p_little) *. tick);
   ignore (Sensors.observe_power t.sensors ~time:t.time ~power_big:p_big
             ~power_little:p_little);
@@ -416,7 +477,11 @@ let observe t =
   t.win_start <- t.time;
   t.win_insts_big <- 0.0;
   t.win_insts_little <- 0.0;
-  out
+  (* Sensor faults corrupt only what the controllers observe; the board's
+     internal protection machinery keeps seeing the true signals. *)
+  match t.injector with
+  | None -> out
+  | Some inj -> inj.sense ~time:t.time out
 
 let step_hist = Obs.Metrics.histogram "board.step_s"
 

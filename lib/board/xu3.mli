@@ -51,11 +51,57 @@ type outputs = {
 
 type t
 
+(** {1 Fault injection hooks}
+
+    The board exposes its sensor and actuator surfaces to an optional
+    injector so fault campaigns (the [Fault] library) can disturb a run
+    without forking the simulator. Every hook is called with the current
+    simulated time; the identity hooks are bit-transparent (an injector
+    whose hooks are all identities produces runs bit-identical to an
+    uninjected board). The board itself never constructs a non-identity
+    injector — semantics live entirely with the caller. *)
+type injector = {
+  on_tick : time:float -> unit;
+      (** Called at the top of every 10 ms simulation tick — the
+          injector's clock (activate/clear timed faults, emit events). *)
+  sense : time:float -> outputs -> outputs;
+      (** Corrupt what the controllers observe ({!observe} /
+          {!run_epoch}); the internal protection machinery still sees
+          the true signals. *)
+  transform_config : time:float -> current:config -> config -> config;
+      (** Intercept a {!set_config} request (already clamped); [current]
+          is the configuration the request would replace. Must return a
+          valid (clamped) configuration — e.g. [current] for a stuck
+          actuator, or an earlier request for a delayed one. *)
+  transform_placement :
+    time:float -> current:placement -> placement -> placement;
+      (** Same for {!set_placement}. *)
+  power_gain : time:float -> float;
+      (** Multiplies the actual cluster power each tick (power-model
+          gain drift: energy, sensors, thermal and protection all see
+          the drifted plant). *)
+  thermal_gain : time:float -> float;
+      (** Additionally multiplies the power feeding the thermal model
+          (thermal-resistance drift: a degraded heat path). *)
+  perf_gain : time:float -> float;
+      (** Multiplies the instruction retire rate (workload phase shift:
+          an IPC drop the identified model never saw). *)
+}
+
+val identity_injector : injector
+(** All hooks transparent; a convenient base to override. *)
+
 val create :
-  ?sensor_noise:float -> ?seed:int -> ?sensor_period:float -> Workload.t list -> t
+  ?sensor_noise:float ->
+  ?seed:int ->
+  ?sensor_period:float ->
+  ?injector:injector ->
+  Workload.t list ->
+  t
 (** Board at ambient, jobs loaded, default config (2+2 cores at mid
     frequency, threads split evenly). [sensor_period] overrides the power
-    sensor's 260 ms refresh (sensitivity studies). *)
+    sensor's 260 ms refresh (sensitivity studies); [injector] attaches
+    fault-injection hooks (default: none — zero overhead). *)
 
 val default_config : config
 

@@ -1,0 +1,52 @@
+(** Robustness campaigns: replay one fault schedule against every given
+    scheme and report degradation relative to each scheme's own clean
+    run.
+
+    This is the regenerable form of the paper's robustness argument
+    (Section V): inside the design guardband the SSV schemes' deviation
+    guarantees still hold, so they should degrade least; outside it
+    nobody has guarantees and the campaign measures who fails
+    gracefully. Each scheme runs twice — once clean, once under a fresh
+    {!Injector} over the same schedule — so inflation numbers are
+    self-normalized and schedule replay is exact across schemes. *)
+
+type outcome = {
+  scheme : Yukta.Schemes.info;
+  clean : Board.Xu3.metrics;       (** The scheme's own unfaulted run. *)
+  faulted : Board.Xu3.metrics;
+  survived : bool;                 (** Faulted run completed in time. *)
+  exd_inflation : float;           (** faulted E x D / clean E x D. *)
+  extra_trips : int;               (** Emergency trips added by faults. *)
+  recovery_s : float option;
+      (** Seconds after the last fault clears until the per-epoch E x D
+          rate returns to within 20% of its pre-fault mean; [Some 0.] if
+          the workload finished before the faults cleared; [None] if it
+          never recovers (or no pre-fault reference exists). *)
+  injections : int;                (** Faults that actually activated. *)
+}
+
+val run :
+  ?max_time:float ->
+  ?epoch:float ->
+  ?guardband:float ->
+  schemes:Yukta.Schemes.info list ->
+  workloads:Board.Workload.t list ->
+  Spec.timed list ->
+  outcome list
+(** One clean + one faulted execution per scheme, every faulted run
+    replaying the identical schedule through a fresh injector. *)
+
+val least_inflated : outcome list -> outcome option
+(** The scheme with the smallest E x D inflation — the campaign's
+    "winner" recorded in the JSON. *)
+
+val time_to_recover :
+  schedule:Spec.timed list ->
+  completed:bool ->
+  Yukta.Stack.trace_point array ->
+  float option
+(** The recovery metric on its own (exposed for tests). *)
+
+val to_json : schedule:Spec.timed list -> outcome list -> Obs.Json.t
+(** Deterministic (simulated-time-only) JSON: the schedule, per-scheme
+    outcomes, and the least-inflated scheme. *)

@@ -1,0 +1,124 @@
+(* The fault vocabulary: every disturbance a robustness campaign can
+   throw at the board, with a timing window. Severities of the plant
+   drifts are expressed as fractions of the controllers' design
+   guardband, so "in-guardband" and "out-of-guardband" campaigns are
+   defined relative to what the SSV synthesis promised to tolerate. *)
+
+type channel = Perf | Power_big | Power_little | Temperature
+
+type sensor_kind =
+  | Dropout
+  | Stuck_at of float
+  | Spike of float
+
+type actuator_kind =
+  | Stuck
+  | Delayed of float
+
+type kind =
+  | Sensor of channel * sensor_kind
+  | Actuator of actuator_kind
+  | Power_gain_drift of float
+  | Thermal_resistance_drift of float
+  | Workload_phase_shift of float
+
+type timed = { start : float; duration : float; fault : kind }
+
+let make ~start ~duration fault =
+  if start < 0.0 then invalid_arg "Fault.Spec.make: negative start";
+  if duration <= 0.0 then
+    invalid_arg "Fault.Spec.make: duration must be positive";
+  (match fault with
+  | Actuator (Delayed d) when d <= 0.0 ->
+    invalid_arg "Fault.Spec.make: delay must be positive"
+  | Sensor (_, Spike f) when f <= 0.0 ->
+    invalid_arg "Fault.Spec.make: spike factor must be positive"
+  | Power_gain_drift f | Thermal_resistance_drift f | Workload_phase_shift f
+    ->
+    if f <= 0.0 then invalid_arg "Fault.Spec.make: severity must be positive"
+  | _ -> ());
+  { start; duration; fault }
+
+let stop t = t.start +. t.duration
+
+let channel_name = function
+  | Perf -> "perf"
+  | Power_big -> "power_big"
+  | Power_little -> "power_little"
+  | Temperature -> "temperature"
+
+let kind_name = function
+  | Sensor (_, Dropout) -> "sensor.dropout"
+  | Sensor (_, Stuck_at _) -> "sensor.stuck"
+  | Sensor (_, Spike _) -> "sensor.spike"
+  | Actuator Stuck -> "actuator.stuck"
+  | Actuator (Delayed _) -> "actuator.delayed"
+  | Power_gain_drift _ -> "drift.power_gain"
+  | Thermal_resistance_drift _ -> "drift.thermal_resistance"
+  | Workload_phase_shift _ -> "workload.phase_shift"
+
+let describe t =
+  let body =
+    match t.fault with
+    | Sensor (c, Dropout) ->
+      Printf.sprintf "%s sensor dropout (holds last value)" (channel_name c)
+    | Sensor (c, Stuck_at v) ->
+      Printf.sprintf "%s sensor stuck at %g" (channel_name c) v
+    | Sensor (c, Spike f) ->
+      Printf.sprintf "%s sensor readings x%g" (channel_name c) f
+    | Actuator Stuck -> "actuators stuck (commands ignored)"
+    | Actuator (Delayed d) -> Printf.sprintf "actuation delayed %gs" d
+    | Power_gain_drift f ->
+      Printf.sprintf "power-model gain drift, %g x guardband" f
+    | Thermal_resistance_drift f ->
+      Printf.sprintf "thermal-resistance drift, %g x guardband" f
+    | Workload_phase_shift f ->
+      Printf.sprintf "workload phase shift (IPC drop), %g x guardband" f
+  in
+  Printf.sprintf "[%6.1f s +%5.1f s] %s" t.start t.duration body
+
+(* Guardband-relative severities resolved to multiplicative plant gains.
+   A fraction f of guardband g means the true plant sits at (1 + f*g)
+   times the identified model's gain: f <= 1 is inside the design's
+   uncertainty ball, f > 1 outside it. *)
+
+let power_gain ~guardband = function
+  | Power_gain_drift f -> 1.0 +. (f *. guardband)
+  | _ -> 1.0
+
+let thermal_gain ~guardband = function
+  | Thermal_resistance_drift f -> 1.0 +. (f *. guardband)
+  | _ -> 1.0
+
+let perf_gain ~guardband = function
+  | Workload_phase_shift f -> 1.0 /. (1.0 +. (f *. guardband))
+  | _ -> 1.0
+
+let severity = function
+  | Power_gain_drift f | Thermal_resistance_drift f | Workload_phase_shift f
+    ->
+    Some f
+  | Sensor (_, Spike f) -> Some f
+  | Actuator (Delayed d) -> Some d
+  | Sensor (_, Stuck_at v) -> Some v
+  | _ -> None
+
+let to_json t =
+  let base =
+    [
+      ("kind", Obs.Json.String (kind_name t.fault));
+      ("start_s", Obs.Json.Float t.start);
+      ("duration_s", Obs.Json.Float t.duration);
+    ]
+  in
+  let channel =
+    match t.fault with
+    | Sensor (c, _) -> [ ("channel", Obs.Json.String (channel_name c)) ]
+    | _ -> []
+  in
+  let sev =
+    match severity t.fault with
+    | Some f -> [ ("severity", Obs.Json.Float f) ]
+    | None -> []
+  in
+  Obs.Json.Obj (base @ channel @ sev)

@@ -48,12 +48,14 @@ type result = Stack.result = {
   trace : trace_point array;
 }
 
-let run ?max_time ?collect_trace ?sensor_period scheme workloads =
-  Schemes.run ?max_time ?collect_trace ?sensor_period (info scheme) workloads
-
-let run_fixed_targets ?max_time ~hw_design ~sw_design ~hw_targets ~sw_targets
+let run ?max_time ?collect_trace ?sensor_period ?epoch ?injector scheme
     workloads =
+  Schemes.run ?max_time ?collect_trace ?sensor_period ?epoch ?injector
+    (info scheme) workloads
+
+let run_fixed_targets ?max_time ?epoch ~hw_design ~sw_design ~hw_targets
+    ~sw_targets workloads =
   let stack =
     Schemes.fixed_targets_stack ~hw_design ~sw_design ~hw_targets ~sw_targets
   in
-  (Stack.run ?max_time ~collect_trace:true stack workloads).trace
+  (Stack.run ?max_time ?epoch ~collect_trace:true stack workloads).trace

@@ -48,13 +48,17 @@ val run :
   ?max_time:float ->
   ?collect_trace:bool ->
   ?sensor_period:float ->
+  ?epoch:float ->
+  ?injector:Board.Xu3.injector ->
   scheme ->
   Board.Workload.t list ->
   result
-(** [Schemes.run] on the variant's registry entry. *)
+(** [Schemes.run] on the variant's registry entry (same optional
+    arguments, including the stepping [epoch] and fault [injector]). *)
 
 val run_fixed_targets :
   ?max_time:float ->
+  ?epoch:float ->
   hw_design:Design.synthesis ->
   sw_design:Design.synthesis ->
   hw_targets:Linalg.Vec.t ->

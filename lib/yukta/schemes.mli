@@ -39,10 +39,12 @@ val run :
   ?max_time:float ->
   ?collect_trace:bool ->
   ?sensor_period:float ->
+  ?epoch:float ->
+  ?injector:Board.Xu3.injector ->
   info ->
   Board.Workload.t list ->
   Stack.result
-(** [Stack.run] on a fresh {!stack}. *)
+(** [Stack.run] on a fresh {!stack} (same optional arguments). *)
 
 (** {1 Layer and stack builders}
 

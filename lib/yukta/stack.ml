@@ -19,7 +19,7 @@ let layers t = t.layers
 let reset t = List.iter Layer.reset t.layers
 let step t board o = List.iter (fun l -> Layer.step l board o) t.layers
 
-let epoch = 0.5
+let default_epoch = 0.5
 
 type trace_point = {
   time : float;
@@ -78,9 +78,11 @@ let record_epoch board o ~collect trace =
     if Obs.Collector.enabled () then emit_epoch_event p
   end
 
-let run ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period t
-    workloads =
-  let board = Xu3.create ?sensor_period workloads in
+let run ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period
+    ?(epoch = default_epoch) ?injector t workloads =
+  if not (epoch > 0.0) then
+    invalid_arg "Stack.run: epoch must be positive";
+  let board = Xu3.create ?sensor_period ?injector workloads in
   reset t;
   let trace = ref [] in
   while (not (Xu3.finished board)) && Xu3.time board < max_time do

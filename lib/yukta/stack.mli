@@ -33,8 +33,9 @@ val reset : t -> unit
 val step : t -> Board.Xu3.t -> Board.Xu3.outputs -> unit
 (** One epoch: step every layer in declared order. *)
 
-val epoch : float
-(** The invocation period, seconds (0.5 — Section V-A). *)
+val default_epoch : float
+(** The default invocation period, seconds (0.5 — the power-sensor-
+    limited period of Section V-A). Override per run with [run ?epoch]. *)
 
 type trace_point = {
   time : float;
@@ -57,10 +58,16 @@ val run :
   ?max_time:float ->
   ?collect_trace:bool ->
   ?sensor_period:float ->
+  ?epoch:float ->
+  ?injector:Board.Xu3.injector ->
   t ->
   Board.Workload.t list ->
   result
 (** Run the stack to workload completion (or [max_time], default
     3000 s). [sensor_period] overrides the power-sensor refresh for the
-    sensitivity ablation. Emits per-epoch [runtime.epoch] events and a
-    [runtime.run_complete] summary when the Obs collector is on. *)
+    sensitivity ablation; [epoch] the stepping period (default
+    {!default_epoch}; must be positive); [injector] attaches
+    fault-injection hooks to the board (robustness campaigns). Emits
+    per-epoch [runtime.epoch] events and a [runtime.run_complete]
+    summary when the Obs collector is on.
+    @raise Invalid_argument on a non-positive [epoch]. *)

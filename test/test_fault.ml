@@ -1,0 +1,199 @@
+(* Tests for the fault-injection subsystem: the schedule generator's
+   determinism, the injector's strict pass-through on an empty schedule
+   (bit-identical metrics), campaign degradation on a smoke-sized run,
+   the configurable stepping epoch, and the sensor RNG reset. *)
+
+open Board
+open Yukta
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A workload small enough that a full scheme run is test-sized but
+   long enough for a 60 s fault campaign to land inside it. *)
+let small_workload () =
+  [ Workload.scale ~ginsts:400.0 (Workload.by_name "blackscholes") ]
+
+(* Heuristic schemes only: no SSV synthesis in the test suite. *)
+let coord () = Schemes.find_exn "coord"
+let decoupled () = Schemes.find_exn "decoupled"
+
+(* ------------------------------------------------------------------ *)
+(* Spec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "negative start" true
+    (raises (fun () ->
+         Fault.Spec.make ~start:(-1.0) ~duration:1.0
+           (Fault.Spec.Power_gain_drift 0.5)));
+  check_bool "zero duration" true
+    (raises (fun () ->
+         Fault.Spec.make ~start:1.0 ~duration:0.0
+           (Fault.Spec.Power_gain_drift 0.5)));
+  check_bool "bad severity" true
+    (raises (fun () ->
+         Fault.Spec.make ~start:1.0 ~duration:1.0
+           (Fault.Spec.Power_gain_drift 0.0)));
+  let ok =
+    Fault.Spec.make ~start:1.0 ~duration:2.0
+      (Fault.Spec.Sensor (Fault.Spec.Perf, Fault.Spec.Dropout))
+  in
+  Alcotest.(check (float 1e-12)) "stop" 3.0 (Fault.Spec.stop ok)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule determinism                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_deterministic () =
+  let profile = Fault.Schedule.in_guardband ~horizon:90.0 ~count:8 () in
+  let a = Fault.Schedule.generate ~seed:123 profile in
+  let b = Fault.Schedule.generate ~seed:123 profile in
+  check_bool "same seed, same schedule" true (a = b);
+  check_int "count honored" 8 (List.length a);
+  let c = Fault.Schedule.generate ~seed:124 profile in
+  check_bool "different seed, different schedule" true (a <> c);
+  (* Sorted by start, inside the horizon window. *)
+  let sorted = ref true and prev = ref neg_infinity in
+  List.iter
+    (fun f ->
+      if f.Fault.Spec.start < !prev then sorted := false;
+      prev := f.Fault.Spec.start;
+      check_bool "start in window" true
+        (f.Fault.Spec.start >= 0.0 && f.Fault.Spec.start <= 90.0);
+      check_bool "positive duration" true (f.Fault.Spec.duration > 0.0))
+    a;
+  check_bool "sorted by start" true !sorted
+
+(* ------------------------------------------------------------------ *)
+(* Injector pass-through                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* An injector over an empty schedule must be bitwise invisible: the
+   identity hooks and gain-1.0 multiplications change nothing, so the
+   metrics match an uninjected run exactly (not approximately). *)
+let test_empty_schedule_passthrough () =
+  let workloads = small_workload () in
+  let bare = Schemes.run (coord ()) workloads in
+  let injector = Fault.Injector.make [] in
+  let injected =
+    Schemes.run ~injector:(Fault.Injector.hooks injector) (coord ()) workloads
+  in
+  let mb = bare.Stack.metrics and mi = injected.Stack.metrics in
+  check_bool "execution time bit-identical" true
+    (mb.Xu3.execution_time = mi.Xu3.execution_time);
+  check_bool "energy bit-identical" true
+    (mb.Xu3.total_energy = mi.Xu3.total_energy);
+  check_bool "E x D bit-identical" true
+    (mb.Xu3.energy_delay = mi.Xu3.energy_delay);
+  check_int "trips identical" mb.Xu3.trips mi.Xu3.trips;
+  check_int "no injections" 0 (Fault.Injector.injections injector)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_degradation () =
+  let profile = Fault.Schedule.out_of_guardband ~horizon:60.0 ~count:4 () in
+  let schedule = Fault.Schedule.generate ~seed:42 profile in
+  let outcomes =
+    Fault.Campaign.run ~max_time:120.0
+      ~schemes:[ coord (); decoupled () ]
+      ~workloads:(small_workload ()) schedule
+  in
+  check_int "one outcome per scheme" 2 (List.length outcomes);
+  List.iter
+    (fun (o : Fault.Campaign.outcome) ->
+      check_bool "faults actually fired" true (o.Fault.Campaign.injections > 0);
+      check_bool "out-of-guardband faults degrade E x D" true
+        (o.Fault.Campaign.exd_inflation > 1.0);
+      check_bool "inflation is finite" true
+        (Float.is_finite o.Fault.Campaign.exd_inflation))
+    outcomes;
+  match Fault.Campaign.least_inflated outcomes with
+  | None -> Alcotest.fail "least_inflated on non-empty outcomes"
+  | Some best ->
+    List.iter
+      (fun (o : Fault.Campaign.outcome) ->
+        check_bool "least_inflated is minimal" true
+          (best.Fault.Campaign.exd_inflation
+          <= o.Fault.Campaign.exd_inflation))
+      outcomes
+
+(* ------------------------------------------------------------------ *)
+(* Stepping epoch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_epoch_configurable () =
+  let workloads = small_workload () in
+  let fast = Schemes.run ~epoch:0.25 (coord ()) workloads in
+  check_bool "quarter-second epoch completes" true fast.Stack.completed;
+  let default = Schemes.run (coord ()) workloads in
+  check_bool "explicit default matches implicit" true
+    ((Schemes.run ~epoch:Stack.default_epoch (coord ()) workloads)
+       .Stack.metrics
+       .Xu3.energy_delay
+    = default.Stack.metrics.Xu3.energy_delay)
+
+let test_epoch_validated () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "zero epoch rejected" true
+    (raises (fun () -> Schemes.run ~epoch:0.0 (coord ()) (small_workload ())));
+  check_bool "negative epoch rejected" true
+    (raises (fun () ->
+         Schemes.run ~epoch:(-0.5) (coord ()) (small_workload ())))
+
+(* ------------------------------------------------------------------ *)
+(* Sensor RNG reset                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_sensor_reset_replays_noise () =
+  let s = Sensors.create ~noise:0.05 ~seed:11 () in
+  let sample t =
+    Sensors.observe_power s ~time:t ~power_big:3.0 ~power_little:0.4
+  in
+  let first = List.map sample [ 0.0; 0.3; 0.6; 0.9; 1.2 ] in
+  Sensors.reset s;
+  let second = List.map sample [ 0.0; 0.3; 0.6; 0.9; 1.2 ] in
+  check_bool "reset replays the identical noise sequence" true
+    (first = second)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "spec",
+        [ Alcotest.test_case "validation" `Quick test_spec_validation ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_schedule_deterministic;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "empty schedule pass-through" `Quick
+            test_empty_schedule_passthrough;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "degradation" `Quick test_campaign_degradation;
+        ] );
+      ( "epoch",
+        [
+          Alcotest.test_case "configurable" `Quick test_epoch_configurable;
+          Alcotest.test_case "validated" `Quick test_epoch_validated;
+        ] );
+      ( "sensors",
+        [
+          Alcotest.test_case "reset replays noise" `Quick
+            test_sensor_reset_replays_noise;
+        ] );
+    ]
