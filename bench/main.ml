@@ -3,6 +3,10 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- --fig9 --fig10 ...   -- selected pieces
+     dune exec bench/main.exe -- -j 4 ...             -- domain-parallel grids
+
+   Flags, the --json document schema, and the parallelism/cache rules
+   are documented in BENCHMARKS.md.
 
    Absolute numbers differ from the paper (the substrate is a simulator,
    not the authors' ODROID XU3); the reproduction targets are the shapes:
@@ -21,10 +25,41 @@ let json_out : (string * Obs.Json.t) list ref = ref []
 
 let json_record key v = json_out := (key, v) :: !json_out
 
+(* [-j N]: the evaluation grids fan out to a domain pool. Serial by
+   default; every figure's output is byte-identical at any job count. *)
+let jobs = ref 1
+
+let pool : Parallel.Pool.t option ref = ref None
+
+(* Wall time per generated figure, keyed like the JSON document, in run
+   order. These (and [jobs]) land in the document's "bench" block — the
+   only fields expected to differ between [-j 1] and [-j N] runs. *)
+let started_at = Obs.Collector.now ()
+
+let walls : (string * float) list ref = ref []
+
+let timed key f =
+  let t0 = Obs.Collector.now () in
+  let v = f () in
+  walls := (key, Obs.Collector.now () -. t0) :: !walls;
+  v
+
+let bench_json () =
+  Obs.Json.Obj
+    [
+      ("jobs", Obs.Json.Int !jobs);
+      ( "wall_s",
+        Obs.Json.Obj
+          (List.rev_map (fun (k, s) -> (k, Obs.Json.Float s)) !walls) );
+      ("total_wall_s", Obs.Json.Float (Obs.Collector.now () -. started_at));
+    ]
+
 let write_json path =
   let doc =
     Obs.Json.Obj
-      (("schema", Obs.Json.String "yukta.bench/v1") :: List.rev !json_out)
+      (("schema", Obs.Json.String "yukta.bench/v1")
+      :: ("bench", bench_json ())
+      :: List.rev !json_out)
   in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string ~pretty:true doc);
@@ -115,7 +150,8 @@ let fig9_schemes =
   [ scheme "coord"; scheme "decoupled"; scheme "hw-ssv"; scheme "yukta" ]
 
 let suite_rows schemes =
-  Experiment.run_suite ?max_time:(run_max_time ()) ~schemes (suite_entries ())
+  Experiment.run_suite ?max_time:(run_max_time ()) ?pool:!pool ~schemes
+    (suite_entries ())
 
 let print_rows title rows schemes value =
   section title;
@@ -271,7 +307,8 @@ let fig12_13 () =
 let fig14 () =
   let schemes = fig9_schemes @ [ scheme "lqg-dec"; scheme "lqg-mono" ] in
   let rows =
-    Experiment.run_suite ?max_time:(run_max_time ()) ~schemes (mix_entries ())
+    Experiment.run_suite ?max_time:(run_max_time ()) ?pool:!pool ~schemes
+      (mix_entries ())
   in
   print_rows "Figure 14: ExD on heterogeneous mixes" rows schemes (fun r ->
       r.Experiment.exd);
@@ -318,8 +355,6 @@ let cost () =
   (* Wall-clock cost of one invocation, measured with Bechamel. *)
   let open Bechamel in
   let ctrl = hw.Design.controller in
-  let meas = Hw_layer.measurements in
-  ignore meas;
   let measurements = [| 5.0; 2.5; 0.25; 65.0 |] in
   let targets = [| 6.0; 3.0; 0.3; 77.0 |] in
   let externals = [| 6.0; 1.5; 1.0 |] in
@@ -628,7 +663,7 @@ let robustness () =
     Printf.printf "\n%s schedule (seed %d):\n" title robustness_seed;
     List.iter (fun f -> Printf.printf "  %s\n" (Fault.Spec.describe f)) schedule;
     let outcomes =
-      Fault.Campaign.run ?max_time:(run_max_time ())
+      Fault.Campaign.run ?max_time:(run_max_time ()) ?pool:!pool
         ~schemes:(robustness_schemes ()) ~workloads schedule
     in
     print_campaign (title ^ " campaign:") outcomes;
@@ -728,13 +763,28 @@ let ablation () =
 
 let () =
   let raw = Array.to_list Sys.argv |> List.tl in
-  (* [--json OUT] consumes its value; everything else is a flag. *)
-  let rec split_json acc = function
-    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
-    | a :: rest -> split_json (a :: acc) rest
-    | [] -> (None, List.rev acc)
+  (* [--json OUT] and [-j N] consume their values; everything else is a
+     flag. *)
+  let json_path = ref None in
+  let rec split_valued acc = function
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      split_valued acc rest
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs := n;
+        split_valued acc rest
+      | _ ->
+        Printf.eprintf "bench: -j expects an integer >= 1, got %S\n" n;
+        exit 2)
+    | [ ("-j" | "--jobs" | "--json") ] ->
+      prerr_endline "bench: missing value after -j/--jobs/--json";
+      exit 2
+    | a :: rest -> split_valued (a :: acc) rest
+    | [] -> List.rev acc
   in
-  let json_path, args = split_json [] raw in
+  let args = split_valued [] raw in
   let args =
     List.filter
       (fun a ->
@@ -745,26 +795,27 @@ let () =
         else true)
       args
   in
+  if !jobs > 1 then pool := Some (Parallel.Pool.create ~jobs:!jobs);
   let has f = List.mem f args in
   let all = args = [] || has "--all" in
-  if all || has "--tables" then begin
-    table2 ();
-    table3 ();
-    table4 ()
-  end;
+  if all || has "--tables" then timed "tables" (fun () ->
+      table2 ();
+      table3 ();
+      table4 ());
   (* Synthesis timings are wall-clock and therefore nondeterministic;
      they join the JSON document only on full runs so that selective
      invocations (notably --robustness) stay byte-for-byte reproducible. *)
-  if json_path <> None && all then synthesis_json ();
-  if all || has "--fig9" then ignore (fig9 ());
-  if all || has "--fig10" then fig10 ();
-  if all || has "--fig11" then fig11 ();
-  if all || has "--fig12" || has "--fig13" then fig12_13 ();
-  if all || has "--fig14" then fig14 ();
-  if all || has "--cost" then cost ();
-  if all || has "--fig15" then fig15 ();
-  if all || has "--fig16" then fig16 ();
-  if all || has "--fig17" then fig17 ();
-  if all || has "--robustness" then robustness ();
-  if all || has "--ablation" then ablation ();
-  match json_path with None -> () | Some path -> write_json path
+  if !json_path <> None && all then synthesis_json ();
+  if all || has "--fig9" then timed "fig9" (fun () -> ignore (fig9 ()));
+  if all || has "--fig10" then timed "fig10" fig10;
+  if all || has "--fig11" then timed "fig11" fig11;
+  if all || has "--fig12" || has "--fig13" then timed "fig12_13" fig12_13;
+  if all || has "--fig14" then timed "fig14" fig14;
+  if all || has "--cost" then timed "cost" cost;
+  if all || has "--fig15" then timed "fig15" fig15;
+  if all || has "--fig16" then timed "fig16" fig16;
+  if all || has "--fig17" then timed "fig17" fig17;
+  if all || has "--robustness" then timed "robustness" robustness;
+  if all || has "--ablation" then timed "ablation" ablation;
+  (match !json_path with None -> () | Some path -> write_json path);
+  match !pool with None -> () | Some p -> Parallel.Pool.shutdown p

@@ -4,6 +4,7 @@
      yukta_cli schemes                   list registered schemes
      yukta_cli run -s yukta -a mcf       run a scheme on a workload
      yukta_cli run -s three-layer        run the 3-layer demo stack
+     yukta_cli run -s yukta -s coord -j 2  two schemes on a domain pool
      yukta_cli run --jsonl out.jsonl ... run with the Obs collector on
      yukta_cli csv -s coord -a x264      CSV trace to stdout
      yukta_cli trace out.jsonl           summarize an Obs JSONL trace
@@ -87,30 +88,76 @@ let jsonl_arg =
   Arg.(
     value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Evaluate the schemes on $(docv) parallel domains (default 1: \
+     serial). Results print in scheme order either way, byte-identical \
+     to the serial run; with a single -s the flag has no effect."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let schemes_arg =
+  let doc =
+    "Controller scheme (see `schemes`). Repeatable: each -s adds a \
+     scheme to evaluate on the same workload."
+  in
+  Arg.(value & opt_all scheme_conv [] & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
 let run_cmd =
-  let run (scheme : Schemes.info) app jsonl =
-    let workloads = workloads_of_name app in
-    Printf.printf "running %s (%s) on %s...\n%!" scheme.Schemes.name
-      (String.concat ">" scheme.Schemes.layers)
-      app;
-    let go () = Schemes.run scheme workloads in
-    let r =
-      match jsonl with
-      | None -> go ()
-      | Some file -> Obs.Collector.with_collection ~file go
-    in
+  let print_result ~banner ((scheme : Schemes.info), (r : Stack.result)) =
+    if banner then
+      Printf.printf "\n== %s (%s) ==\n" scheme.Schemes.name
+        (String.concat ">" scheme.Schemes.layers);
     let m = r.Stack.metrics in
     Printf.printf "completed: %b\n" r.Stack.completed;
     Printf.printf "execution time: %.1f s\n" m.Board.Xu3.execution_time;
     Printf.printf "energy:         %.1f J\n" m.Board.Xu3.total_energy;
     Printf.printf "E x D:          %.0f J.s\n" m.Board.Xu3.energy_delay;
-    Printf.printf "emergency trips: %d\n" m.Board.Xu3.trips;
+    Printf.printf "emergency trips: %d\n" m.Board.Xu3.trips
+  in
+  let run (schemes : Schemes.info list) app jsonl jobs =
+    if jobs < 1 then begin
+      prerr_endline "yukta_cli run: -j expects an integer >= 1";
+      exit 2
+    end;
+    let schemes =
+      match schemes with [] -> [ Schemes.find_exn "yukta" ] | l -> l
+    in
+    let workloads = workloads_of_name app in
+    let banner = List.length schemes > 1 in
+    let eval (s : Schemes.info) = (s, Schemes.run s workloads) in
+    let go () =
+      if jobs > 1 && banner then begin
+        Printf.printf "running %d schemes on %s (%d jobs)...\n%!"
+          (List.length schemes) app jobs;
+        Parallel.Pool.with_pool ~jobs (fun pool ->
+            (* Single-force before fan-out: warm the design memos. *)
+            List.iter (fun s -> ignore (Schemes.stack s)) schemes;
+            Experiment.map_cells ~pool eval schemes)
+        |> List.iter (print_result ~banner)
+      end
+      else
+        List.iter
+          (fun (s : Schemes.info) ->
+            Printf.printf "running %s (%s) on %s...\n%!" s.Schemes.name
+              (String.concat ">" s.Schemes.layers)
+              app;
+            print_result ~banner (eval s))
+          schemes
+    in
+    (match jsonl with
+    | None -> go ()
+    | Some file -> Obs.Collector.with_collection ~file go);
     match jsonl with
     | Some file -> Printf.printf "trace written to %s\n" file
     | None -> ()
   in
-  Cmd.v (Cmd.info "run" ~doc:"Run one scheme on one workload")
-    Term.(const run $ scheme_arg $ app_arg $ jsonl_arg)
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run one or more schemes (-s, repeatable) on one workload; -j N \
+          evaluates them in parallel")
+    Term.(const run $ schemes_arg $ app_arg $ jsonl_arg $ jobs_arg)
 
 let csv_cmd =
   let run scheme app =

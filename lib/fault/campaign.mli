@@ -29,12 +29,16 @@ val run :
   ?max_time:float ->
   ?epoch:float ->
   ?guardband:float ->
+  ?pool:Parallel.Pool.t ->
   schemes:Yukta.Schemes.info list ->
   workloads:Board.Workload.t list ->
   Spec.timed list ->
   outcome list
 (** One clean + one faulted execution per scheme, every faulted run
-    replaying the identical schedule through a fresh injector. *)
+    replaying the identical schedule through a fresh injector. With
+    [pool], schemes fan out to the pool's domains (clean and faulted
+    runs stay paired in one cell) and outcomes return in scheme order,
+    byte-identical to the serial run. *)
 
 val least_inflated : outcome list -> outcome option
 (** The scheme with the smallest E x D inflation — the campaign's

@@ -10,6 +10,18 @@ let disable () = Atomic.set flag false
 (* Sinks                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* The sink, the buffer and the file handle are process-global; every
+   access goes through [sink_mutex] so domains never interleave inside a
+   line or race the handle. Per-domain capture (below) bypasses the
+   global sink entirely, which is how parallel drivers keep trace order
+   deterministic: capture per task, replay in input order. *)
+
+let sink_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock sink_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sink_mutex) f
+
 let buffer : string list ref = ref []
 
 let buffer_write line = buffer := line :: !buffer
@@ -18,18 +30,20 @@ let sink : (string -> unit) ref = ref buffer_write
 
 let out : out_channel option ref = ref None
 
-let set_sink f = sink := f
+let set_sink f = locked (fun () -> sink := f)
 
 let buffer_sink () =
-  buffer := [];
-  sink := buffer_write
+  locked (fun () ->
+      buffer := [];
+      sink := buffer_write)
 
 let drain () =
-  let lines = List.rev !buffer in
-  buffer := [];
-  lines
+  locked (fun () ->
+      let lines = List.rev !buffer in
+      buffer := [];
+      lines)
 
-let close () =
+let close_unlocked () =
   (match !out with
   | Some oc ->
     out := None;
@@ -37,16 +51,51 @@ let close () =
   | None -> ());
   sink := buffer_write
 
-let open_file path =
-  close ();
-  let oc = open_out path in
-  out := Some oc;
-  sink :=
-    fun line ->
-      output_string oc line;
-      output_char oc '\n'
+let close () = locked close_unlocked
 
-let emit json = !sink (Json.to_string json)
+let open_file path =
+  locked (fun () ->
+      close_unlocked ();
+      let oc = open_out path in
+      out := Some oc;
+      sink :=
+        fun line ->
+          output_string oc line;
+          output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain capture                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* When a capture buffer is installed in this domain, emissions land
+   there instead of the global sink — no lock, no cross-domain
+   interleaving. *)
+let capture_key : string list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let emit_line line =
+  match Domain.DLS.get capture_key with
+  | Some buf -> buf := line :: !buf
+  | None -> locked (fun () -> !sink line)
+
+let capture f =
+  let buf = ref [] in
+  let saved = Domain.DLS.get capture_key in
+  Domain.DLS.set capture_key (Some buf);
+  let finish () = Domain.DLS.set capture_key saved in
+  match f () with
+  | v ->
+    finish ();
+    (v, List.rev !buf)
+  | exception exn ->
+    finish ();
+    raise exn
+
+(* Replayed lines re-enter through [emit_line], so a capture of a replay
+   nests the way span scopes do. *)
+let replay lines = List.iter emit_line lines
+
+let emit json = emit_line (Json.to_string json)
 
 (* ------------------------------------------------------------------ *)
 (* Emission                                                            *)
@@ -67,7 +116,9 @@ let now () = Unix.gettimeofday ()
 
 let span_hist name = Metrics.histogram ("span." ^ name)
 
-let depth = ref 0
+(* Span nesting depth is per-domain: concurrent tasks each carry their
+   own stack of open spans. *)
+let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let record_span_at ~name ~depth:d ~dur_s fields =
   Metrics.observe (span_hist name) dur_s;
@@ -82,11 +133,13 @@ let record_span_at ~name ~depth:d ~dur_s fields =
        ])
 
 let record_span ~name ~dur_s fields =
-  if enabled () then record_span_at ~name ~depth:!depth ~dur_s fields
+  if enabled () then
+    record_span_at ~name ~depth:!(Domain.DLS.get depth_key) ~dur_s fields
 
 let span ~name f =
   if not (enabled ()) then f ()
   else begin
+    let depth = Domain.DLS.get depth_key in
     let d = !depth in
     depth := d + 1;
     let t0 = now () in

@@ -18,7 +18,17 @@
 
     Records are encoded as JSONL and handed to the current sink — an
     in-memory buffer by default (see {!drain}), or a file via
-    {!open_file}. *)
+    {!open_file}.
+
+    {b Domain safety.} The sink, buffer and file handle are
+    process-global and every access is serialized by an internal mutex,
+    so concurrent emission from several domains never tears a line. For
+    {e reproducible} traces under parallelism, serialization is not
+    enough — arrival order would still depend on scheduling — so
+    parallel drivers wrap each task in {!capture} (a per-domain buffer
+    that bypasses the global sink) and {!replay} the captured lines in
+    task input order once the batch completes. Span nesting depth is
+    per-domain. *)
 
 val enabled : unit -> bool
 (** One atomic load; the only cost a disabled instrumentation site pays. *)
@@ -46,6 +56,25 @@ val open_file : string -> unit
 val close : unit -> unit
 (** Flush and close the file opened by {!open_file} (no-op otherwise) and
     fall back to the buffer sink. *)
+
+(** {1 Per-domain capture}
+
+    The building blocks of deterministic parallel tracing: run each
+    parallel task under {!capture}, then {!replay} the captured lines in
+    input order — the resulting stream is byte-identical to a serial
+    run's (modulo wall-clock span durations). *)
+
+val capture : (unit -> 'a) -> 'a * string list
+(** [capture f] runs [f] with this domain's emissions diverted to a
+    fresh local buffer and returns [f]'s result with the captured JSONL
+    lines, oldest first. Captures nest (the inner scope shadows the
+    outer); other domains are unaffected. If [f] raises, the capture
+    scope is popped and the exception propagates (captured lines are
+    dropped with it). *)
+
+val replay : string list -> unit
+(** Hand already-encoded lines to the current sink in list order — or to
+    this domain's active {!capture} scope, so replays nest. *)
 
 (** {1 Emission} *)
 

@@ -18,31 +18,44 @@ let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 let order : [ `C of counter | `G of gauge | `H of histogram ] list ref = ref []
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; count = 0 } in
-    Hashtbl.add counters name c;
-    order := `C c :: !order;
-    c
+(* One mutex over registries and metric cells: registration, updates and
+   dumps may come from any domain (spans fire inside pool workers).
+   Observation cost only matters when collection is enabled, and the
+   simulation work per observation dwarfs an uncontended lock. *)
+let mutex = Mutex.create ()
 
-let incr ?(by = 1) c = c.count <- c.count + by
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; count = 0 } in
+        Hashtbl.add counters name c;
+        order := `C c :: !order;
+        c)
+
+let incr ?(by = 1) c = locked (fun () -> c.count <- c.count + by)
 
 let count c = c.count
 
 let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-    let g = { g_name = name; value = Float.nan; set = false } in
-    Hashtbl.add gauges name g;
-    order := `G g :: !order;
-    g
+  locked (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+        let g = { g_name = name; value = Float.nan; set = false } in
+        Hashtbl.add gauges name g;
+        order := `G g :: !order;
+        g)
 
 let set g v =
-  g.value <- v;
-  g.set <- true
+  locked (fun () ->
+      g.value <- v;
+      g.set <- true)
 
 let value g = g.value
 
@@ -59,30 +72,31 @@ let validate_buckets b =
   done
 
 let histogram ?buckets name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-    let buckets =
-      match buckets with
-      | Some b ->
-        validate_buckets b;
-        Array.copy b
-      | None -> default_buckets
-    in
-    let h =
-      {
-        h_name = name;
-        buckets;
-        counts = Array.make (Array.length buckets + 1) 0;
-        n = 0;
-        total = 0.0;
-        min_v = infinity;
-        max_v = neg_infinity;
-      }
-    in
-    Hashtbl.add histograms name h;
-    order := `H h :: !order;
-    h
+  locked (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+        let buckets =
+          match buckets with
+          | Some b ->
+            validate_buckets b;
+            Array.copy b
+          | None -> default_buckets
+        in
+        let h =
+          {
+            h_name = name;
+            buckets;
+            counts = Array.make (Array.length buckets + 1) 0;
+            n = 0;
+            total = 0.0;
+            min_v = infinity;
+            max_v = neg_infinity;
+          }
+        in
+        Hashtbl.add histograms name h;
+        order := `H h :: !order;
+        h)
 
 let bucket_index h v =
   (* Binary search for the first upper bound >= v. *)
@@ -95,12 +109,13 @@ let bucket_index h v =
   !lo (* nb means overflow *)
 
 let observe h v =
-  let i = bucket_index h v in
-  h.counts.(i) <- h.counts.(i) + 1;
-  h.n <- h.n + 1;
-  h.total <- h.total +. v;
-  if v < h.min_v then h.min_v <- v;
-  if v > h.max_v then h.max_v <- v
+  locked (fun () ->
+      let i = bucket_index h v in
+      h.counts.(i) <- h.counts.(i) + 1;
+      h.n <- h.n + 1;
+      h.total <- h.total +. v;
+      if v < h.min_v then h.min_v <- v;
+      if v > h.max_v then h.max_v <- v)
 
 let percentile h q =
   if h.n = 0 then Float.nan
@@ -171,22 +186,24 @@ let summarize h =
     }
 
 let reset_all () =
-  Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) counters;
-  Hashtbl.iter
-    (fun _ g ->
-      g.value <- Float.nan;
-      g.set <- false)
-    gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.counts 0 (Array.length h.counts) 0;
-      h.n <- 0;
-      h.total <- 0.0;
-      h.min_v <- infinity;
-      h.max_v <- neg_infinity)
-    histograms
+  locked (fun () ->
+      Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) counters;
+      Hashtbl.iter
+        (fun _ g ->
+          g.value <- Float.nan;
+          g.set <- false)
+        gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.n <- 0;
+          h.total <- 0.0;
+          h.min_v <- infinity;
+          h.max_v <- neg_infinity)
+        histograms)
 
 let dump () =
+  locked @@ fun () ->
   List.filter_map
     (function
       | `C (c : counter) ->

@@ -5,7 +5,13 @@
     on hot paths should hold the metric value and guard updates behind
     {!Collector.enabled} so a disabled run costs one branch. The registry
     survives {!reset_all} (values are zeroed, instances stay valid), so a
-    metric captured at module-initialization time never dangles. *)
+    metric captured at module-initialization time never dangles.
+
+    Registration, updates, {!reset_all} and {!dump} are serialized by an
+    internal mutex and safe to call from any domain (pool workers record
+    spans concurrently). The read-only accessors ({!count}, {!value},
+    {!percentile}, {!summarize}) are unsynchronized snapshots — call
+    them from the coordinating domain, not while workers observe. *)
 
 (** {1 Counters} *)
 

@@ -1,0 +1,130 @@
+(* A fixed-size domain pool. Workers pull thunks from one shared queue;
+   Pool.map writes results into a pre-sized slot array, so ordering is
+   by input index no matter which domain finishes first, and exceptions
+   are carried as values until the whole batch has settled. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;                      (* Guards queue + closed. *)
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  batch : Mutex.t;                      (* One [map] batch at a time. *)
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.work_available t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* closed: exit *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+      batch = Mutex.create ();
+    }
+  in
+  (* The calling domain participates in [map], so [jobs - 1] extra
+     domains give [jobs]-way parallelism. *)
+  t.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* The caller drains the queue alongside the workers, then waits for
+   in-flight tasks running on other domains. *)
+let help t =
+  let rec go () =
+    Mutex.lock t.mutex;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      task ();
+      go ()
+    end
+  in
+  go ()
+
+let map t f xs =
+  if t.closed then invalid_arg "Pool.map: pool is shut down";
+  match xs with
+  | [] -> []
+  | xs when t.jobs = 1 -> List.map f xs
+  | xs ->
+    Mutex.lock t.batch;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.batch) @@ fun () ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let remaining = Atomic.make n in
+    let done_mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    let task i () =
+      let r =
+        match f arr.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      (* Plain write to a private slot, published to the caller by the
+         seq-cst decrement below. *)
+      results.(i) <- Some r;
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_mutex;
+        Condition.signal all_done;
+        Mutex.unlock done_mutex
+      end
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (task i) t.queue
+    done;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    help t;
+    Mutex.lock done_mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait all_done done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    let settled =
+      Array.to_list
+        (Array.map (function Some r -> r | None -> assert false) results)
+    in
+    (* Re-raise the earliest failure only after the whole batch settled,
+       so a raising task can never strand its siblings. *)
+    List.iter
+      (function
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
+      settled;
+    List.map (function Ok v -> v | Error _ -> assert false) settled

@@ -1,0 +1,57 @@
+(** A fixed-size domain pool for embarrassingly parallel evaluation
+    grids.
+
+    The pool owns [jobs] worker domains (none when [jobs = 1]) that pull
+    tasks from a shared queue. {!map} is the only way work enters the
+    pool; it preserves input order and surfaces worker exceptions, so a
+    caller sees exactly the behaviour of [List.map] — only faster:
+
+    - {b deterministic ordering} — results come back in input order
+      regardless of which worker finished first;
+    - {b exception capture} — a raising task never hangs the pool; the
+      first exception (in input order) is re-raised in the caller with
+      its original backtrace, after every task of the batch has settled;
+    - {b serial degeneration} — a pool created with [jobs = 1] spawns no
+      domains and {!map} runs in the calling domain, so serial and
+      parallel callers share one code path.
+
+    The pool itself is domain-safe; the tasks must be too. Shared lazy
+    state has to be forced {e before} fan-out (concurrent [Lazy.force]
+    of one suspension raises in OCaml 5) — see [Yukta.Designs.prepare]
+    and the cache notes in [DESIGN.md]. *)
+
+type t
+(** A pool handle. Values of this type are safe to share between
+    domains, but {!map} batches are serialized internally: one batch
+    runs at a time. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains plus the calling
+    domain's share of the work (the caller participates in {!map}), so
+    at most [jobs] tasks run at once.
+
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The parallelism the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element of [xs] on the pool's
+    domains and returns the results in input order.
+
+    If one or more applications raise, [map] waits for the whole batch
+    to settle, then re-raises the exception of the {e earliest} failing
+    input (with its original backtrace). The pool remains usable. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent; {!map} after [shutdown] raises
+    [Invalid_argument]. Call before process exit so no domain outlives
+    the main one. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and guarantees
+    {!shutdown}, also on exceptions. *)
+
+val default_jobs : unit -> int
+(** What [-j] defaults to when asked for "all cores":
+    [Domain.recommended_domain_count ()]. *)

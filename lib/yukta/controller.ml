@@ -30,6 +30,16 @@ let make ~controller ~inputs ~outputs ~externals =
 
 let reset t = t.x <- Vec.create (Control.Ss.order t.core)
 
+(* A private state copy over the shared (immutable) core and signal
+   specs. Memoized designs hand out one [t] per process; every stack
+   must copy it so concurrently running stacks never share [x]. *)
+let copy t =
+  {
+    t with
+    x = Vec.create (Control.Ss.order t.core);
+    last_raw = Vec.create (Array.length t.inputs);
+  }
+
 let step t ~measurements ~targets ~externals =
   if Vec.dim measurements <> Array.length t.outputs then
     invalid_arg "Controller.step: measurement dimension mismatch";

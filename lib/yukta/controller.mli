@@ -28,6 +28,12 @@ val make :
 val reset : t -> unit
 (** Zero the controller state (start of an execution). *)
 
+val copy : t -> t
+(** A fresh controller over the same (immutable) LTI core and signal
+    specs, with zeroed state. Memoized designs hand out a single shared
+    instance per process; every stack copies the controllers it mounts,
+    so two stacks — or two domains — never share the state vector. *)
+
 val step :
   t ->
   measurements:Linalg.Vec.t ->

@@ -6,11 +6,28 @@
    experiment, and additionally cached on disk (content-addressed by the
    training records and the layer specification) so repeated benchmark
    runs skip re-synthesis. Set YUKTA_NO_CACHE=1 to disable the disk
-   cache. *)
+   cache.
+
+   Domain safety: the lazy memos and the disk cache are process-global,
+   and OCaml 5 raises if two domains force one suspension concurrently,
+   so every public entry point takes [memo_mutex]. The mutex is not
+   reentrant; internal code below assumes the lock is already held and
+   must never call a public (locking) entry point. Parallel drivers
+   should still force everything once before fan-out ([prepare], or
+   building the stacks they will run) so workers hit warmed memos
+   instead of serializing on the lock. *)
+
+let memo_mutex = Mutex.create ()
+
+let with_memo_lock f =
+  Mutex.lock memo_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock memo_mutex) f
 
 let records = lazy (Training.collect ())
 
-let get_records () = Lazy.force records
+(* Lock held from here down. *)
+
+let get_records_unlocked () = Lazy.force records
 
 (* ------------------------------------------------------------------ *)
 (* Disk cache                                                          *)
@@ -88,7 +105,7 @@ let records_fingerprint r =
 let design_key kind spec =
   Printf.sprintf "design-v%d-%s-%s-%s" schema_version kind
     (spec_fingerprint spec)
-    (records_fingerprint (get_records ()))
+    (records_fingerprint (get_records_unlocked ()))
 
 let cached_design kind spec compute =
   let key = design_key kind spec in
@@ -99,28 +116,24 @@ let cached_design kind spec compute =
     cache_store key d;
     d
 
-let design_hw_with spec =
+let design_hw_unlocked spec =
   cached_design "hw" spec (fun () ->
-      let r = get_records () in
+      let r = get_records_unlocked () in
       Design.design spec ~u:r.Training.hw_u ~y:r.Training.hw_y)
 
-let design_sw_with spec =
+let design_sw_unlocked spec =
   cached_design "sw" spec (fun () ->
-      let r = get_records () in
+      let r = get_records_unlocked () in
       Design.design spec ~u:r.Training.sw_u ~y:r.Training.sw_y)
 
-let hw_default = lazy (design_hw_with (Hw_layer.spec ()))
+let hw_default = lazy (design_hw_unlocked (Hw_layer.spec ()))
 
-let sw_default = lazy (design_sw_with (Sw_layer.spec ()))
-
-let hw () = Lazy.force hw_default
-
-let sw () = Lazy.force sw_default
+let sw_default = lazy (design_sw_unlocked (Sw_layer.spec ()))
 
 let cached_controller kind compute =
   let key =
     Printf.sprintf "lqg-v%d-%s-%s" schema_version kind
-      (records_fingerprint (get_records ()))
+      (records_fingerprint (get_records_unlocked ()))
   in
   match cache_load key with
   | Some (c : Controller.t) -> c
@@ -130,18 +143,45 @@ let cached_controller kind compute =
     c
 
 let lqg_hw_default =
-  lazy (cached_controller "hw" (fun () -> Lqg_layer.hw_controller (get_records ())))
+  lazy
+    (cached_controller "hw" (fun () ->
+         Lqg_layer.hw_controller (get_records_unlocked ())))
 
 let lqg_sw_default =
-  lazy (cached_controller "sw" (fun () -> Lqg_layer.sw_controller (get_records ())))
+  lazy
+    (cached_controller "sw" (fun () ->
+         Lqg_layer.sw_controller (get_records_unlocked ())))
 
 let lqg_mono_default =
   lazy
     (cached_controller "mono" (fun () ->
-         Lqg_layer.monolithic_controller (get_records ())))
+         Lqg_layer.monolithic_controller (get_records_unlocked ())))
 
-let lqg_hw () = Lazy.force lqg_hw_default
+(* ------------------------------------------------------------------ *)
+(* Public (locking) entry points                                       *)
+(* ------------------------------------------------------------------ *)
 
-let lqg_sw () = Lazy.force lqg_sw_default
+let get_records () = with_memo_lock get_records_unlocked
 
-let lqg_monolithic () = Lazy.force lqg_mono_default
+let design_hw_with spec = with_memo_lock (fun () -> design_hw_unlocked spec)
+
+let design_sw_with spec = with_memo_lock (fun () -> design_sw_unlocked spec)
+
+let hw () = with_memo_lock (fun () -> Lazy.force hw_default)
+
+let sw () = with_memo_lock (fun () -> Lazy.force sw_default)
+
+let lqg_hw () = with_memo_lock (fun () -> Lazy.force lqg_hw_default)
+
+let lqg_sw () = with_memo_lock (fun () -> Lazy.force lqg_sw_default)
+
+let lqg_monolithic () = with_memo_lock (fun () -> Lazy.force lqg_mono_default)
+
+let prepare () =
+  with_memo_lock (fun () ->
+      ignore (get_records_unlocked ());
+      ignore (Lazy.force hw_default);
+      ignore (Lazy.force sw_default);
+      ignore (Lazy.force lqg_hw_default);
+      ignore (Lazy.force lqg_sw_default);
+      ignore (Lazy.force lqg_mono_default))

@@ -5,7 +5,15 @@
     everything is also cached on disk under [.yukta_cache/],
     content-addressed by the training records and layer specification.
     Set the environment variable [YUKTA_NO_CACHE] to disable the disk
-    cache (e.g. when editing the design pipeline itself). *)
+    cache (e.g. when editing the design pipeline itself).
+
+    All entry points are serialized by an internal mutex, so concurrent
+    first use from several domains is safe (unsynchronized concurrent
+    [Lazy.force] would raise in OCaml 5, and two domains could race a
+    cache file). Parallel drivers should still call {!prepare} — or
+    build the stacks they are about to run — {e once, before fan-out},
+    so the expensive synthesis happens exactly once instead of workers
+    queuing on the lock; see the concurrency notes in [DESIGN.md]. *)
 
 val get_records : unit -> Training.records
 (** The default training records (computed once per process). *)
@@ -27,3 +35,8 @@ val lqg_hw : unit -> Controller.t
 
 val lqg_sw : unit -> Controller.t
 val lqg_monolithic : unit -> Controller.t
+
+val prepare : unit -> unit
+(** Force every default memo (records, both SSV designs, all three LQG
+    baselines) under the lock — the single-force-before-fan-out step of
+    parallel drivers. Idempotent; later calls are cheap. *)

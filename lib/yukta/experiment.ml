@@ -48,18 +48,63 @@ type normalized_row = {
   raw : (Schemes.info * app_result) list;  (* Un-normalized results. *)
 }
 
+(* Apply [f] to every grid cell, in order or fanned out to [pool]. Every
+   cell is independent and deterministic (fresh stack, fresh board), so
+   the two paths compute identical results; per-domain capture + replay
+   in input order makes the collector's trace stream identical too
+   (modulo wall-clock span durations). *)
+let map_cells ?pool f cells =
+  match pool with
+  | None -> List.map f cells
+  | Some p when Parallel.Pool.jobs p <= 1 -> List.map f cells
+  | Some p ->
+    Parallel.Pool.map p (fun c -> Obs.Collector.capture (fun () -> f c)) cells
+    |> List.map (fun (v, lines) ->
+           Obs.Collector.replay lines;
+           v)
+
+let parallel_active pool =
+  match pool with None -> false | Some p -> Parallel.Pool.jobs p > 1
+
+(* Chunk [xs] into rows of [k] (cells are flattened entry-major). *)
+let rec group k xs =
+  match xs with
+  | [] -> []
+  | xs ->
+    let rec split n acc rest =
+      if n = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | x :: tl -> split (n - 1) (x :: acc) tl
+        | [] -> invalid_arg "Experiment.group: ragged grid"
+    in
+    let row, rest = split k [] xs in
+    row :: group k rest
+
 (* Run [schemes] on every entry and normalize each metric to the first
    scheme in the list (the baseline). *)
-let run_suite ?max_time ~schemes entries =
+let run_suite ?max_time ?pool ~schemes entries =
   let baseline =
     match schemes with
     | [] -> invalid_arg "Experiment.run_suite: no schemes"
     | s :: _ -> s
   in
-  List.map
-    (fun entry ->
+  (* Single-force before fan-out: building each scheme's stack once in
+     the coordinating domain warms every design memo the grid needs
+     (Designs serializes forcing, but workers should not queue on it). *)
+  if parallel_active pool then
+    List.iter (fun s -> ignore (Schemes.stack s)) schemes;
+  let cells =
+    List.concat_map
+      (fun entry -> List.map (fun s -> (entry, s)) schemes)
+      entries
+  in
+  let results =
+    map_cells ?pool (fun (entry, s) -> (s, run_app ?max_time s entry)) cells
+  in
+  List.map2
+    (fun entry results ->
       let name = fst entry in
-      let results = List.map (fun s -> (s, run_app ?max_time s entry)) schemes in
       let base = (List.assoc baseline results).metrics in
       let exd =
         List.map
@@ -77,6 +122,7 @@ let run_suite ?max_time ~schemes entries =
       in
       { name; exd; time; raw = results })
     entries
+    (group (List.length schemes) results)
 
 (* Suite averages in the figure-9 layout: SPEC average, PARSEC average,
    and overall average, computed on the normalized values. An empty

@@ -32,12 +32,28 @@ type normalized_row = {
       (** The un-normalized per-scheme results behind the ratios. *)
 }
 
+val map_cells :
+  ?pool:Parallel.Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+(** Apply [f] to every cell of an evaluation grid, preserving input
+    order. Without a pool (or with a 1-job pool) this is [List.map];
+    with a parallel pool, cells fan out to the pool's domains, each
+    wrapped in [Obs.Collector.capture], and the captured trace lines are
+    replayed in input order — so serial and parallel runs produce
+    identical results {e and} identical trace streams (modulo wall-clock
+    span durations). Cells must be independent: fresh stack, fresh
+    board, no writes to shared state. *)
+
 val run_suite :
   ?max_time:float ->
+  ?pool:Parallel.Pool.t ->
   schemes:Schemes.info list ->
   (string * Board.Workload.t list) list ->
   normalized_row list
-(** Run every scheme on every entry; normalize to the first scheme. *)
+(** Run every scheme on every entry; normalize to the first scheme.
+    With [pool], the [(scheme, app)] cells run on the pool's domains
+    (after a single-force warm-up of every scheme's designs in the
+    calling domain) and rows reassemble in entry order — the output is
+    byte-identical to the serial run's. *)
 
 val averages :
   normalized_row list ->

@@ -16,11 +16,15 @@ let input_names inputs =
 let output_names outputs =
   Array.map (fun (o : Signal.output) -> o.Signal.name) outputs
 
+(* Memoized designs share one Controller.t per process; every layer
+   mounts a copy so concurrently running stacks never share the
+   controller's state vector (see {!Controller.copy}). *)
+
 let hw_ssv_layer (syn : Design.synthesis) =
   Layer.controlled ~label:"hw"
     ~measures:(output_names (Hw_layer.outputs ()))
     ~actuates:(input_names (Hw_layer.inputs ()))
-    ~controller:syn.Design.controller
+    ~controller:(Controller.copy syn.Design.controller)
     ~targets:(Layer.Optimized (Hw_layer.make_optimizer ()))
     ~measure:Hw_layer.measurements
     ~externals:(fun board ->
@@ -33,7 +37,7 @@ let sw_ssv_layer (syn : Design.synthesis) =
   Layer.controlled ~label:"sw"
     ~measures:(output_names (Sw_layer.outputs ()))
     ~actuates:(input_names (Sw_layer.inputs ()))
-    ~controller:syn.Design.controller
+    ~controller:(Controller.copy syn.Design.controller)
     ~targets:(Layer.Optimized (Sw_layer.make_optimizer ()))
     ~measure:Sw_layer.measurements
     ~externals:(fun board -> Sw_layer.externals_of_config (Xu3.config board))
@@ -45,7 +49,7 @@ let lqg_hw_layer controller =
   Layer.controlled ~label:"hw"
     ~measures:(output_names (Hw_layer.outputs ()))
     ~actuates:(input_names (Hw_layer.inputs ()))
-    ~controller
+    ~controller:(Controller.copy controller)
     ~targets:(Layer.Optimized (Hw_layer.make_optimizer ()))
     ~measure:Hw_layer.measurements
     ~externals:(fun _ -> [||])
@@ -57,7 +61,7 @@ let lqg_sw_layer controller =
   Layer.controlled ~label:"sw"
     ~measures:(output_names (Sw_layer.outputs ()))
     ~actuates:(input_names (Sw_layer.inputs ()))
-    ~controller
+    ~controller:(Controller.copy controller)
     ~targets:(Layer.Optimized (Sw_layer.make_optimizer ()))
     ~measure:Sw_layer.measurements
     ~externals:(fun _ -> [||])
@@ -69,7 +73,7 @@ let lqg_monolithic_layer controller =
   Layer.controlled ~label:"mono"
     ~measures:(output_names (Lqg_layer.monolithic_outputs ()))
     ~actuates:(input_names (Lqg_layer.monolithic_inputs ()))
-    ~controller
+    ~controller:(Controller.copy controller)
     ~targets:(Layer.Optimized (Lqg_layer.monolithic_optimizer ()))
     ~measure:Lqg_layer.monolithic_measurements
     ~externals:(fun _ -> [||])

@@ -1,0 +1,210 @@
+(* Tests for the domain pool and the parallel evaluation paths: result
+   ordering, exception propagation (no hangs), serial/parallel parity of
+   Experiment.run_suite and Fault.Campaign.run, and deterministic
+   capture/replay of collector events under fan-out. *)
+
+open Board
+open Yukta
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+exception Boom of int
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_ordering () =
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      check_int "jobs" 4 (Parallel.Pool.jobs pool);
+      let xs = List.init 100 Fun.id in
+      (* Uneven work so completion order differs from input order. *)
+      let f i =
+        let n = ref 0 in
+        for _ = 1 to (i mod 7) * 10_000 do
+          incr n
+        done;
+        ignore !n;
+        i * i
+      in
+      let ys = Parallel.Pool.map pool f xs in
+      check_bool "input order preserved" true
+        (ys = List.map (fun i -> i * i) xs);
+      check_bool "empty list" true (Parallel.Pool.map pool f [] = []))
+
+let test_pool_serial_degeneration () =
+  (* jobs = 1 spawns no domains and runs in the caller. *)
+  Parallel.Pool.with_pool ~jobs:1 (fun pool ->
+      let d = Domain.self () in
+      let ys =
+        Parallel.Pool.map pool (fun i -> (i, Domain.self () = d)) [ 1; 2; 3 ]
+      in
+      check_bool "caller's domain" true (List.for_all snd ys);
+      check_bool "values" true (List.map fst ys = [ 1; 2; 3 ]))
+
+let test_pool_exception () =
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let raised =
+        match
+          Parallel.Pool.map pool
+            (fun i -> if i mod 3 = 0 then raise (Boom i) else i)
+            (List.init 20 succ)
+        with
+        | _ -> None
+        | exception Boom i -> Some i
+      in
+      (* Earliest failing input (3), not whichever worker lost the race. *)
+      check_bool "earliest exception propagates" true (raised = Some 3);
+      (* The pool survives a failed batch. *)
+      let ys = Parallel.Pool.map pool succ [ 1; 2; 3 ] in
+      check_bool "pool usable after exception" true (ys = [ 2; 3; 4 ]))
+
+let test_pool_validation () =
+  let raises_invalid f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  check_bool "jobs = 0 rejected" true
+    (raises_invalid (fun () -> Parallel.Pool.create ~jobs:0));
+  let pool = Parallel.Pool.create ~jobs:2 in
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool (* idempotent *);
+  check_bool "map after shutdown rejected" true
+    (raises_invalid (fun () -> Parallel.Pool.map pool succ [ 1 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Suite parity                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Heuristic schemes only: no SSV synthesis in the test suite. *)
+let schemes () = [ Schemes.find_exn "coord"; Schemes.find_exn "decoupled" ]
+
+let entries () =
+  [
+    ("bs", [ Workload.scale ~ginsts:300.0 (Workload.by_name "blackscholes") ]);
+    ("mcf", [ Workload.scale ~ginsts:300.0 (Workload.by_name "mcf") ]);
+  ]
+
+let test_run_suite_parity () =
+  let serial =
+    Experiment.run_suite ~max_time:120.0 ~schemes:(schemes ()) (entries ())
+  in
+  let parallel =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+        Experiment.run_suite ~max_time:120.0 ~pool ~schemes:(schemes ())
+          (entries ()))
+  in
+  check_bool "identical normalized_row lists" true (serial = parallel);
+  (* A 1-job pool takes the serial path and agrees too. *)
+  let one =
+    Parallel.Pool.with_pool ~jobs:1 (fun pool ->
+        Experiment.run_suite ~max_time:120.0 ~pool ~schemes:(schemes ())
+          (entries ()))
+  in
+  check_bool "-j 1 equals serial" true (serial = one)
+
+let test_campaign_parity () =
+  let workloads =
+    [ Workload.scale ~ginsts:300.0 (Workload.by_name "blackscholes") ]
+  in
+  let schedule =
+    Fault.Schedule.generate ~seed:7
+      (Fault.Schedule.in_guardband ~horizon:40.0 ~count:3 ())
+  in
+  let serial =
+    Fault.Campaign.run ~max_time:120.0 ~schemes:(schemes ()) ~workloads
+      schedule
+  in
+  let parallel =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+        Fault.Campaign.run ~max_time:120.0 ~pool ~schemes:(schemes ())
+          ~workloads schedule)
+  in
+  check_bool "identical campaign outcomes" true (serial = parallel)
+
+let test_worker_exception_propagates () =
+  (* A raising cell must surface, not hang the grid. *)
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let raised =
+        match
+          Experiment.map_cells ~pool
+            (fun i -> if i = 2 then raise (Boom i) else i)
+            [ 1; 2; 3; 4 ]
+        with
+        | _ -> false
+        | exception Boom 2 -> true
+      in
+      check_bool "cell exception propagates" true raised)
+
+(* ------------------------------------------------------------------ *)
+(* Capture / replay determinism                                        *)
+(* ------------------------------------------------------------------ *)
+
+let emit_cell i =
+  Obs.Collector.event ~name:"test.cell" ~sim:(Float.of_int i)
+    [ ("cell", Obs.Json.Int i) ];
+  i
+
+let with_buffer_collection f =
+  let v =
+    Obs.Collector.with_collection (fun () ->
+        let v = f () in
+        (* Lines so far, before with_collection appends metric dumps. *)
+        (v, Obs.Collector.drain ()))
+  in
+  v
+
+let test_capture_replay_order () =
+  let cells = List.init 16 Fun.id in
+  let _, serial_lines =
+    with_buffer_collection (fun () ->
+        List.map emit_cell cells)
+  in
+  let _, parallel_lines =
+    with_buffer_collection (fun () ->
+        Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+            Experiment.map_cells ~pool emit_cell cells))
+  in
+  check_int "one line per cell" (List.length cells)
+    (List.length parallel_lines);
+  check_bool "trace order identical to serial" true
+    (serial_lines = parallel_lines)
+
+let test_capture_nests () =
+  let (v, inner), outer = Obs.Collector.capture (fun () ->
+      Obs.Collector.capture (fun () ->
+          Obs.Collector.replay [ "a"; "b" ];
+          42))
+  in
+  check_int "value" 42 v;
+  check_bool "inner capture got the replayed lines" true
+    (inner = [ "a"; "b" ]);
+  check_bool "outer capture empty" true (outer = [])
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "serial degeneration" `Quick
+            test_pool_serial_degeneration;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "validation" `Quick test_pool_validation;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "run_suite -j1/-j4 parity" `Quick
+            test_run_suite_parity;
+          Alcotest.test_case "campaign parity" `Quick test_campaign_parity;
+          Alcotest.test_case "worker exception propagates" `Quick
+            test_worker_exception_propagates;
+        ] );
+      ( "capture",
+        [
+          Alcotest.test_case "replay order deterministic" `Quick
+            test_capture_replay_order;
+          Alcotest.test_case "capture nests" `Quick test_capture_nests;
+        ] );
+    ]
