@@ -763,6 +763,13 @@ let ablation () =
 
 let () =
   let raw = Array.to_list Sys.argv |> List.tl in
+  (* The kernel micro-benchmark suite is its own subcommand with its own
+     flags (see bench/micro.ml and BENCHMARKS.md). *)
+  (match raw with
+  | "micro" :: rest ->
+    Micro.main rest;
+    exit 0
+  | _ -> ());
   (* [--json OUT] and [-j N] consume their values; everything else is a
      flag. *)
   let json_path = ref None in

@@ -4,17 +4,20 @@ type action = {
   cap_big_cores : int option;
 }
 
-type t = {
+(* All-float so the per-tick state updates are plain stores (no float
+   boxing, no write barrier) — this runs every 10 ms simulated tick. *)
+type fstate = {
   mutable over_power_big_s : float;    (* Continuous time above threshold. *)
   mutable over_power_little_s : float;
   mutable thermal_cooldown : float;    (* Remaining thermal clamp time. *)
   mutable power_cooldown_big : float;
   mutable power_cooldown_little : float;
-  mutable trips : int;
   mutable last_trip_time : float;      (* For escalation. *)
   mutable escalation : float;          (* Clamp-duration multiplier. *)
   mutable clock : float;
 }
+
+type t = { f : fstate; mutable trips : int }
 
 let thermal_trip = 85.0
 
@@ -38,79 +41,92 @@ let escalation_max = 4.0
 
 let create () =
   {
-    over_power_big_s = 0.0;
-    over_power_little_s = 0.0;
-    thermal_cooldown = 0.0;
-    power_cooldown_big = 0.0;
-    power_cooldown_little = 0.0;
+    f =
+      {
+        over_power_big_s = 0.0;
+        over_power_little_s = 0.0;
+        thermal_cooldown = 0.0;
+        power_cooldown_big = 0.0;
+        power_cooldown_little = 0.0;
+        last_trip_time = neg_infinity;
+        escalation = 1.0;
+        clock = 0.0;
+      };
     trips = 0;
-    last_trip_time = neg_infinity;
-    escalation = 1.0;
-    clock = 0.0;
   }
 
 let trips_metric = Obs.Metrics.counter "emergency.trips"
 
 let register_trip t ~kind ~value =
   t.trips <- t.trips + 1;
-  if t.clock -. t.last_trip_time < escalation_window then
-    t.escalation <- Float.min escalation_max (t.escalation *. 1.5)
-  else t.escalation <- 1.0;
-  t.last_trip_time <- t.clock;
+  if t.f.clock -. t.f.last_trip_time < escalation_window then
+    t.f.escalation <- Float.min escalation_max (t.f.escalation *. 1.5)
+  else t.f.escalation <- 1.0;
+  t.f.last_trip_time <- t.f.clock;
   if Obs.Collector.enabled () then begin
     Obs.Metrics.incr trips_metric;
-    Obs.Collector.event ~name:"emergency.trip" ~sim:t.clock
+    Obs.Collector.event ~name:"emergency.trip" ~sim:t.f.clock
       [
         ("kind", Obs.Json.String kind);
         ("value", Obs.Json.Float value);
         ("trip_index", Obs.Json.Int t.trips);
-        ("escalation", Obs.Json.Float t.escalation);
+        ("escalation", Obs.Json.Float t.f.escalation);
       ]
   end
 
+(* The steady-state verdict: shared so an untripped tick — the vast
+   majority — returns without allocating. *)
+let no_caps =
+  { cap_freq_big = None; cap_freq_little = None; cap_big_cores = None }
+
 let step t ~dt ~temperature ~power_big ~power_little =
-  t.clock <- t.clock +. dt;
+  t.f.clock <- t.f.clock +. dt;
   (* Cooldowns tick first. *)
-  t.thermal_cooldown <- Float.max 0.0 (t.thermal_cooldown -. dt);
-  t.power_cooldown_big <- Float.max 0.0 (t.power_cooldown_big -. dt);
-  t.power_cooldown_little <- Float.max 0.0 (t.power_cooldown_little -. dt);
+  t.f.thermal_cooldown <- Float.max 0.0 (t.f.thermal_cooldown -. dt);
+  t.f.power_cooldown_big <- Float.max 0.0 (t.f.power_cooldown_big -. dt);
+  t.f.power_cooldown_little <- Float.max 0.0 (t.f.power_cooldown_little -. dt);
   (* Thermal trip is immediate. *)
-  if temperature >= thermal_trip && t.thermal_cooldown = 0.0 then begin
+  if temperature >= thermal_trip && t.f.thermal_cooldown = 0.0 then begin
     register_trip t ~kind:"thermal" ~value:temperature;
-    t.thermal_cooldown <- thermal_clamp_s *. t.escalation
+    t.f.thermal_cooldown <- thermal_clamp_s *. t.f.escalation
   end;
   (* Power trips need sustained overage. *)
   if power_big > power_trip_big then
-    t.over_power_big_s <- t.over_power_big_s +. dt
-  else t.over_power_big_s <- 0.0;
-  if t.over_power_big_s >= power_patience && t.power_cooldown_big = 0.0 then begin
+    t.f.over_power_big_s <- t.f.over_power_big_s +. dt
+  else t.f.over_power_big_s <- 0.0;
+  if t.f.over_power_big_s >= power_patience && t.f.power_cooldown_big = 0.0 then begin
     register_trip t ~kind:"power_big" ~value:power_big;
-    t.power_cooldown_big <- power_clamp_s *. t.escalation;
-    t.over_power_big_s <- 0.0
+    t.f.power_cooldown_big <- power_clamp_s *. t.f.escalation;
+    t.f.over_power_big_s <- 0.0
   end;
   if power_little > power_trip_little then
-    t.over_power_little_s <- t.over_power_little_s +. dt
-  else t.over_power_little_s <- 0.0;
-  if t.over_power_little_s >= power_patience && t.power_cooldown_little = 0.0
+    t.f.over_power_little_s <- t.f.over_power_little_s +. dt
+  else t.f.over_power_little_s <- 0.0;
+  if t.f.over_power_little_s >= power_patience && t.f.power_cooldown_little = 0.0
   then begin
     register_trip t ~kind:"power_little" ~value:power_little;
-    t.power_cooldown_little <- power_clamp_s *. t.escalation;
-    t.over_power_little_s <- 0.0
+    t.f.power_cooldown_little <- power_clamp_s *. t.f.escalation;
+    t.f.over_power_little_s <- 0.0
   end;
-  {
-    cap_freq_big =
-      (if t.thermal_cooldown > 0.0 then Some 0.5
-       else if t.power_cooldown_big > 0.0 then Some 0.6
-       else None);
-    cap_freq_little =
-      (if t.thermal_cooldown > 0.0 then Some 0.3
-       else if t.power_cooldown_little > 0.0 then Some 0.4
-       else None);
-    cap_big_cores = (if t.thermal_cooldown > 0.0 then Some 2 else None);
-  }
+  if
+    t.f.thermal_cooldown = 0.0 && t.f.power_cooldown_big = 0.0
+    && t.f.power_cooldown_little = 0.0
+  then no_caps
+  else
+    {
+      cap_freq_big =
+        (if t.f.thermal_cooldown > 0.0 then Some 0.5
+         else if t.f.power_cooldown_big > 0.0 then Some 0.6
+         else None);
+      cap_freq_little =
+        (if t.f.thermal_cooldown > 0.0 then Some 0.3
+         else if t.f.power_cooldown_little > 0.0 then Some 0.4
+         else None);
+      cap_big_cores = (if t.f.thermal_cooldown > 0.0 then Some 2 else None);
+    }
 
 let tripped t =
-  t.thermal_cooldown > 0.0 || t.power_cooldown_big > 0.0
-  || t.power_cooldown_little > 0.0
+  t.f.thermal_cooldown > 0.0 || t.f.power_cooldown_big > 0.0
+  || t.f.power_cooldown_little > 0.0
 
 let trip_count t = t.trips

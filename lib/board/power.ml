@@ -24,7 +24,9 @@ let uncore = function Dvfs.Big -> 0.08 | Dvfs.Little -> 0.015
    fraction of the busy activity factor. *)
 let idle_activity = 0.12
 
-let cluster_power kind { cores_on; freq; utilization; temperature } =
+(* Labeled-argument form: the simulator calls this every 10 ms tick, and
+   the record wrapper below would allocate per call. *)
+let cluster_power_on kind ~cores_on ~freq ~utilization ~temperature =
   if cores_on < 0 || cores_on > Dvfs.core_count then
     invalid_arg "Power.cluster_power: cores_on out of range";
   if cores_on = 0 then 0.0
@@ -41,6 +43,9 @@ let cluster_power kind { cores_on; freq; utilization; temperature } =
     in
     dynamic +. leakage +. uncore kind
   end
+
+let cluster_power kind { cores_on; freq; utilization; temperature } =
+  cluster_power_on kind ~cores_on ~freq ~utilization ~temperature
 
 let max_power kind =
   cluster_power kind

@@ -17,6 +17,16 @@ type cluster_load = {
 val cluster_power : Dvfs.cluster -> cluster_load -> float
 (** Cluster power draw in watts. *)
 
+val cluster_power_on :
+  Dvfs.cluster ->
+  cores_on:int ->
+  freq:float ->
+  utilization:float ->
+  temperature:float ->
+  float
+(** Same computation with labeled arguments — the per-tick form, which
+    does not allocate a {!cluster_load}. *)
+
 val max_power : Dvfs.cluster -> float
 (** Power with all cores busy at maximum frequency and 85C. *)
 

@@ -35,7 +35,7 @@ let corrupt t x =
 
 let refreshes_metric = Obs.Metrics.counter "sensors.power_refreshes"
 
-let observe_power t ~time ~power_big ~power_little =
+let refresh t ~time ~power_big ~power_little =
   if (not t.initialized) || time -. t.last_update >= t.period then begin
     t.held_big <- corrupt t power_big;
     t.held_little <- corrupt t power_little;
@@ -49,7 +49,10 @@ let observe_power t ~time ~power_big ~power_little =
           ("power_little", Obs.Json.Float t.held_little);
         ]
     end
-  end;
+  end
+
+let observe_power t ~time ~power_big ~power_little =
+  refresh t ~time ~power_big ~power_little;
   (t.held_big, t.held_little)
 
 let reset t =

@@ -20,6 +20,10 @@ val observe_power :
 (** Feed the true instantaneous cluster powers at the given simulation
     time; returns the (held) sensor readings. *)
 
+val refresh : t -> time:float -> power_big:float -> power_little:float -> unit
+(** {!observe_power} without materializing the readings — the per-tick
+    form for callers that only want the hold state advanced. *)
+
 val reset : t -> unit
 (** Restore the creation state: held values, the refresh clock, {e and}
     the noise RNG (re-seeded from the creation seed), so a reset sensor

@@ -1,4 +1,14 @@
-type t = { mutable hotspot : float; mutable package : float }
+type t = {
+  mutable hotspot : float;
+  mutable package : float;
+  (* Decay factors for the last-seen [dt]: the simulator steps with a
+     fixed 10 ms tick, so the two [exp] calls per step — the bulk of its
+     cost — are cached. A different [dt] recomputes, so results are
+     always exactly [exp (-dt/tau)]. *)
+  mutable last_dt : float;
+  mutable a_hot : float;
+  mutable a_pkg : float;
+}
 
 let ambient = 30.0
 
@@ -15,7 +25,8 @@ let tau_pkg = 18.0
 
 let little_weight = 0.5
 
-let create () = { hotspot = 0.0; package = 0.0 }
+let create () =
+  { hotspot = 0.0; package = 0.0; last_dt = nan; a_hot = 0.0; a_pkg = 0.0 }
 
 let weighted power_big power_little = power_big +. (little_weight *. power_little)
 
@@ -24,12 +35,14 @@ let step t ~power_big ~power_little ~dt =
   let target_hot = r_hot *. weighted power_big power_little in
   let target_pkg = r_pkg *. (power_big +. power_little) in
   (* Exact first-order update over dt (stable for any dt). *)
-  let blend tau current target =
-    let a = exp (-.dt /. tau) in
-    (a *. current) +. ((1.0 -. a) *. target)
-  in
-  t.hotspot <- blend tau_hot t.hotspot target_hot;
-  t.package <- blend tau_pkg t.package target_pkg
+  if dt <> t.last_dt then begin
+    t.a_hot <- exp (-.dt /. tau_hot);
+    t.a_pkg <- exp (-.dt /. tau_pkg);
+    t.last_dt <- dt
+  end;
+  let blend a current target = (a *. current) +. ((1.0 -. a) *. target) in
+  t.hotspot <- blend t.a_hot t.hotspot target_hot;
+  t.package <- blend t.a_pkg t.package target_pkg
 
 let temperature t = ambient +. t.hotspot +. t.package
 
@@ -38,4 +51,11 @@ let steady_state ~power_big ~power_little =
   +. (r_hot *. weighted power_big power_little)
   +. (r_pkg *. (power_big +. power_little))
 
-let copy t = { hotspot = t.hotspot; package = t.package }
+let copy t =
+  {
+    hotspot = t.hotspot;
+    package = t.package;
+    last_dt = t.last_dt;
+    a_hot = t.a_hot;
+    a_pkg = t.a_pkg;
+  }

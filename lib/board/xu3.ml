@@ -19,10 +19,15 @@ type outputs = {
   spare_little : float;
 }
 
+(* The per-tick remaining-work float lives in its own all-float record:
+   stored in [job] (a mixed record) each [<-] would box and run the
+   write barrier on every retire pass. *)
+type job_rem = { mutable ginst : float }
+
 type job = {
   workload : Workload.t;
   mutable phases_left : Workload.phase list;
-  mutable phase_remaining : float;  (* Ginst left in the current phase. *)
+  rem : job_rem;  (* Ginst left in the current phase. *)
 }
 
 type injector = {
@@ -47,9 +52,27 @@ let identity_injector =
     perf_gain = (fun ~time:_ -> 1.0);
   }
 
-type t = {
+(* The per-tick mutable floats live in their own all-float record: OCaml
+   stores such records as flat doubles, so each [<-] below is a plain
+   store — in the mixed record they would box a fresh float and run the
+   write barrier on every one of the ~10 updates per 10 ms tick, which
+   profiles as the simulator's single largest cost. *)
+type accum = {
   mutable time : float;
   mutable energy : float;
+  mutable retired : float;
+  mutable dead_time_big : float;     (* Transition penalties, seconds. *)
+  mutable dead_time_little : float;
+  (* Observation window accumulators. *)
+  mutable win_start : float;
+  mutable win_insts_big : float;
+  mutable win_insts_little : float;
+  mutable last_power_big : float;
+  mutable last_power_little : float;
+}
+
+type t = {
+  acc : accum;
   thermal : Thermal.t;
   sensors : Sensors.t;
   emergency : Emergency.t;
@@ -58,17 +81,8 @@ type t = {
   mutable placement : placement;
   jobs : job list;
   total_ginsts : float;
-  mutable retired : float;
-  mutable dead_time_big : float;     (* Transition penalties, seconds. *)
-  mutable dead_time_little : float;
-  (* Observation window accumulators. *)
-  mutable win_start : float;
-  mutable win_insts_big : float;
-  mutable win_insts_little : float;
   mutable last_busy_big : int;
   mutable last_busy_little : int;
-  mutable last_power_big : float;
-  mutable last_power_little : float;
   mutable last_action : Emergency.action;
   injector : injector option;
 }
@@ -105,7 +119,7 @@ let job_of_workload w =
     {
       workload = w;
       phases_left = w.Workload.phases;
-      phase_remaining = first.Workload.ginsts;
+      rem = { ginst = first.Workload.ginsts };
     }
 
 let create ?(sensor_noise = 0.0) ?(seed = 17)
@@ -113,8 +127,19 @@ let create ?(sensor_noise = 0.0) ?(seed = 17)
   if workloads = [] then invalid_arg "Board.create: no workloads";
   let jobs = List.map job_of_workload workloads in
   {
-    time = 0.0;
-    energy = 0.0;
+    acc =
+      {
+        time = 0.0;
+        energy = 0.0;
+        retired = 0.0;
+        dead_time_big = 0.0;
+        dead_time_little = 0.0;
+        win_start = 0.0;
+        win_insts_big = 0.0;
+        win_insts_little = 0.0;
+        last_power_big = 0.0;
+        last_power_little = 0.0;
+      };
     thermal = Thermal.create ();
     sensors = Sensors.create ~noise:sensor_noise ~seed ~period:sensor_period ();
     emergency = Emergency.create ();
@@ -124,16 +149,8 @@ let create ?(sensor_noise = 0.0) ?(seed = 17)
     jobs;
     total_ginsts =
       List.fold_left (fun acc w -> acc +. Workload.total_ginsts w) 0.0 workloads;
-    retired = 0.0;
-    dead_time_big = 0.0;
-    dead_time_little = 0.0;
-    win_start = 0.0;
-    win_insts_big = 0.0;
-    win_insts_little = 0.0;
     last_busy_big = 0;
     last_busy_little = 0;
-    last_power_big = 0.0;
-    last_power_little = 0.0;
     last_action =
       {
         Emergency.cap_freq_big = None;
@@ -187,20 +204,20 @@ let set_config t c =
   let c =
     match t.injector with
     | None -> c
-    | Some inj -> inj.transform_config ~time:t.time ~current:t.requested c
+    | Some inj -> inj.transform_config ~time:t.acc.time ~current:t.requested c
   in
   let old = t.requested in
   if c.freq_big <> old.freq_big then
-    t.dead_time_big <- t.dead_time_big +. Dvfs.transition_cost_s;
+    t.acc.dead_time_big <- t.acc.dead_time_big +. Dvfs.transition_cost_s;
   if c.freq_little <> old.freq_little then
-    t.dead_time_little <- t.dead_time_little +. Dvfs.transition_cost_s;
+    t.acc.dead_time_little <- t.acc.dead_time_little +. Dvfs.transition_cost_s;
   let plug_changes =
     abs (c.big_cores - old.big_cores) + abs (c.little_cores - old.little_cores)
   in
   if plug_changes > 0 then begin
     let cost = Float.of_int plug_changes *. Dvfs.hotplug_cost_s in
-    t.dead_time_big <- t.dead_time_big +. cost;
-    t.dead_time_little <- t.dead_time_little +. cost
+    t.acc.dead_time_big <- t.acc.dead_time_big +. cost;
+    t.acc.dead_time_little <- t.acc.dead_time_little +. cost
   end;
   if Obs.Collector.enabled () then begin
     let freq_changes =
@@ -209,7 +226,7 @@ let set_config t c =
     in
     if freq_changes > 0 then begin
       Obs.Metrics.incr ~by:freq_changes dvfs_metric;
-      Obs.Collector.event ~name:"board.dvfs" ~sim:t.time
+      Obs.Collector.event ~name:"board.dvfs" ~sim:t.acc.time
         [
           ("freq_big", Obs.Json.Float c.freq_big);
           ("freq_little", Obs.Json.Float c.freq_little);
@@ -217,7 +234,7 @@ let set_config t c =
     end;
     if plug_changes > 0 then begin
       Obs.Metrics.incr ~by:plug_changes hotplug_metric;
-      Obs.Collector.event ~name:"board.hotplug" ~sim:t.time
+      Obs.Collector.event ~name:"board.hotplug" ~sim:t.acc.time
         [
           ("big_cores", Obs.Json.Int c.big_cores);
           ("little_cores", Obs.Json.Int c.little_cores);
@@ -236,7 +253,7 @@ let set_placement t p =
   let p =
     match t.injector with
     | None -> p
-    | Some inj -> inj.transform_placement ~time:t.time ~current:t.placement p
+    | Some inj -> inj.transform_placement ~time:t.acc.time ~current:t.placement p
   in
   let old = t.placement in
   let moved = abs (p.threads_big - old.threads_big) in
@@ -245,8 +262,8 @@ let set_placement t p =
     + if Float.abs (p.tpc_little -. old.tpc_little) > 1e-9 then 1 else 0
   in
   let cost = Float.of_int (moved + repack) *. migration_cost_s in
-  t.dead_time_big <- t.dead_time_big +. cost;
-  t.dead_time_little <- t.dead_time_little +. cost;
+  t.acc.dead_time_big <- t.acc.dead_time_big +. cost;
+  t.acc.dead_time_little <- t.acc.dead_time_little +. cost;
   t.placement <- p
 
 let config t = t.requested
@@ -279,19 +296,19 @@ let retire t ginst =
             let share =
               batch *. Float.of_int p.Workload.threads /. total_threads
             in
-            if share >= j.phase_remaining then begin
-              let leftover = share -. j.phase_remaining in
-              t.retired <- t.retired +. j.phase_remaining;
+            if share >= j.rem.ginst then begin
+              let leftover = share -. j.rem.ginst in
+              t.acc.retired <- t.acc.retired +. j.rem.ginst;
               j.phases_left <- rest;
               (match rest with
-              | next :: _ -> j.phase_remaining <- next.Workload.ginsts
-              | [] -> j.phase_remaining <- 0.0);
+              | next :: _ -> j.rem.ginst <- next.Workload.ginsts
+              | [] -> j.rem.ginst <- 0.0);
               (* Return the leftover to the pool for the next pass. *)
               remaining := !remaining +. leftover
             end
             else begin
-              j.phase_remaining <- j.phase_remaining -. share;
-              t.retired <- t.retired +. share
+              j.rem.ginst <- j.rem.ginst -. share;
+              t.acc.retired <- t.acc.retired +. share
             end)
         t.jobs
     end
@@ -320,7 +337,7 @@ let sync_blend ~sync ~tb ~tl ~gips_big ~gips_little =
 let one_tick t =
   (match t.injector with
   | None -> ()
-  | Some inj -> inj.on_tick ~time:t.time);
+  | Some inj -> inj.on_tick ~time:t.acc.time);
   let threads = active_threads t in
   let mem, ipc, sync = workload_character t in
   (* Apply the emergency caps decided at the end of the previous tick to
@@ -329,23 +346,33 @@ let one_tick t =
   let r = t.requested in
   let action = t.last_action in
   let eff =
-    {
-      r with
-      freq_big =
-        (match action.Emergency.cap_freq_big with
-        | Some cap -> Float.min cap r.freq_big
-        | None -> r.freq_big);
-      freq_little =
-        (match action.Emergency.cap_freq_little with
-        | Some cap -> Float.min cap r.freq_little
-        | None -> r.freq_little);
-      big_cores =
-        (match action.Emergency.cap_big_cores with
-        | Some cap -> min cap r.big_cores
-        | None -> r.big_cores);
-    }
+    match action with
+    (* Untripped — the common case — runs the request as-is, with no
+       fresh config record. *)
+    | { Emergency.cap_freq_big = None; cap_freq_little = None;
+        cap_big_cores = None } ->
+      r
+    | _ ->
+      {
+        r with
+        freq_big =
+          (match action.Emergency.cap_freq_big with
+          | Some cap -> Float.min cap r.freq_big
+          | None -> r.freq_big);
+        freq_little =
+          (match action.Emergency.cap_freq_little with
+          | Some cap -> Float.min cap r.freq_little
+          | None -> r.freq_little);
+        big_cores =
+          (match action.Emergency.cap_big_cores with
+          | Some cap -> min cap r.big_cores
+          | None -> r.big_cores);
+      }
   in
-  t.effective <- eff;
+  (* In steady state [eff] is the very record already stored (the
+     untripped arm returns [t.requested] unchanged); skipping the
+     redundant store skips its write barrier. *)
+  if not (eff == t.effective) then t.effective <- eff;
   (* Throughput under the effective configuration. *)
   let tb = min t.placement.threads_big threads in
   let tl = threads - tb in
@@ -369,7 +396,7 @@ let one_tick t =
     match t.injector with
     | None -> (gips_big, gips_little)
     | Some inj ->
-      let g = inj.perf_gain ~time:t.time in
+      let g = inj.perf_gain ~time:t.acc.time in
       (gips_big *. g, gips_little *. g)
   in
   (* Transition/migration dead time eats into this tick's compute. *)
@@ -377,37 +404,30 @@ let one_tick t =
     let used = Float.min current available in
     (current -. used, (available -. used) /. available)
   in
-  let dead_big, duty_big = eat_dead t.dead_time_big tick in
-  let dead_little, duty_little = eat_dead t.dead_time_little tick in
-  t.dead_time_big <- dead_big;
-  t.dead_time_little <- dead_little;
+  let dead_big, duty_big = eat_dead t.acc.dead_time_big tick in
+  let dead_little, duty_little = eat_dead t.acc.dead_time_little tick in
+  t.acc.dead_time_big <- dead_big;
+  t.acc.dead_time_little <- dead_little;
   let insts_big = gips_big *. tick *. duty_big in
   let insts_little = gips_little *. tick *. duty_little in
   retire t (insts_big +. insts_little);
-  t.win_insts_big <- t.win_insts_big +. insts_big;
-  t.win_insts_little <- t.win_insts_little +. insts_little;
+  t.acc.win_insts_big <- t.acc.win_insts_big +. insts_big;
+  t.acc.win_insts_little <- t.acc.win_insts_little +. insts_little;
   t.last_busy_big <- busy_big;
   t.last_busy_little <- busy_little;
   (* Actual power drawn under the effective configuration. *)
   let temp = Thermal.temperature t.thermal in
   let p_big =
-    Power.cluster_power Dvfs.Big
-      {
-        Power.cores_on = eff.big_cores;
-        freq = eff.freq_big;
-        utilization = Float.of_int busy_big /. Float.of_int eff.big_cores;
-        temperature = temp;
-      }
+    Power.cluster_power_on Dvfs.Big ~cores_on:eff.big_cores
+      ~freq:eff.freq_big
+      ~utilization:(Float.of_int busy_big /. Float.of_int eff.big_cores)
+      ~temperature:temp
   in
   let p_little =
-    Power.cluster_power Dvfs.Little
-      {
-        Power.cores_on = eff.little_cores;
-        freq = eff.freq_little;
-        utilization =
-          Float.of_int busy_little /. Float.of_int eff.little_cores;
-        temperature = temp;
-      }
+    Power.cluster_power_on Dvfs.Little ~cores_on:eff.little_cores
+      ~freq:eff.freq_little
+      ~utilization:(Float.of_int busy_little /. Float.of_int eff.little_cores)
+      ~temperature:temp
   in
   (* Power-model gain drift scales the actual draw (everything downstream
      — sensors, energy, thermal, protection — sees the drifted plant);
@@ -416,29 +436,33 @@ let one_tick t =
     match t.injector with
     | None -> (p_big, p_little, 1.0)
     | Some inj ->
-      let g = inj.power_gain ~time:t.time in
-      (p_big *. g, p_little *. g, inj.thermal_gain ~time:t.time)
+      let g = inj.power_gain ~time:t.acc.time in
+      (p_big *. g, p_little *. g, inj.thermal_gain ~time:t.acc.time)
   in
-  t.last_power_big <- p_big;
-  t.last_power_little <- p_little;
+  t.acc.last_power_big <- p_big;
+  t.acc.last_power_little <- p_little;
   Thermal.step t.thermal ~power_big:(p_big *. thermal_g)
     ~power_little:(p_little *. thermal_g) ~dt:tick;
-  t.energy <- t.energy +. ((p_big +. p_little) *. tick);
-  ignore (Sensors.observe_power t.sensors ~time:t.time ~power_big:p_big
-            ~power_little:p_little);
+  t.acc.energy <- t.acc.energy +. ((p_big +. p_little) *. tick);
+  Sensors.refresh t.sensors ~time:t.acc.time ~power_big:p_big
+    ~power_little:p_little;
   (* The protection machinery reacts to the actual power and temperature;
      its verdict applies from the next tick. A fresh trip costs dead time
      on both clusters (clamp transition, PLL relock, pipeline flush). *)
   let trips_before = Emergency.trip_count t.emergency in
-  t.last_action <-
+  let act =
     Emergency.step t.emergency ~dt:tick
       ~temperature:(Thermal.temperature t.thermal)
-      ~power_big:p_big ~power_little:p_little;
+      ~power_big:p_big ~power_little:p_little
+  in
+  (* Untripped, [step] returns the shared [no_caps] constant every tick;
+     storing it again would only pay the write barrier. *)
+  if not (act == t.last_action) then t.last_action <- act;
   if Emergency.trip_count t.emergency > trips_before then begin
-    t.dead_time_big <- t.dead_time_big +. trip_dead_time_s;
-    t.dead_time_little <- t.dead_time_little +. trip_dead_time_s
+    t.acc.dead_time_big <- t.acc.dead_time_big +. trip_dead_time_s;
+    t.acc.dead_time_little <- t.acc.dead_time_little +. trip_dead_time_s
   end;
-  t.time <- t.time +. tick
+  t.acc.time <- t.acc.time +. tick
 
 let step t seconds =
   let ticks = max 1 (int_of_float (Float.round (seconds /. tick))) in
@@ -449,9 +473,9 @@ let step t seconds =
   done
 
 let observe t =
-  let window = Float.max tick (t.time -. t.win_start) in
-  let bips_big = t.win_insts_big /. window in
-  let bips_little = t.win_insts_little /. window in
+  let window = Float.max tick (t.acc.time -. t.acc.win_start) in
+  let bips_big = t.acc.win_insts_big /. window in
+  let bips_little = t.acc.win_insts_little /. window in
   let threads = active_threads t in
   let tb = min t.placement.threads_big threads in
   let tl = threads - tb in
@@ -474,14 +498,14 @@ let observe t =
           ~threads:tl;
     }
   in
-  t.win_start <- t.time;
-  t.win_insts_big <- 0.0;
-  t.win_insts_little <- 0.0;
+  t.acc.win_start <- t.acc.time;
+  t.acc.win_insts_big <- 0.0;
+  t.acc.win_insts_little <- 0.0;
   (* Sensor faults corrupt only what the controllers observe; the board's
      internal protection machinery keeps seeing the true signals. *)
   match t.injector with
   | None -> out
-  | Some inj -> inj.sense ~time:t.time out
+  | Some inj -> inj.sense ~time:t.acc.time out
 
 let step_hist = Obs.Metrics.histogram "board.step_s"
 
@@ -497,14 +521,14 @@ let run_epoch t epoch =
     observe t
   end
 
-let time t = t.time
+let time t = t.acc.time
 
-let energy t = t.energy
+let energy t = t.acc.energy
 
 let trip_count t = Emergency.trip_count t.emergency
 
 let progress t =
-  if t.total_ginsts <= 0.0 then 1.0 else Float.min 1.0 (t.retired /. t.total_ginsts)
+  if t.total_ginsts <= 0.0 then 1.0 else Float.min 1.0 (t.acc.retired /. t.total_ginsts)
 
 type metrics = {
   execution_time : float;
@@ -515,10 +539,10 @@ type metrics = {
 
 let metrics t =
   {
-    execution_time = t.time;
-    total_energy = t.energy;
-    energy_delay = t.energy *. t.time;
+    execution_time = t.acc.time;
+    total_energy = t.acc.energy;
+    energy_delay = t.acc.energy *. t.acc.time;
     trips = trip_count t;
   }
 
-let true_power t = (t.last_power_big, t.last_power_little)
+let true_power t = (t.acc.last_power_big, t.acc.last_power_little)

@@ -8,7 +8,15 @@ exception No_solution of string
    imaginary-axis eigenvalues. *)
 let sign_function z0 =
   let m = z0.Mat.rows in
+  (* Double-buffered Newton iterate: znext and the convergence residual
+     are computed into preallocated scratch with exactly the float ops of
+     the allocating expression
+     [scale 0.5 (add (scale c z) (scale (1/c) zinv))]. *)
   let z = ref (Mat.copy z0) in
+  let znext = ref (Mat.create m m) in
+  let t1 = Mat.create m m in
+  let t2 = Mat.create m m in
+  let diff = Mat.create m m in
   let err = ref infinity in
   let iter = ref 0 in
   while !err > 1e-12 && !iter < 100 do
@@ -23,11 +31,15 @@ let sign_function z0 =
       raise (No_solution "sign iteration: degenerate determinant");
     let c = Float.abs d ** (-1.0 /. Float.of_int m) in
     let c = if Float.is_finite c && c > 0.0 then c else 1.0 in
-    let znext =
-      Mat.scale 0.5 (Mat.add (Mat.scale c !z) (Mat.scale (1.0 /. c) zinv))
-    in
-    err := Mat.norm_fro (Mat.sub znext !z) /. Float.max 1.0 (Mat.norm_fro znext);
-    z := znext
+    Mat.scale_into ~dst:t1 c !z;
+    Mat.scale_into ~dst:t2 (1.0 /. c) zinv;
+    Mat.add_into ~dst:t1 t1 t2;
+    Mat.scale_into ~dst:!znext 0.5 t1;
+    Mat.sub_into ~dst:diff !znext !z;
+    err := Mat.norm_fro diff /. Float.max 1.0 (Mat.norm_fro !znext);
+    let t = !z in
+    z := !znext;
+    znext := t
   done;
   if !err > 1e-6 then
     raise (No_solution "sign iteration did not converge (eigenvalues near the imaginary axis?)");

@@ -15,36 +15,57 @@ let solve ~a ~b ~q ~r =
     try Mat.mul3 b (Lu.inv r) (Mat.transpose b)
     with Lu.Singular -> raise (No_solution "R is singular")
   in
+  (* Double-buffered iterates (A_k, G_k, H_k) with shared n x n scratch.
+     Each product below reproduces the float ops of the allocating
+     expression — [mul3] on square operands associates left, so
+     A (W^-1 G) A^T becomes (A * t) * A^T. *)
   let ak = ref (Mat.copy a) in
   let gk = ref g0 in
   let hk = ref (Mat.symmetrize q) in
+  let a_next = ref (Mat.create n n) in
+  let g_next = ref (Mat.create n n) in
+  let h_next = ref (Mat.create n n) in
   let i = Mat.identity n in
+  let w = Mat.create n n in
+  let wa = Mat.create n n in
+  let akt = Mat.create n n in
+  let t1 = Mat.create n n in
+  let t2 = Mat.create n n in
   let converged = ref false in
   let iter = ref 0 in
   while (not !converged) && !iter < 100 do
     incr iter;
-    let w = Mat.add i (Mat.mul !gk !hk) in
+    Mat.mul_into ~dst:t1 !gk !hk;
+    Mat.add_into ~dst:w i t1;
     let winv =
       try Lu.inv w
       with Lu.Singular -> raise (No_solution "doubling iterate singular")
     in
-    let wa = Mat.mul winv !ak in
-    let a_next = Mat.mul !ak wa in
-    let g_next =
-      Mat.symmetrize (Mat.add !gk (Mat.mul3 !ak (Mat.mul winv !gk) (Mat.transpose !ak)))
+    Mat.mul_into ~dst:wa winv !ak;
+    Mat.mul_into ~dst:!a_next !ak wa;
+    Mat.transpose_into ~dst:akt !ak;
+    Mat.mul_into ~dst:t1 winv !gk;
+    Mat.mul_into ~dst:t2 !ak t1;
+    Mat.mul_into ~dst:t1 t2 akt;
+    Mat.add_into ~dst:t2 !gk t1;
+    Mat.symmetrize_into ~dst:!g_next t2;
+    Mat.mul_into ~dst:t1 !hk wa;
+    Mat.mul_into ~dst:t2 akt t1;
+    Mat.add_into ~dst:t1 !hk t2;
+    Mat.symmetrize_into ~dst:!h_next t1;
+    Mat.sub_into ~dst:t2 !h_next !hk;
+    let hnorm = Mat.norm_fro !h_next in
+    let delta = Mat.norm_fro t2 /. Float.max 1.0 hnorm in
+    let swap r1 r2 =
+      let t = !r1 in
+      r1 := !r2;
+      r2 := t
     in
-    let h_next =
-      Mat.symmetrize
-        (Mat.add !hk (Mat.mul (Mat.transpose !ak) (Mat.mul !hk wa)))
-    in
-    let delta =
-      Mat.norm_fro (Mat.sub h_next !hk) /. Float.max 1.0 (Mat.norm_fro h_next)
-    in
-    ak := a_next;
-    gk := g_next;
-    hk := h_next;
+    swap ak a_next;
+    swap gk g_next;
+    swap hk h_next;
     if delta < 1e-14 then converged := true;
-    if not (Float.is_finite (Mat.norm_fro h_next)) then
+    if not (Float.is_finite hnorm) then
       raise (No_solution "doubling iteration diverged")
   done;
   if not !converged then raise (No_solution "doubling did not converge");

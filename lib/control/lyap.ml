@@ -4,22 +4,36 @@ let stein a q =
   if not (Mat.is_square a) then invalid_arg "Lyap.stein: non-square";
   if a.Mat.rows <> q.Mat.rows || not (Mat.is_square q) then
     invalid_arg "Lyap.stein: Q dimension mismatch";
-  let x = ref (Mat.copy q) in
+  let n = a.Mat.rows in
+  (* Doubling with preallocated iterates: each pass computes
+     update = A_k X A_k^T (left association, as [mul3] picks for square
+     operands), X += update, A_k <- A_k^2 — the same float ops as the
+     allocating version, on reused buffers. *)
+  let x = Mat.copy q in
   let ak = ref (Mat.copy a) in
+  let ak_next = ref (Mat.create n n) in
+  let akt = Mat.create n n in
+  let tmp = Mat.create n n in
+  let update = Mat.create n n in
   let iter = ref 0 in
   let done_ = ref false in
   while not !done_ do
     incr iter;
-    let update = Mat.mul3 !ak !x (Mat.transpose !ak) in
-    x := Mat.add !x update;
-    ak := Mat.mul !ak !ak;
-    let xnorm = Mat.norm_fro !x in
+    Mat.transpose_into ~dst:akt !ak;
+    Mat.mul_into ~dst:tmp !ak x;
+    Mat.mul_into ~dst:update tmp akt;
+    Mat.add_into ~dst:x x update;
+    Mat.mul_into ~dst:!ak_next !ak !ak;
+    let t = !ak in
+    ak := !ak_next;
+    ak_next := t;
+    let xnorm = Mat.norm_fro x in
     if !iter > 100 || not (Float.is_finite xnorm) then
       failwith "Lyap.stein: iteration diverged (A not Schur stable?)"
     else if Mat.norm_fro update <= 1e-14 *. Float.max 1.0 xnorm then
       done_ := true
   done;
-  Mat.symmetrize !x
+  Mat.symmetrize x
 
 (* Cayley reduction: with Ad = (I + hA)(I - hA)^-1 and
    Qd = 2h (I - hA)^-1 Q (I - hA)^-T, the Stein solution of (Ad, Qd)

@@ -74,6 +74,22 @@ let step sys ~x ~u =
   let y = Vec.add (Mat.mul_vec sys.c x) (Mat.mul_vec sys.d u) in
   (x_next, y)
 
+(* Allocation-free [step]: the products land in caller scratch ([sx] of
+   dimension [order], [sy] of dimension [outputs]) and are then added
+   elementwise — the same two-sum-then-add float ops as [step], so results
+   are bit-identical. [x_next] must not alias [x] ([y] is computed from the
+   old state after [x_next] is written). *)
+let step_into sys ~x ~u ~x_next ~y ~sx ~sy =
+  (match sys.domain with
+  | Discrete _ -> ()
+  | Continuous -> invalid_arg "Ss.step_into: continuous system");
+  Mat.mul_vec_into ~dst:x_next sys.a x;
+  Mat.mul_vec_into ~dst:sx sys.b u;
+  Vec.add_into ~dst:x_next x_next sx;
+  Mat.mul_vec_into ~dst:y sys.c x;
+  Mat.mul_vec_into ~dst:sy sys.d u;
+  Vec.add_into ~dst:y y sy
+
 let simulate sys ?x0 us =
   let x = ref (match x0 with Some v -> v | None -> Vec.create (order sys)) in
   Array.map
@@ -268,7 +284,25 @@ let hinf_norm ?(points = 200) sys =
       | Discrete p -> Float.pi /. p
     in
     let wmin = wmax /. 1e8 in
-    let eval w = Svd.norm2_complex (freq_response sys w) in
+    (* Hoist the real->complex conversions of A, B, C, D (and the
+       identity) out of the ~240 grid evaluations; the per-frequency
+       arithmetic is unchanged from [freq_response]. *)
+    let n = order sys in
+    let ca = Cmat.of_real sys.a
+    and cb = Cmat.of_real sys.b
+    and cc = Cmat.of_real sys.c
+    and cd = Cmat.of_real sys.d
+    and ci = Cmat.identity n in
+    let eval w =
+      let z =
+        match sys.domain with
+        | Continuous -> { Complex.re = 0.0; im = w }
+        | Discrete p -> Complex.exp { Complex.re = 0.0; im = w *. p }
+      in
+      let zi_minus_a = Cmat.sub (Cmat.scale z ci) ca in
+      let x = Cmat.solve zi_minus_a cb in
+      Svd.norm2_complex (Cmat.add (Cmat.mul cc x) cd)
+    in
     let grid = log_grid wmin wmax points in
     let best_w = ref grid.(0) and best = ref 0.0 in
     Array.iter
@@ -293,19 +327,31 @@ let hinf_norm ?(points = 200) sys =
 (* Controllability gramian by the doubling iteration
    P_{k+1} = P_k + A_k P_k A_k^T, A_{k+1} = A_k^2; converges for Schur A. *)
 let discrete_gramian a b =
-  let p = ref (Mat.mul b (Mat.transpose b)) in
-  let ak = ref a in
+  let n = a.Mat.rows in
+  (* Preallocated doubling, same float ops as the allocating form:
+     update = (A_k P) A_k^T (left association), P += update, A_k <- A_k^2. *)
+  let p = Mat.mul b (Mat.transpose b) in
+  let ak = ref (Mat.copy a) in
+  let ak_next = ref (Mat.create n n) in
+  let akt = Mat.create n n in
+  let tmp = Mat.create n n in
+  let update = Mat.create n n in
   let continue_ = ref true in
   let iter = ref 0 in
   while !continue_ && !iter < 60 do
     incr iter;
-    let update = Mat.mul3 !ak !p (Mat.transpose !ak) in
-    p := Mat.add !p update;
-    ak := Mat.mul !ak !ak;
-    if Mat.norm_fro update <= 1e-14 *. Float.max 1.0 (Mat.norm_fro !p) then
+    Mat.transpose_into ~dst:akt !ak;
+    Mat.mul_into ~dst:tmp !ak p;
+    Mat.mul_into ~dst:update tmp akt;
+    Mat.add_into ~dst:p p update;
+    Mat.mul_into ~dst:!ak_next !ak !ak;
+    let t = !ak in
+    ak := !ak_next;
+    ak_next := t;
+    if Mat.norm_fro update <= 1e-14 *. Float.max 1.0 (Mat.norm_fro p) then
       continue_ := false
   done;
-  Mat.symmetrize !p
+  Mat.symmetrize p
 
 let h2_norm sys =
   match sys.domain with

@@ -61,6 +61,20 @@ val dcgain : t -> Linalg.Mat.t
 val step : t -> x:Linalg.Vec.t -> u:Linalg.Vec.t -> Linalg.Vec.t * Linalg.Vec.t
 (** [step sys ~x ~u] is [(x_next, y)]. *)
 
+val step_into :
+  t ->
+  x:Linalg.Vec.t ->
+  u:Linalg.Vec.t ->
+  x_next:Linalg.Vec.t ->
+  y:Linalg.Vec.t ->
+  sx:Linalg.Vec.t ->
+  sy:Linalg.Vec.t ->
+  unit
+(** Allocation-free [step]: writes the next state into [x_next] and the
+    output into [y], using caller-provided scratch [sx] (dimension
+    [order]) and [sy] (dimension [outputs]). Bit-identical to [step].
+    [x_next] must not alias [x]. *)
+
 val simulate : t -> ?x0:Linalg.Vec.t -> Linalg.Vec.t array -> Linalg.Vec.t array
 (** Drive a discrete system with an input sequence from initial state [x0]
     (default zero); returns the output sequence (same length). *)

@@ -39,11 +39,19 @@ let offsets s =
   in
   (roff, coff)
 
-(* sigma_max(D_l M D_r^-1) for per-block scalar scales d. *)
-let scaled_norm s (roff, coff) m d =
+(* sigma_max(D_l M D_r^-1) for per-block scalar scales d. [dst] lets the
+   coordinate-descent loop reuse one scratch matrix across its ~50 evals;
+   every entry is overwritten (the structure tiles M), so no clearing is
+   needed. *)
+let scaled_norm ?dst s (roff, coff) m d =
   let blocks = Array.of_list s in
   let r, c = Cmat.dims m in
-  let scaled = Cmat.create r c in
+  let scaled =
+    match dst with
+    | Some x when Cmat.dims x = (r, c) -> x
+    | Some _ -> invalid_arg "Ssv.scaled_norm: dst dimension mismatch"
+    | None -> Cmat.create r c
+  in
   Array.iteri
     (fun i bi ->
       Array.iteri
@@ -98,7 +106,8 @@ let mu_upper s m =
       done
     done;
     (* Coordinate-descent refinement of sigma_max over log d_i. *)
-    let eval d = scaled_norm s off m d in
+    let scratch = Cmat.create (fst (Cmat.dims m)) (snd (Cmat.dims m)) in
+    let eval d = scaled_norm ~dst:scratch s off m d in
     let refine_coordinate i =
       let best = ref (eval d) in
       let base = d.(i) in
@@ -123,7 +132,7 @@ let mu_upper s m =
     (* Normalize so the last scale is 1 (scales are projective). *)
     let dn = d.(nb - 1) in
     let d = Array.map (fun x -> x /. dn) d in
-    { value = scaled_norm s off m d; scales = d }
+    { value = scaled_norm ~dst:scratch s off m d; scales = d }
   end
 
 (* Build the aligning Delta for the current iterate: given z = M w, each

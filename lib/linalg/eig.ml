@@ -5,8 +5,12 @@ let hessenberg a =
   if not (Mat.is_square a) then invalid_arg "Eig.hessenberg: non-square";
   let n = a.Mat.rows in
   let h = Mat.copy a in
+  let hd = h.Mat.data in
   for k = 0 to n - 3 do
-    let x = Array.init (n - k - 1) (fun i -> Mat.get h (k + 1 + i) k) in
+    let x =
+      Array.init (n - k - 1) (fun i ->
+          Array.unsafe_get hd (((k + 1 + i) * n) + k))
+    in
     let normx = Vec.norm2 x in
     if normx > 1e-300 then begin
       let alpha = if x.(0) >= 0.0 then -.normx else normx in
@@ -19,22 +23,32 @@ let hessenberg a =
         for j = 0 to n - 1 do
           let dot = ref 0.0 in
           for i = 0 to n - k - 2 do
-            dot := !dot +. (v.(i) *. Mat.get h (k + 1 + i) j)
+            dot :=
+              !dot
+              +. (Array.unsafe_get v i
+                  *. Array.unsafe_get hd (((k + 1 + i) * n) + j))
           done;
           let d2 = 2.0 *. !dot in
           for i = 0 to n - k - 2 do
-            Mat.set h (k + 1 + i) j (Mat.get h (k + 1 + i) j -. (d2 *. v.(i)))
+            let idx = ((k + 1 + i) * n) + j in
+            Array.unsafe_set hd idx
+              (Array.unsafe_get hd idx -. (d2 *. Array.unsafe_get v i))
           done
         done;
         (* Right: columns k+1..n-1, all rows (similarity transform). *)
         for i = 0 to n - 1 do
+          let row = i * n in
           let dot = ref 0.0 in
           for j = 0 to n - k - 2 do
-            dot := !dot +. (Mat.get h i (k + 1 + j) *. v.(j))
+            dot :=
+              !dot
+              +. (Array.unsafe_get hd (row + k + 1 + j) *. Array.unsafe_get v j)
           done;
           let d2 = 2.0 *. !dot in
           for j = 0 to n - k - 2 do
-            Mat.set h i (k + 1 + j) (Mat.get h i (k + 1 + j) -. (d2 *. v.(j)))
+            let idx = row + k + 1 + j in
+            Array.unsafe_set hd idx
+              (Array.unsafe_get hd idx -. (d2 *. Array.unsafe_get v j))
           done
         done
       end
@@ -149,16 +163,25 @@ let qr_hessenberg_eigenvalues h =
         for i = l to hi_i do
           Cmat.set h i i (Complex.sub (Cmat.get h i i) shift)
         done;
-        (* Left Givens sweep: triangularize the active block. *)
+        (* Left Givens sweep: triangularize the active block. The rows
+           involved are addressed directly in the backing array (checked
+           implicitly by the loop bounds); the complex arithmetic is
+           unchanged. *)
+        let hd = h.Cmat.data in
         let rot = Array.make (hi_i - l) (1.0, zero) in
         for k = l to hi_i - 1 do
-          let c, s = givens (Cmat.get h k k) (Cmat.get h (k + 1) k) in
+          let rk = k * n and rk1 = (k + 1) * n in
+          let c, s =
+            givens (Array.unsafe_get hd (rk + k)) (Array.unsafe_get hd (rk1 + k))
+          in
           rot.(k - l) <- (c, s);
+          let cc = { re = c; im = 0.0 } in
           for j = k to hi_i do
-            let x = Cmat.get h k j and y = Cmat.get h (k + 1) j in
-            let cc = { re = c; im = 0.0 } in
-            Cmat.set h k j (Complex.add (Complex.mul cc x) (Complex.mul s y));
-            Cmat.set h (k + 1) j
+            let x = Array.unsafe_get hd (rk + j)
+            and y = Array.unsafe_get hd (rk1 + j) in
+            Array.unsafe_set hd (rk + j)
+              (Complex.add (Complex.mul cc x) (Complex.mul s y));
+            Array.unsafe_set hd (rk1 + j)
               (Complex.sub (Complex.mul cc y)
                  (Complex.mul (Complex.conj s) x))
           done
@@ -168,10 +191,12 @@ let qr_hessenberg_eigenvalues h =
           let c, s = rot.(k - l) in
           let cc = { re = c; im = 0.0 } in
           for i = l to min (k + 1) hi_i do
-            let x = Cmat.get h i k and y = Cmat.get h i (k + 1) in
-            Cmat.set h i k
+            let row = i * n in
+            let x = Array.unsafe_get hd (row + k)
+            and y = Array.unsafe_get hd (row + k + 1) in
+            Array.unsafe_set hd (row + k)
               (Complex.add (Complex.mul cc x) (Complex.mul (Complex.conj s) y));
-            Cmat.set h i (k + 1)
+            Array.unsafe_set hd (row + k + 1)
               (Complex.sub (Complex.mul cc y) (Complex.mul s x))
           done
         done;
@@ -240,20 +265,27 @@ let symmetric a =
           in
           let c = 1.0 /. Float.sqrt ((t *. t) +. 1.0) in
           let s = t *. c in
+          let md = m.Mat.data and vd = v.Mat.data in
           for k = 0 to n - 1 do
-            let mkp = Mat.get m k p and mkq = Mat.get m k q in
-            Mat.set m k p ((c *. mkp) -. (s *. mkq));
-            Mat.set m k q ((s *. mkp) +. (c *. mkq))
+            let row = k * n in
+            let mkp = Array.unsafe_get md (row + p)
+            and mkq = Array.unsafe_get md (row + q) in
+            Array.unsafe_set md (row + p) ((c *. mkp) -. (s *. mkq));
+            Array.unsafe_set md (row + q) ((s *. mkp) +. (c *. mkq))
+          done;
+          let rp = p * n and rq = q * n in
+          for k = 0 to n - 1 do
+            let mpk = Array.unsafe_get md (rp + k)
+            and mqk = Array.unsafe_get md (rq + k) in
+            Array.unsafe_set md (rp + k) ((c *. mpk) -. (s *. mqk));
+            Array.unsafe_set md (rq + k) ((s *. mpk) +. (c *. mqk))
           done;
           for k = 0 to n - 1 do
-            let mpk = Mat.get m p k and mqk = Mat.get m q k in
-            Mat.set m p k ((c *. mpk) -. (s *. mqk));
-            Mat.set m q k ((s *. mpk) +. (c *. mqk))
-          done;
-          for k = 0 to n - 1 do
-            let vkp = Mat.get v k p and vkq = Mat.get v k q in
-            Mat.set v k p ((c *. vkp) -. (s *. vkq));
-            Mat.set v k q ((s *. vkp) +. (c *. vkq))
+            let row = k * n in
+            let vkp = Array.unsafe_get vd (row + p)
+            and vkq = Array.unsafe_get vd (row + q) in
+            Array.unsafe_set vd (row + p) ((c *. vkp) -. (s *. vkq));
+            Array.unsafe_set vd (row + q) ((s *. vkp) +. (c *. vkq))
           done
         end
       done

@@ -151,14 +151,17 @@ let neg a = scale (-1.0) a
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
   let r = create a.rows b.cols in
+  let ad = a.data and bd = b.data and rd = r.data in
   (* Loop order i-k-j keeps the inner loop stride-1 over both [b] and [r]. *)
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
-      let aik = a.data.((i * a.cols) + k) in
+      let aik = Array.unsafe_get ad ((i * a.cols) + k) in
       if aik <> 0.0 then begin
         let boff = k * b.cols and roff = i * b.cols in
         for j = 0 to b.cols - 1 do
-          r.data.(roff + j) <- r.data.(roff + j) +. (aik *. b.data.(boff + j))
+          Array.unsafe_set rd (roff + j)
+            (Array.unsafe_get rd (roff + j)
+            +. (aik *. Array.unsafe_get bd (boff + j)))
         done
       end
     done
@@ -167,11 +170,12 @@ let mul a b =
 
 let mul_vec a v =
   if a.cols <> Vec.dim v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  let ad = a.data in
   Array.init a.rows (fun i ->
       let acc = ref 0.0 in
       let off = i * a.cols in
       for j = 0 to a.cols - 1 do
-        acc := !acc +. (a.data.(off + j) *. v.(j))
+        acc := !acc +. (Array.unsafe_get ad (off + j) *. Array.unsafe_get v j)
       done;
       !acc)
 
@@ -184,6 +188,132 @@ let mul3 a b c =
 let add_scaled a s b =
   check_same "Mat.add_scaled" a b;
   { a with data = Array.mapi (fun k x -> x +. (s *. b.data.(k))) a.data }
+
+(* ------------------------------------------------------------------ *)
+(* In-place / destination-passing kernels                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every [_into] kernel computes element-for-element the same float
+   operations, in the same order, as its allocating counterpart: callers
+   converting hot loops to these kernels keep bit-identical results.
+   Bounds are checked once at entry; inner loops use unsafe accesses. *)
+
+let check_dst name ~rows ~cols dst =
+  if dst.rows <> rows || dst.cols <> cols then
+    invalid_arg (name ^ ": dst dimension mismatch")
+
+(* Zero-length storage is exempt: OCaml interns the empty array, so two
+   independent 0 x n matrices share it physically — and there is nothing
+   to corrupt. *)
+let check_not_aliased name dst srcs =
+  if
+    Array.length dst.data > 0
+    && List.exists (fun s -> s.data == dst.data) srcs
+  then invalid_arg (name ^ ": dst aliases a source matrix")
+
+let copy_into ~dst a =
+  check_dst "Mat.copy_into" ~rows:a.rows ~cols:a.cols dst;
+  Array.blit a.data 0 dst.data 0 (Array.length a.data)
+
+(* Elementwise kernels tolerate [dst] aliasing a source: every entry is
+   read before it is written. *)
+
+let add_into ~dst a b =
+  check_same "Mat.add_into" a b;
+  check_dst "Mat.add_into" ~rows:a.rows ~cols:a.cols dst;
+  let ad = a.data and bd = b.data and rd = dst.data in
+  for k = 0 to Array.length ad - 1 do
+    Array.unsafe_set rd k
+      (Array.unsafe_get ad k +. Array.unsafe_get bd k)
+  done
+
+let sub_into ~dst a b =
+  check_same "Mat.sub_into" a b;
+  check_dst "Mat.sub_into" ~rows:a.rows ~cols:a.cols dst;
+  let ad = a.data and bd = b.data and rd = dst.data in
+  for k = 0 to Array.length ad - 1 do
+    Array.unsafe_set rd k
+      (Array.unsafe_get ad k -. Array.unsafe_get bd k)
+  done
+
+let scale_into ~dst s a =
+  check_dst "Mat.scale_into" ~rows:a.rows ~cols:a.cols dst;
+  let ad = a.data and rd = dst.data in
+  for k = 0 to Array.length ad - 1 do
+    Array.unsafe_set rd k (s *. Array.unsafe_get ad k)
+  done
+
+let axpy ~dst s x =
+  check_same "Mat.axpy" dst x;
+  let xd = x.data and rd = dst.data in
+  for k = 0 to Array.length rd - 1 do
+    Array.unsafe_set rd k
+      (Array.unsafe_get rd k +. (s *. Array.unsafe_get xd k))
+  done
+
+let transpose_into ~dst a =
+  check_dst "Mat.transpose_into" ~rows:a.cols ~cols:a.rows dst;
+  check_not_aliased "Mat.transpose_into" dst [ a ];
+  let ad = a.data and rd = dst.data in
+  for i = 0 to a.cols - 1 do
+    let roff = i * a.rows in
+    for j = 0 to a.rows - 1 do
+      Array.unsafe_set rd (roff + j) (Array.unsafe_get ad ((j * a.cols) + i))
+    done
+  done
+
+let symmetrize_into ~dst a =
+  if a.rows <> a.cols then invalid_arg "Mat.symmetrize_into: non-square";
+  check_dst "Mat.symmetrize_into" ~rows:a.rows ~cols:a.cols dst;
+  check_not_aliased "Mat.symmetrize_into" dst [ a ];
+  let n = a.rows in
+  let ad = a.data and rd = dst.data in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Array.unsafe_set rd ((i * n) + j)
+        (0.5
+        *. (Array.unsafe_get ad ((i * n) + j)
+           +. Array.unsafe_get ad ((j * n) + i)))
+    done
+  done
+
+let mul_into ~dst a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul_into: dimension mismatch";
+  check_dst "Mat.mul_into" ~rows:a.rows ~cols:b.cols dst;
+  check_not_aliased "Mat.mul_into" dst [ a; b ];
+  let ad = a.data and bd = b.data and rd = dst.data in
+  Array.fill rd 0 (Array.length rd) 0.0;
+  (* Same i-k-j order (and zero-skip) as [mul]. *)
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = Array.unsafe_get ad ((i * a.cols) + k) in
+      if aik <> 0.0 then begin
+        let boff = k * b.cols and roff = i * b.cols in
+        for j = 0 to b.cols - 1 do
+          Array.unsafe_set rd (roff + j)
+            (Array.unsafe_get rd (roff + j)
+            +. (aik *. Array.unsafe_get bd (boff + j)))
+        done
+      end
+    done
+  done
+
+let mul_vec_into ~dst a v =
+  if a.cols <> Vec.dim v then
+    invalid_arg "Mat.mul_vec_into: dimension mismatch";
+  if Array.length dst <> a.rows then
+    invalid_arg "Mat.mul_vec_into: dst dimension mismatch";
+  if Array.length dst > 0 && (dst == v || dst == a.data) then
+    invalid_arg "Mat.mul_vec_into: dst aliases a source";
+  let ad = a.data in
+  for i = 0 to a.rows - 1 do
+    let acc = ref 0.0 in
+    let off = i * a.cols in
+    for j = 0 to a.cols - 1 do
+      acc := !acc +. (Array.unsafe_get ad (off + j) *. Array.unsafe_get v j)
+    done;
+    Array.unsafe_set dst i !acc
+  done
 
 let hadamard a b =
   check_same "Mat.hadamard" a b;

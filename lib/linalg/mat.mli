@@ -80,6 +80,51 @@ val mul3 : t -> t -> t -> t
 val add_scaled : t -> float -> t -> t
 (** [add_scaled a s b] is [a + s*b]. *)
 
+(** {1 In-place / destination-passing kernels}
+
+    Allocation-free counterparts of the pure operations above, for hot
+    loops: each writes its result into [dst] and computes exactly the
+    same float operations in the same order as the pure version, so a
+    conversion to these kernels is bit-identical. Dimensions are checked
+    once at entry; inner loops are unchecked.
+
+    Aliasing rules: the elementwise kernels ([copy_into], [add_into],
+    [sub_into], [scale_into], [axpy]) tolerate [dst] aliasing a source
+    (each entry is read before written). The reduction/permutation
+    kernels ([mul_into], [mul_vec_into], [transpose_into],
+    [symmetrize_into]) raise [Invalid_argument] if [dst] shares storage
+    with a source. *)
+
+val copy_into : dst:t -> t -> unit
+(** [copy_into ~dst a] overwrites [dst] with [a]. *)
+
+val add_into : dst:t -> t -> t -> unit
+(** [add_into ~dst a b]: [dst <- a + b]. [dst] may alias [a] or [b]. *)
+
+val sub_into : dst:t -> t -> t -> unit
+(** [sub_into ~dst a b]: [dst <- a - b]. [dst] may alias [a] or [b]. *)
+
+val scale_into : dst:t -> float -> t -> unit
+(** [scale_into ~dst s a]: [dst <- s*a]. [dst] may alias [a]. *)
+
+val axpy : dst:t -> float -> t -> unit
+(** [axpy ~dst s x]: [dst <- dst + s*x]. *)
+
+val transpose_into : dst:t -> t -> unit
+(** [transpose_into ~dst a]: [dst <- a^T]. [dst] must not alias [a]. *)
+
+val symmetrize_into : dst:t -> t -> unit
+(** [symmetrize_into ~dst a]: [dst <- (a + a^T)/2]. [dst] must not alias
+    [a]. *)
+
+val mul_into : dst:t -> t -> t -> unit
+(** [mul_into ~dst a b]: [dst <- a*b]. [dst] must not alias [a] or [b];
+    aliasing raises [Invalid_argument]. *)
+
+val mul_vec_into : dst:Vec.t -> t -> Vec.t -> unit
+(** [mul_vec_into ~dst a v]: [dst <- a*v]. [dst] must not alias [v] (or
+    the storage of [a]). *)
+
 val hadamard : t -> t -> t
 
 val map : (float -> float) -> t -> t

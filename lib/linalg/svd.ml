@@ -1,26 +1,41 @@
 (* One-sided Jacobi SVD: orthogonalize the columns of a working copy of
    [a] with plane rotations accumulated into [v]; at convergence the column
-   norms are the singular values. *)
+   norms are the singular values.
+
+   The sweep kernel operates on the TRANSPOSE of the working matrix, so
+   each column of the working matrix is a contiguous row and the inner
+   loops are stride-1. The arithmetic — which entries are combined, in
+   which order — is exactly the column-major original's, so results are
+   bit-identical; only the memory walk changed. *)
 
 let calls_metric = Obs.Metrics.counter "svd.calls"
 let sweeps_metric = Obs.Metrics.counter "svd.sweeps"
+let unconverged_metric = Obs.Metrics.counter "svd.unconverged"
 
-let jacobi_onesided a =
-  let m = a.Mat.rows and n = a.Mat.cols in
-  let w = Mat.copy a in
-  let v = Mat.identity n in
+(* [wt] is n x m: row j is column j of the m x n working matrix. [v]
+   (n x n), when given, accumulates the right rotations; the rotations
+   applied to [wt] never read [v], so running with [v = None] yields the
+   same [wt] — and therefore the same singular values — for callers that
+   only need them. Returns the sweep count, negated if the sweep cap
+   (default 60) was hit before convergence. *)
+let jacobi_sweeps ?(max_sweeps = 60) ?v wt =
+  let n = wt.Mat.rows and m = wt.Mat.cols in
+  let wd = wt.Mat.data in
   let eps = 1e-14 in
   let converged = ref false in
   let sweeps = ref 0 in
-  while (not !converged) && !sweeps < 60 do
+  while (not !converged) && !sweeps < max_sweeps do
     incr sweeps;
     converged := true;
     for p = 0 to n - 2 do
+      let pb = p * m in
       for q = p + 1 to n - 1 do
-        (* Column inner products. *)
+        let qb = q * m in
+        (* Inner products of working-matrix columns p and q. *)
         let alpha = ref 0.0 and beta = ref 0.0 and gamma = ref 0.0 in
         for i = 0 to m - 1 do
-          let wip = Mat.get w i p and wiq = Mat.get w i q in
+          let wip = Array.unsafe_get wd (pb + i)
+          and wiq = Array.unsafe_get wd (qb + i) in
           alpha := !alpha +. (wip *. wip);
           beta := !beta +. (wiq *. wiq);
           gamma := !gamma +. (wip *. wiq)
@@ -36,40 +51,65 @@ let jacobi_onesided a =
           let c = 1.0 /. sqrt (1.0 +. (t *. t)) in
           let s = c *. t in
           for i = 0 to m - 1 do
-            let wip = Mat.get w i p and wiq = Mat.get w i q in
-            Mat.set w i p ((c *. wip) -. (s *. wiq));
-            Mat.set w i q ((s *. wip) +. (c *. wiq))
+            let wip = Array.unsafe_get wd (pb + i)
+            and wiq = Array.unsafe_get wd (qb + i) in
+            Array.unsafe_set wd (pb + i) ((c *. wip) -. (s *. wiq));
+            Array.unsafe_set wd (qb + i) ((s *. wip) +. (c *. wiq))
           done;
-          for i = 0 to n - 1 do
-            let vip = Mat.get v i p and viq = Mat.get v i q in
-            Mat.set v i p ((c *. vip) -. (s *. viq));
-            Mat.set v i q ((s *. vip) +. (c *. viq))
-          done
+          match v with
+          | None -> ()
+          | Some v ->
+            let vd = v.Mat.data in
+            for i = 0 to n - 1 do
+              let r = i * n in
+              let vip = Array.unsafe_get vd (r + p)
+              and viq = Array.unsafe_get vd (r + q) in
+              Array.unsafe_set vd (r + p) ((c *. vip) -. (s *. viq));
+              Array.unsafe_set vd (r + q) ((s *. vip) +. (c *. viq))
+            done
         end
       done
     done
   done;
   if Obs.Collector.enabled () then begin
     Obs.Metrics.incr calls_metric;
-    Obs.Metrics.incr ~by:!sweeps sweeps_metric
+    Obs.Metrics.incr ~by:!sweeps sweeps_metric;
+    if not !converged then begin
+      Obs.Metrics.incr unconverged_metric;
+      Obs.Collector.debug ~name:"svd.unconverged"
+        [
+          ("rows", Obs.Json.Int m);
+          ("cols", Obs.Json.Int n);
+          ("sweeps", Obs.Json.Int !sweeps);
+        ]
+    end
   end;
-  (w, v)
+  if !converged then !sweeps else - !sweeps
 
-let rec decompose a =
+(* Singular values of the orthogonalized working matrix: norms of its
+   columns = norms of [wt]'s rows, descending, with the sort permutation
+   returned so [decompose] can reorder u/v columns identically. *)
+let sorted_norms wt =
+  let n = wt.Mat.rows in
+  let s = Array.init n (fun j -> Vec.norm2 (Mat.row wt j)) in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare s.(j) s.(i)) order;
+  (s, order)
+
+let rec decompose ?max_sweeps a =
   let m = a.Mat.rows and n = a.Mat.cols in
   if m >= n then begin
-    let w, v = jacobi_onesided a in
-    let k = n in
-    let s = Array.init k (fun j -> Vec.norm2 (Mat.col w j)) in
-    let order = Array.init k (fun i -> i) in
-    Array.sort (fun i j -> Float.compare s.(j) s.(i)) order;
+    let wt = Mat.transpose a in
+    let v = Mat.identity n in
+    ignore (jacobi_sweeps ?max_sweeps ~v wt);
+    let s, order = sorted_norms wt in
     let sorted_s = Array.map (fun i -> s.(i)) order in
-    let u = Mat.create m k in
-    let vs = Mat.create n k in
+    let u = Mat.create m n in
+    let vs = Mat.create n n in
     Array.iteri
       (fun out_j in_j ->
         let sigma = s.(in_j) in
-        let col = Mat.col w in_j in
+        let col = Mat.row wt in_j in
         let ucol =
           if sigma > 1e-300 then Vec.scale (1.0 /. sigma) col
           else Vec.basis m (min out_j (m - 1))
@@ -81,13 +121,22 @@ let rec decompose a =
   end
   else begin
     (* SVD of the transpose, swapping the roles of u and v. *)
-    let u, s, v = decompose (Mat.transpose a) in
+    let u, s, v = decompose ?max_sweeps (Mat.transpose a) in
     (v, s, u)
   end
 
-let singular_values a =
-  let _, s, _ = decompose a in
-  s
+(* Values-only path: same rotations (they never depend on [v]), no [v]
+   accumulation — about half the sweep work for square matrices, which
+   is most of what [Ss.hinf_norm]'s frequency grid asks for. *)
+let singular_values ?max_sweeps a =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  if m = 0 || n = 0 then [||]
+  else begin
+    let wt = if m >= n then Mat.transpose a else Mat.copy a in
+    ignore (jacobi_sweeps ?max_sweeps wt);
+    let s, order = sorted_norms wt in
+    Array.map (fun i -> s.(i)) order
+  end
 
 let norm2 a =
   if a.Mat.rows = 0 || a.Mat.cols = 0 then 0.0

@@ -7,10 +7,16 @@
     is simple, robust, and computes small singular values to high relative
     accuracy — which matters for the rank decisions in controller synthesis. *)
 
-val decompose : Mat.t -> Mat.t * Vec.t * Mat.t
+val decompose : ?max_sweeps:int -> Mat.t -> Mat.t * Vec.t * Mat.t
+(** [max_sweeps] (default 60) caps the Jacobi sweep count. A run that
+    hits the cap before column orthogonality is no longer silent: it
+    bumps the [svd.unconverged] counter and emits an [svd.unconverged]
+    debug record when the {!Obs.Collector} is enabled, then returns the
+    best iterate. The parameter exists for diagnostics and tests; the
+    default converges for any conditioning encountered in practice. *)
 
-val singular_values : Mat.t -> Vec.t
-(** Singular values only, descending. *)
+val singular_values : ?max_sweeps:int -> Mat.t -> Vec.t
+(** Singular values only, descending. [max_sweeps] as in {!decompose}. *)
 
 val norm2 : Mat.t -> float
 (** Spectral norm (largest singular value). Zero matrix yields [0.]. *)

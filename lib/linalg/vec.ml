@@ -35,6 +35,33 @@ let scale s a = Array.map (fun x -> s *. x) a
 
 let neg a = scale (-1.0) a
 
+let check_dst name dst a =
+  if dim dst <> dim a then invalid_arg (name ^ ": dst dimension mismatch")
+
+let copy_into ~dst a =
+  check_dst "Vec.copy_into" dst a;
+  Array.blit a 0 dst 0 (dim a)
+
+let add_into ~dst a b =
+  check_same_dim "Vec.add_into" a b;
+  check_dst "Vec.add_into" dst a;
+  for i = 0 to dim a - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get a i +. Array.unsafe_get b i)
+  done
+
+let sub_into ~dst a b =
+  check_same_dim "Vec.sub_into" a b;
+  check_dst "Vec.sub_into" dst a;
+  for i = 0 to dim a - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get a i -. Array.unsafe_get b i)
+  done
+
+let scale_into ~dst s a =
+  check_dst "Vec.scale_into" dst a;
+  for i = 0 to dim a - 1 do
+    Array.unsafe_set dst i (s *. Array.unsafe_get a i)
+  done
+
 let dot a b =
   check_same_dim "Vec.dot" a b;
   let acc = ref 0.0 in

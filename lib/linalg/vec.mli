@@ -31,6 +31,18 @@ val add : t -> t -> t
 
 val sub : t -> t -> t
 
+val copy_into : dst:t -> t -> unit
+(** [copy_into ~dst a] overwrites [dst] with [a]. *)
+
+val add_into : dst:t -> t -> t -> unit
+(** [add_into ~dst a b]: [dst <- a + b]. [dst] may alias [a] or [b]. *)
+
+val sub_into : dst:t -> t -> t -> unit
+(** [sub_into ~dst a b]: [dst <- a - b]. [dst] may alias [a] or [b]. *)
+
+val scale_into : dst:t -> float -> t -> unit
+(** [scale_into ~dst s a]: [dst <- s*a]. [dst] may alias [a]. *)
+
 val scale : float -> t -> t
 
 val neg : t -> t

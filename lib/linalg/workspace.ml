@@ -1,0 +1,90 @@
+(* A lease pool of scratch matrices/vectors for iterative algorithms.
+
+   The discipline is cursor-based: an algorithm creates one workspace per
+   call, calls [reset] at the top of each iteration, and then leases its
+   temporaries in a fixed order. The first iteration allocates; every
+   later iteration re-leases the same buffers, so steady-state iterations
+   are allocation-free.
+
+   Leased buffers are NOT zeroed on re-lease — every kernel writing into
+   them must fully overwrite its destination (all the [Mat._into] kernels
+   do). A workspace is deliberately not thread-safe: it is private to one
+   call in one domain, which is also what keeps the domain-parallel
+   drivers (PR 4) safe — never store a workspace in a shared structure. *)
+
+type bucket = { mutable mats : Mat.t list; mutable free : Mat.t list }
+
+type vbucket = { mutable vecs : Vec.t list; mutable vfree : Vec.t list }
+
+type t = {
+  buckets : (int * int, bucket) Hashtbl.t;
+  vbuckets : (int, vbucket) Hashtbl.t;
+}
+
+let create () = { buckets = Hashtbl.create 8; vbuckets = Hashtbl.create 8 }
+
+let reset t =
+  Hashtbl.iter (fun _ b -> b.free <- b.mats) t.buckets;
+  Hashtbl.iter (fun _ b -> b.vfree <- b.vecs) t.vbuckets
+
+let mat t rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Workspace.mat: negative dimension";
+  let key = (rows, cols) in
+  let b =
+    match Hashtbl.find_opt t.buckets key with
+    | Some b -> b
+    | None ->
+      let b = { mats = []; free = [] } in
+      Hashtbl.add t.buckets key b;
+      b
+  in
+  match b.free with
+  | m :: rest ->
+    b.free <- rest;
+    m
+  | [] ->
+    let m = Mat.create rows cols in
+    b.mats <- m :: b.mats;
+    m
+
+let vec t n =
+  if n < 0 then invalid_arg "Workspace.vec: negative dimension";
+  let b =
+    match Hashtbl.find_opt t.vbuckets n with
+    | Some b -> b
+    | None ->
+      let b = { vecs = []; vfree = [] } in
+      Hashtbl.add t.vbuckets n b;
+      b
+  in
+  match b.vfree with
+  | v :: rest ->
+    b.vfree <- rest;
+    v
+  | [] ->
+    let v = Vec.create n in
+    b.vecs <- v :: b.vecs;
+    v
+
+(* Common composite leases, so call sites stay terse. *)
+
+let transpose t a =
+  let d = mat t a.Mat.cols a.Mat.rows in
+  Mat.transpose_into ~dst:d a;
+  d
+
+let mul t a b =
+  let d = mat t a.Mat.rows b.Mat.cols in
+  Mat.mul_into ~dst:d a b;
+  d
+
+(* Same association-order rule as [Mat.mul3], on leased scratch. *)
+let mul3 t a b c =
+  let cost_left =
+    (a.Mat.rows * a.Mat.cols * b.Mat.cols) + (a.Mat.rows * b.Mat.cols * c.Mat.cols)
+  in
+  let cost_right =
+    (b.Mat.rows * b.Mat.cols * c.Mat.cols) + (a.Mat.rows * a.Mat.cols * c.Mat.cols)
+  in
+  if cost_left <= cost_right then mul t (mul t a b) c
+  else mul t a (mul t b c)

@@ -1,0 +1,37 @@
+(** Scratch-buffer lease pool for iterative algorithms.
+
+    A workspace hands out matrices and vectors of requested shapes and
+    remembers them: after [reset], the same buffers are re-leased in
+    order, so an iteration that leases its temporaries through a
+    workspace allocates only on its first pass.
+
+    Rules:
+    - Call [reset] at the top of each iteration, then lease in a fixed
+      order. Leased buffers are {e not} zeroed; every consumer must
+      fully overwrite them (all [Mat._into] kernels do).
+    - A workspace is not thread-safe and must not be shared across
+      domains: create one per call (or per domain-local solver). *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Return every leased buffer to the pool (contents untouched). *)
+
+val mat : t -> int -> int -> Mat.t
+(** [mat ws m n] leases an [m]x[n] scratch matrix. *)
+
+val vec : t -> int -> Vec.t
+(** [vec ws n] leases a scratch vector of length [n]. *)
+
+(** {1 Composite leases}
+
+    Pure-looking helpers whose results live in the workspace: valid
+    until the next [reset], and must not be returned to callers. *)
+
+val transpose : t -> Mat.t -> Mat.t
+val mul : t -> Mat.t -> Mat.t -> Mat.t
+
+val mul3 : t -> Mat.t -> Mat.t -> Mat.t -> Mat.t
+(** Same association-order choice as [Mat.mul3]. *)

@@ -112,7 +112,22 @@ let event ~name ~sim fields =
            ("fields", Json.Obj fields);
          ])
 
-let now () = Unix.gettimeofday ()
+let debug ~name fields =
+  if enabled () then
+    emit
+      (Json.Obj
+         [
+           ("type", Json.String "debug");
+           ("name", Json.String name);
+           ("fields", Json.Obj fields);
+         ])
+
+(* Durations must come from a clock that NTP steps can't move backwards
+   or inflate, so [now] is monotonic (ns since an arbitrary origin). The
+   real-time clock survives only for human-readable timestamps. *)
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let wall_clock () = Unix.gettimeofday ()
 
 let span_hist name = Metrics.histogram ("span." ^ name)
 

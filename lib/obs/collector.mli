@@ -82,8 +82,21 @@ val event : name:string -> sim:float -> (string * Json.t) list -> unit
 (** Simulated-time event: [{"type":"event","name":...,"sim_s":...,
     "fields":{...}}]. No-op when disabled. *)
 
+val debug : name:string -> (string * Json.t) list -> unit
+(** Diagnostic record with neither time domain attached:
+    [{"type":"debug","name":...,"fields":{...}}] — for rare anomalies
+    in synthesis-side code (no simulated clock, wall time meaningless),
+    e.g. an iteration hitting its cap without converging. No-op when
+    disabled. *)
+
 val now : unit -> float
-(** Wall-clock seconds (monotonic for the durations measured here). *)
+(** Monotonic seconds since an arbitrary origin — for durations only.
+    Immune to NTP steps; not comparable across processes. Use
+    {!wall_clock} for human-readable timestamps. *)
+
+val wall_clock : unit -> float
+(** Real-time (Unix epoch) seconds, for display only; may jump under
+    clock adjustments, so never difference it. *)
 
 val record_span : name:string -> dur_s:float -> (string * Json.t) list -> unit
 (** Record an already-measured wall-clock span; also feeds the

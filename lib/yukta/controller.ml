@@ -1,12 +1,21 @@
 open Linalg
 
+(* The per-step buffers ([x]/[x_next] double buffer, [dy], [last_raw],
+   [sx]/[sy] scratch, [out]) are all preallocated at [make]/[copy] time so
+   a steady-state [step] allocates nothing. They are private to one [t];
+   [copy] gives every buffer a fresh allocation (domain safety). *)
 type t = {
   core : Control.Ss.t;
   inputs : Signal.input array;
   outputs : Signal.output array;
   externals : Signal.external_signal array;
   mutable x : Vec.t;
-  mutable last_raw : Vec.t;
+  mutable x_next : Vec.t;
+  dy : Vec.t;
+  last_raw : Vec.t;
+  sx : Vec.t;
+  sy : Vec.t;
+  out : Vec.t;
 }
 
 let make ~controller ~inputs ~outputs ~externals =
@@ -19,25 +28,40 @@ let make ~controller ~inputs ~outputs ~externals =
   | Control.Ss.Discrete _ -> ()
   | Control.Ss.Continuous ->
     invalid_arg "Controller.make: runtime controller must be discrete");
+  let n = Control.Ss.order controller in
+  let ni = Array.length inputs in
   {
     core = controller;
     inputs;
     outputs;
     externals;
-    x = Vec.create (Control.Ss.order controller);
-    last_raw = Vec.create (Array.length inputs);
+    x = Vec.create n;
+    x_next = Vec.create n;
+    dy = Vec.create n_meas;
+    last_raw = Vec.create ni;
+    sx = Vec.create n;
+    sy = Vec.create ni;
+    out = Vec.create ni;
   }
 
-let reset t = t.x <- Vec.create (Control.Ss.order t.core)
+let reset t = Array.fill t.x 0 (Vec.dim t.x) 0.0
 
 (* A private state copy over the shared (immutable) core and signal
    specs. Memoized designs hand out one [t] per process; every stack
-   must copy it so concurrently running stacks never share [x]. *)
+   must copy it so concurrently running stacks never share [x] or any
+   of the step buffers. *)
 let copy t =
+  let n = Control.Ss.order t.core in
+  let ni = Array.length t.inputs in
   {
     t with
-    x = Vec.create (Control.Ss.order t.core);
-    last_raw = Vec.create (Array.length t.inputs);
+    x = Vec.create n;
+    x_next = Vec.create n;
+    dy = Vec.create (Vec.dim t.dy);
+    last_raw = Vec.create ni;
+    sx = Vec.create n;
+    sy = Vec.create ni;
+    out = Vec.create ni;
   }
 
 let step t ~measurements ~targets ~externals =
@@ -48,24 +72,25 @@ let step t ~measurements ~targets ~externals =
   if Vec.dim externals <> Array.length t.externals then
     invalid_arg "Controller.step: external dimension mismatch";
   (* dy = [normalized output deviations; normalized externals]. *)
-  let deviations =
-    Array.mapi
-      (fun i o ->
-        (measurements.(i) -. targets.(i)) /. Signal.half_span_output o)
-      t.outputs
-  in
-  let ext_norm =
-    Array.mapi (fun i e -> Signal.normalize_external e externals.(i)) t.externals
-  in
-  let dy = Vec.concat deviations ext_norm in
-  let x_next, u_norm = Control.Ss.step t.core ~x:t.x ~u:dy in
-  t.x <- x_next;
-  t.last_raw <- u_norm;
-  Array.mapi
-    (fun i inp ->
-      let raw = Signal.denormalize_input inp u_norm.(i) in
-      Control.Quantize.project inp.Signal.channel raw)
-    t.inputs
+  let no = Array.length t.outputs in
+  for i = 0 to no - 1 do
+    t.dy.(i) <-
+      (measurements.(i) -. targets.(i)) /. Signal.half_span_output t.outputs.(i)
+  done;
+  for i = 0 to Array.length t.externals - 1 do
+    t.dy.(no + i) <- Signal.normalize_external t.externals.(i) externals.(i)
+  done;
+  Control.Ss.step_into t.core ~x:t.x ~u:t.dy ~x_next:t.x_next ~y:t.last_raw
+    ~sx:t.sx ~sy:t.sy;
+  let xt = t.x in
+  t.x <- t.x_next;
+  t.x_next <- xt;
+  for i = 0 to Array.length t.inputs - 1 do
+    let inp = t.inputs.(i) in
+    let raw = Signal.denormalize_input inp t.last_raw.(i) in
+    t.out.(i) <- Control.Quantize.project inp.Signal.channel raw
+  done;
+  t.out
 
 let last_raw_command t = Vec.copy t.last_raw
 

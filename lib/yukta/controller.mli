@@ -41,7 +41,10 @@ val step :
   externals:Linalg.Vec.t ->
   Linalg.Vec.t
 (** One control invocation: physical-unit measurements, targets and
-    external values in; quantized physical-unit input settings out. *)
+    external values in; quantized physical-unit input settings out.
+    The returned vector is a buffer owned by the controller and reused
+    by the next [step] — copy it if you need it to survive. A
+    steady-state invocation performs no allocation. *)
 
 val last_raw_command : t -> Linalg.Vec.t
 (** The pre-quantization command of the last [step] (normalized units);

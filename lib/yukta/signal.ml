@@ -57,9 +57,15 @@ let external_range e =
   | From_output { lo; hi; _ } -> (lo, hi)
   | Opaque { lo; hi } -> (lo, hi)
 
+(* Inlined per-case (rather than via [external_range]) so the per-step
+   hot path allocates no range tuple. *)
 let normalize_external e x =
-  let lo, hi = external_range e in
-  (x -. ((lo +. hi) /. 2.0)) /. ((hi -. lo) /. 2.0)
+  let norm lo hi = (x -. ((lo +. hi) /. 2.0)) /. ((hi -. lo) /. 2.0) in
+  match e.info with
+  | From_input ch ->
+    norm ch.Control.Quantize.minimum ch.Control.Quantize.maximum
+  | From_output { lo; hi; _ } -> norm lo hi
+  | Opaque { lo; hi } -> norm lo hi
 
 let normalized_bound o = bound_absolute o /. half_span_output o
 

@@ -434,6 +434,160 @@ let test_expm_inverse_property () =
     (Mat.approx_equal ~tol:1e-7 (Mat.mul e em) (Mat.identity 4))
 
 (* ------------------------------------------------------------------ *)
+(* In-place kernels and workspace                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact (bit-level) equality: the in-place kernels promise the same
+   float ops in the same order as their allocating counterparts. *)
+let mat_exact =
+  Alcotest.testable Mat.pp (fun a b ->
+      a.Mat.rows = b.Mat.rows && a.Mat.cols = b.Mat.cols
+      && a.Mat.data = b.Mat.data)
+
+(* Destination prefilled with garbage: the kernels must overwrite fully. *)
+let garbage m n = Mat.map (fun x -> (x *. 17.0) +. 3.0) (Mat.random ~seed:99 m n)
+
+let elementwise_shapes = [ (3, 3); (2, 5); (5, 2); (1, 1); (0, 0); (0, 3) ]
+
+let test_inplace_elementwise_matches_pure () =
+  List.iter
+    (fun (m, n) ->
+      let seed = (31 * m) + n in
+      let a = Mat.random ~seed m n in
+      let b = Mat.random ~seed:(seed + 1) m n in
+      let dst = garbage m n in
+      Mat.copy_into ~dst a;
+      Alcotest.check mat_exact "copy_into" a dst;
+      Mat.add_into ~dst a b;
+      Alcotest.check mat_exact "add_into" (Mat.add a b) dst;
+      Mat.sub_into ~dst a b;
+      Alcotest.check mat_exact "sub_into" (Mat.sub a b) dst;
+      Mat.scale_into ~dst 1.7 a;
+      Alcotest.check mat_exact "scale_into" (Mat.scale 1.7 a) dst;
+      Mat.copy_into ~dst a;
+      Mat.axpy ~dst 0.3 b;
+      Alcotest.check mat_exact "axpy" (Mat.add a (Mat.scale 0.3 b)) dst)
+    elementwise_shapes
+
+let test_inplace_mul_matches_pure () =
+  List.iter
+    (fun (m, k, n) ->
+      let seed = (7 * m) + (5 * k) + n in
+      let a = Mat.random ~seed m k in
+      let b = Mat.random ~seed:(seed + 1) k n in
+      let dst = garbage m n in
+      Mat.mul_into ~dst a b;
+      Alcotest.check mat_exact "mul_into" (Mat.mul a b) dst;
+      let v = (Mat.random ~seed:(seed + 2) 1 k).Mat.data in
+      let vdst = Array.make m Float.nan in
+      Mat.mul_vec_into ~dst:vdst a v;
+      check_bool "mul_vec_into" true (Mat.mul_vec a v = vdst))
+    [ (3, 3, 3); (2, 5, 4); (5, 2, 1); (1, 1, 1); (0, 3, 2); (3, 0, 2) ]
+
+let test_inplace_permutation_matches_pure () =
+  List.iter
+    (fun (m, n) ->
+      let a = Mat.random ~seed:((13 * m) + n) m n in
+      let dst = garbage n m in
+      Mat.transpose_into ~dst a;
+      Alcotest.check mat_exact "transpose_into" (Mat.transpose a) dst;
+      if m = n then begin
+        let sdst = garbage n n in
+        Mat.symmetrize_into ~dst:sdst a;
+        Alcotest.check mat_exact "symmetrize_into" (Mat.symmetrize a) sdst
+      end)
+    elementwise_shapes
+
+let test_inplace_aliasing_rules () =
+  let a = Mat.random ~seed:3 3 3 and b = Mat.random ~seed:4 3 3 in
+  Alcotest.check_raises "mul_into dst==a"
+    (Invalid_argument "Mat.mul_into: dst aliases a source matrix") (fun () ->
+      Mat.mul_into ~dst:a a b);
+  Alcotest.check_raises "mul_into dst==b"
+    (Invalid_argument "Mat.mul_into: dst aliases a source matrix") (fun () ->
+      Mat.mul_into ~dst:b a b);
+  Alcotest.check_raises "transpose_into dst==a"
+    (Invalid_argument "Mat.transpose_into: dst aliases a source matrix")
+    (fun () -> Mat.transpose_into ~dst:a a);
+  Alcotest.check_raises "symmetrize_into dst==a"
+    (Invalid_argument "Mat.symmetrize_into: dst aliases a source matrix")
+    (fun () -> Mat.symmetrize_into ~dst:a a);
+  let v = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.check_raises "mul_vec_into dst==v"
+    (Invalid_argument "Mat.mul_vec_into: dst aliases a source") (fun () ->
+      Mat.mul_vec_into ~dst:v a v);
+  (* Elementwise kernels accept aliasing: each entry is read before
+     written. *)
+  let c = Mat.copy a in
+  Mat.add_into ~dst:c c b;
+  Alcotest.check mat_exact "aliased add_into" (Mat.add a b) c;
+  (* Zero-length storage is shared by the runtime, so empty in-place ops
+     must not trip the aliasing check. *)
+  let e1 = Mat.create 0 3 and e2 = Mat.create 3 0 in
+  Mat.mul_into ~dst:(Mat.create 0 0) e1 e2
+
+let test_workspace_reuses_buffers () =
+  let ws = Workspace.create () in
+  let m1 = Workspace.mat ws 3 4 in
+  let m2 = Workspace.mat ws 3 4 in
+  check_bool "distinct leases" true (not (m1.Mat.data == m2.Mat.data));
+  let v1 = Workspace.vec ws 5 in
+  Workspace.reset ws;
+  let m1' = Workspace.mat ws 3 4 in
+  let m2' = Workspace.mat ws 3 4 in
+  let v1' = Workspace.vec ws 5 in
+  check_bool "mat buffer reused" true
+    (m1'.Mat.data == m1.Mat.data || m1'.Mat.data == m2.Mat.data);
+  check_bool "second mat reused" true
+    (m2'.Mat.data == m1.Mat.data || m2'.Mat.data == m2.Mat.data);
+  check_bool "vec buffer reused" true (v1' == v1);
+  (* Composite leases match the pure operations bit-for-bit. *)
+  Workspace.reset ws;
+  let a = Mat.random ~seed:21 3 4
+  and b = Mat.random ~seed:22 4 2
+  and c = Mat.random ~seed:23 2 5 in
+  Alcotest.check mat_exact "ws transpose" (Mat.transpose a)
+    (Workspace.transpose ws a);
+  Alcotest.check mat_exact "ws mul" (Mat.mul a b) (Workspace.mul ws a b);
+  Alcotest.check mat_exact "ws mul3" (Mat.mul3 a b c)
+    (Workspace.mul3 ws a b c)
+
+let contains_substring s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec scan i = i + lb <= ls && (String.sub s i lb = sub || scan (i + 1)) in
+  scan 0
+
+let test_svd_unconverged_reported () =
+  (* A dense random 8x8 cannot be column-orthogonalized in one Jacobi
+     sweep; with the cap forced to 1 the run must report rather than
+     silently return. *)
+  let a = Mat.random ~seed:77 8 8 in
+  let ctr = Obs.Metrics.counter "svd.unconverged" in
+  let before = Obs.Metrics.count ctr in
+  Obs.Collector.enable ();
+  let s, lines =
+    Obs.Collector.capture (fun () -> Svd.singular_values ~max_sweeps:1 a)
+  in
+  Obs.Collector.disable ();
+  check_bool "unconverged counter bumped" true (Obs.Metrics.count ctr > before);
+  check_bool "debug record emitted" true
+    (List.exists (fun l -> contains_substring l "svd.unconverged") lines);
+  check_int "capped run still returns values" 8 (Vec.dim s);
+  (* The default cap does converge on the same matrix and reports
+     nothing. *)
+  let before2 = Obs.Metrics.count ctr in
+  Obs.Collector.enable ();
+  let s_full, lines2 =
+    Obs.Collector.capture (fun () -> Svd.singular_values a)
+  in
+  Obs.Collector.disable ();
+  check_int "no further unconverged" before2 (Obs.Metrics.count ctr);
+  check_bool "no debug record" true
+    (not (List.exists (fun l -> contains_substring l "svd.unconverged") lines2));
+  check_bool "descending" true
+    (Array.for_all (fun x -> x <= s_full.(0)) s_full)
+
+(* ------------------------------------------------------------------ *)
 (* Properties (qcheck)                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -507,6 +661,22 @@ let prop_expm_det =
       let rhs = exp (Mat.trace a) in
       Float.abs (lhs -. rhs) <= 1e-5 *. Float.max 1.0 (Float.abs rhs))
 
+let prop_inplace_mul_exact =
+  QCheck.Test.make ~name:"mul_into bitwise equals mul" ~count:100 arb_mat_pair
+    (fun (a, b) ->
+      let dst = Mat.create 3 3 in
+      Mat.mul_into ~dst a b;
+      dst.Mat.data = (Mat.mul a b).Mat.data)
+
+let prop_inplace_add_sub_exact =
+  QCheck.Test.make ~name:"add_into/sub_into bitwise equal add/sub" ~count:100
+    arb_mat_pair (fun (a, b) ->
+      let dst = Mat.create 3 3 in
+      Mat.add_into ~dst a b;
+      let add_ok = dst.Mat.data = (Mat.add a b).Mat.data in
+      Mat.sub_into ~dst a b;
+      add_ok && dst.Mat.data = (Mat.sub a b).Mat.data)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -519,6 +689,8 @@ let qcheck_cases =
       prop_spectral_radius_bounded;
       prop_symmetric_eig_bounds;
       prop_expm_det;
+      prop_inplace_mul_exact;
+      prop_inplace_add_sub_exact;
     ]
 
 
@@ -684,6 +856,19 @@ let () =
           Alcotest.test_case "rotation" `Quick test_expm_rotation;
           Alcotest.test_case "inverse property" `Quick
             test_expm_inverse_property;
+        ] );
+      ( "inplace",
+        [
+          Alcotest.test_case "elementwise = pure" `Quick
+            test_inplace_elementwise_matches_pure;
+          Alcotest.test_case "mul = pure" `Quick test_inplace_mul_matches_pure;
+          Alcotest.test_case "transpose/symmetrize = pure" `Quick
+            test_inplace_permutation_matches_pure;
+          Alcotest.test_case "aliasing rules" `Quick test_inplace_aliasing_rules;
+          Alcotest.test_case "workspace reuse" `Quick
+            test_workspace_reuses_buffers;
+          Alcotest.test_case "svd unconverged reported" `Quick
+            test_svd_unconverged_reported;
         ] );
       ("edge cases", round2_cases);
       ("properties", qcheck_cases);

@@ -137,13 +137,16 @@ let test_controller_step_quantizes () =
 
 let test_controller_external_channel () =
   let c = toy_controller () in
+  (* [step] returns a reused buffer; copy to compare across invocations. *)
   let u0 =
-    Controller.step c ~measurements:[| 5.0 |] ~targets:[| 5.0 |]
-      ~externals:[| 0.0 |]
+    Vec.copy
+      (Controller.step c ~measurements:[| 5.0 |] ~targets:[| 5.0 |]
+         ~externals:[| 0.0 |])
   in
   let u1 =
-    Controller.step c ~measurements:[| 5.0 |] ~targets:[| 5.0 |]
-      ~externals:[| 1.0 |]
+    Vec.copy
+      (Controller.step c ~measurements:[| 5.0 |] ~targets:[| 5.0 |]
+         ~externals:[| 1.0 |])
   in
   (* external normalized to 1.0, weighted 0.5 in D: u_norm = 0.5. *)
   check_float "no external" 1.1 u0.(0);
