@@ -199,6 +199,9 @@ let fig9 ?rows () =
   print_rows "Figure 9(b): execution time normalized to Coordinated heuristic"
     rows fig9_schemes (fun r -> r.Experiment.time);
   json_record "fig9" (Experiment.suite_json rows);
+  (* Fleet health over the same grid: per-scheme merged Obs.Health
+     aggregates — byte-identical at any -j by construction. *)
+  json_record "health" (Experiment.suite_health_json rows);
   rows
 
 (* ------------------------------------------------------------------ *)
@@ -769,6 +772,8 @@ let () =
   | "micro" :: rest ->
     Micro.main rest;
     exit 0
+  (* The perf-regression gate: diff two bench-micro documents. *)
+  | "compare" :: rest -> exit (Compare.main rest)
   | _ -> ());
   (* [--json OUT] and [-j N] consume their values; everything else is a
      flag. *)

@@ -37,7 +37,7 @@ let gemm n =
     size = Printf.sprintf "%dx%d" n n;
     batch = max 1 (65536 / (n * n));
     reps = 30;
-    smoke_reps = 5;
+    smoke_reps = 15;
     prepare =
       (fun () ->
         let a = Linalg.Mat.random ~seed:1 n n in
@@ -52,7 +52,7 @@ let eig n =
     size = Printf.sprintf "%dx%d" n n;
     batch = 8;
     reps = 30;
-    smoke_reps = 5;
+    smoke_reps = 15;
     prepare =
       (fun () ->
         let a = Linalg.Mat.random ~seed:5 n n in
@@ -65,7 +65,7 @@ let svd m n =
     size = Printf.sprintf "%dx%d" m n;
     batch = 8;
     reps = 30;
-    smoke_reps = 5;
+    smoke_reps = 15;
     prepare =
       (fun () ->
         let a = Linalg.Mat.random ~seed:6 m n in
@@ -78,7 +78,7 @@ let care n =
     size = Printf.sprintf "%dx%d" n n;
     batch = 4;
     reps = 30;
-    smoke_reps = 5;
+    smoke_reps = 15;
     prepare =
       (fun () ->
         let a = Linalg.Mat.random ~seed:32 n n in
@@ -116,7 +116,7 @@ let dk_design =
     size = "1-state plant, 3 iters";
     batch = 1;
     reps = 10;
-    smoke_reps = 3;
+    smoke_reps = 5;
     prepare =
       (fun () ->
         let plant = dk_plant () in
@@ -136,7 +136,7 @@ let xu3_epochs =
     size = "1000 x 0.5s epochs";
     batch = 1;
     reps = 10;
-    smoke_reps = 3;
+    smoke_reps = 5;
     prepare =
       (fun () ->
         fun () ->
@@ -159,7 +159,7 @@ let controller_step =
     size = "6 states, 7 in, 4 out";
     batch = 20000;
     reps = 30;
-    smoke_reps = 5;
+    smoke_reps = 15;
     prepare =
       (fun () ->
         let open Linalg in
@@ -184,6 +184,78 @@ let controller_step =
           ignore (Controller.step ctrl ~measurements ~targets ~externals:ext));
   }
 
+(* The collector.mli claim — "a disabled instrumentation site pays one
+   branch" — as a measured pair instead of prose: one controlled
+   [Layer.step] (the instrumented site wrapping [Controller.step]) with
+   collection off vs on (null sink, so encoding is paid but IO is not).
+   The controller, signals and inputs match the [controller_step]
+   kernel; the board exists only to give the layer something to read. *)
+let obs_layer () =
+  let open Linalg in
+  let n = 6 in
+  let inputs = Hw_layer.inputs () in
+  let outputs = Hw_layer.outputs () in
+  let externals = Hw_layer.externals () in
+  let n_meas = Array.length outputs + Array.length externals in
+  let core =
+    Control.Ss.make ~domain:(Control.Ss.Discrete 0.5)
+      ~a:(Mat.scale 0.3 (Mat.random ~seed:11 n n))
+      ~b:(Mat.random ~seed:12 n n_meas)
+      ~c:(Mat.random ~seed:13 (Array.length inputs) n)
+      ~d:(Mat.random ~seed:14 (Array.length inputs) n_meas)
+      ()
+  in
+  let ctrl = Controller.make ~controller:core ~inputs ~outputs ~externals in
+  let meas = [| 5.0; 2.5; 0.25; 65.0 |] in
+  let ext = [| 6.0; 1.5; 1.0 |] in
+  let layer =
+    Layer.controlled ~label:"bench-obs" ~controller:ctrl
+      ~targets:(Layer.Fixed [| 6.0; 3.0; 0.3; 77.0 |])
+      ~measure:(fun _ -> meas)
+      ~externals:(fun _ -> ext)
+      ~actuate:(fun _ _ -> ())
+      ()
+  in
+  let w =
+    Board.Workload.scale ~ginsts:1e6 (Board.Workload.by_name "blackscholes")
+  in
+  let board = Board.Xu3.create [ w ] in
+  let o = Board.Xu3.run_epoch board 0.5 in
+  (layer, board, o)
+
+let obs_overhead_off =
+  {
+    kernel = "obs_overhead_off";
+    size = "layer step, collector off";
+    batch = 20000;
+    reps = 30;
+    smoke_reps = 15;
+    prepare =
+      (fun () ->
+        let layer, board, o = obs_layer () in
+        Obs.Collector.disable ();
+        fun () -> Layer.step layer board o);
+  }
+
+(* Enables the collector at prepare time; [main] disables it and
+   restores the buffer sink after the whole run, and the pair sits last
+   in [all_kernels] so the enabled flag cannot leak into another
+   kernel's timing. *)
+let obs_overhead_on =
+  {
+    kernel = "obs_overhead_on";
+    size = "layer step, null sink";
+    batch = 2000;
+    reps = 30;
+    smoke_reps = 15;
+    prepare =
+      (fun () ->
+        let layer, board, o = obs_layer () in
+        Obs.Collector.set_sink (fun _ -> ());
+        Obs.Collector.enable ();
+        fun () -> Layer.step layer board o);
+  }
+
 let all_kernels =
   [
     gemm 4;
@@ -196,6 +268,8 @@ let all_kernels =
     dk_design;
     xu3_epochs;
     controller_step;
+    obs_overhead_off;
+    obs_overhead_on;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -322,6 +396,10 @@ let main args =
         m)
       selected
   in
+  (* obs_overhead_on leaves the collector enabled on a null sink;
+     restore the default disabled state whatever subset ran. *)
+  Obs.Collector.disable ();
+  Obs.Collector.buffer_sink ();
   let doc =
     Obs.Json.Obj
       [

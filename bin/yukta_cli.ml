@@ -6,8 +6,11 @@
      yukta_cli run -s three-layer        run the 3-layer demo stack
      yukta_cli run -s yukta -s coord -j 2  two schemes on a domain pool
      yukta_cli run --jsonl out.jsonl ... run with the Obs collector on
+     yukta_cli run --health ...          append controller-health tables
+     yukta_cli run --recorder 64 ...     flight recorder (dump on trip)
      yukta_cli csv -s coord -a x264      CSV trace to stdout
      yukta_cli trace out.jsonl           summarize an Obs JSONL trace
+     yukta_cli trace --counters f.jsonl  also counters + recorder dumps
      yukta_cli design                    synthesize & describe the designs
      yukta_cli faults                    show a deterministic fault schedule
      yukta_cli faults --run -s yukta     replay it against a scheme *)
@@ -103,8 +106,25 @@ let schemes_arg =
   in
   Arg.(value & opt_all scheme_conv [] & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
 
+let health_arg =
+  let doc =
+    "Print each scheme's controller-health summary (per-layer tracking \
+     error and saturation duty, guardband channels, trips) after its \
+     metrics."
+  in
+  Arg.(value & flag & info [ "health" ] ~doc)
+
+let recorder_arg =
+  let doc =
+    "Enable the flight recorder with a $(docv)-event window: emergency \
+     trips and fault injections dump the preceding event window (into \
+     the --jsonl trace when given), and the dump count is reported."
+  in
+  Arg.(value & opt (some int) None & info [ "recorder" ] ~docv:"N" ~doc)
+
 let run_cmd =
-  let print_result ~banner ((scheme : Schemes.info), (r : Stack.result)) =
+  let print_result ~banner ~health ((scheme : Schemes.info), (r : Stack.result))
+      =
     if banner then
       Printf.printf "\n== %s (%s) ==\n" scheme.Schemes.name
         (String.concat ">" scheme.Schemes.layers);
@@ -113,13 +133,22 @@ let run_cmd =
     Printf.printf "execution time: %.1f s\n" m.Board.Xu3.execution_time;
     Printf.printf "energy:         %.1f J\n" m.Board.Xu3.total_energy;
     Printf.printf "E x D:          %.0f J.s\n" m.Board.Xu3.energy_delay;
-    Printf.printf "emergency trips: %d\n" m.Board.Xu3.trips
+    Printf.printf "emergency trips: %d\n" m.Board.Xu3.trips;
+    if health then print_string (Obs.Health.render r.Stack.health)
   in
-  let run (schemes : Schemes.info list) app jsonl jobs =
+  let run (schemes : Schemes.info list) app jsonl jobs health recorder =
     if jobs < 1 then begin
       prerr_endline "yukta_cli run: -j expects an integer >= 1";
       exit 2
     end;
+    (match recorder with
+    | None -> ()
+    | Some n when n >= 1 ->
+      Obs.Recorder.clear ();
+      Obs.Recorder.enable ~capacity:n ()
+    | Some _ ->
+      prerr_endline "yukta_cli run: --recorder expects an integer >= 1";
+      exit 2);
     let schemes =
       match schemes with [] -> [ Schemes.find_exn "yukta" ] | l -> l
     in
@@ -134,7 +163,7 @@ let run_cmd =
             (* Single-force before fan-out: warm the design memos. *)
             List.iter (fun s -> ignore (Schemes.stack s)) schemes;
             Experiment.map_cells ~pool eval schemes)
-        |> List.iter (print_result ~banner)
+        |> List.iter (print_result ~banner ~health)
       end
       else
         List.iter
@@ -142,12 +171,16 @@ let run_cmd =
             Printf.printf "running %s (%s) on %s...\n%!" s.Schemes.name
               (String.concat ">" s.Schemes.layers)
               app;
-            print_result ~banner (eval s))
+            print_result ~banner ~health (eval s))
           schemes
     in
     (match jsonl with
     | None -> go ()
     | Some file -> Obs.Collector.with_collection ~file go);
+    if recorder <> None then begin
+      Printf.printf "recorder dumps: %d\n" (Obs.Recorder.dump_count ());
+      Obs.Recorder.disable ()
+    end;
     match jsonl with
     | Some file -> Printf.printf "trace written to %s\n" file
     | None -> ()
@@ -157,7 +190,9 @@ let run_cmd =
        ~doc:
          "Run one or more schemes (-s, repeatable) on one workload; -j N \
           evaluates them in parallel")
-    Term.(const run $ schemes_arg $ app_arg $ jsonl_arg $ jobs_arg)
+    Term.(
+      const run $ schemes_arg $ app_arg $ jsonl_arg $ jobs_arg $ health_arg
+      $ recorder_arg)
 
 let csv_cmd =
   let run scheme app =
@@ -185,9 +220,17 @@ let trace_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc)
   in
-  let run file =
+  let counters_arg =
+    let doc =
+      "Also list final counter values and one line per flight-recorder \
+       dump (simulated time, reason, window size)."
+    in
+    Arg.(value & flag & info [ "counters" ] ~doc)
+  in
+  let run file counters =
     match Obs.Trace.read_file file with
-    | entries -> print_string (Obs.Trace.render (Obs.Trace.summarize entries))
+    | entries ->
+      print_string (Obs.Trace.render ~counters (Obs.Trace.summarize entries))
     | exception Obs.Trace.Bad_trace msg ->
       Printf.eprintf "%s: %s\n" file msg;
       exit 1
@@ -195,7 +238,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Summarize an Obs JSONL trace (span timings, event counts)")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ counters_arg)
 
 let design_cmd =
   let run () =

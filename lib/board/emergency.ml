@@ -63,7 +63,7 @@ let register_trip t ~kind ~value =
     t.f.escalation <- Float.min escalation_max (t.f.escalation *. 1.5)
   else t.f.escalation <- 1.0;
   t.f.last_trip_time <- t.f.clock;
-  if Obs.Collector.enabled () then begin
+  if Obs.Collector.observing () then begin
     Obs.Metrics.incr trips_metric;
     Obs.Collector.event ~name:"emergency.trip" ~sim:t.f.clock
       [
@@ -71,7 +71,11 @@ let register_trip t ~kind ~value =
         ("value", Obs.Json.Float value);
         ("trip_index", Obs.Json.Int t.trips);
         ("escalation", Obs.Json.Float t.f.escalation);
-      ]
+      ];
+    (* The flight recorder's reason to exist: a trip snapshots the event
+       window (the trip event itself included) as a dump record. *)
+    if Obs.Recorder.enabled () then
+      Obs.Recorder.dump ~reason:("emergency.trip:" ^ kind) ~sim:t.f.clock
   end
 
 (* The steady-state verdict: shared so an untripped tick — the vast

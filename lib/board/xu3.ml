@@ -219,7 +219,7 @@ let set_config t c =
     t.acc.dead_time_big <- t.acc.dead_time_big +. cost;
     t.acc.dead_time_little <- t.acc.dead_time_little +. cost
   end;
-  if Obs.Collector.enabled () then begin
+  if Obs.Collector.observing () then begin
     let freq_changes =
       (if c.freq_big <> old.freq_big then 1 else 0)
       + if c.freq_little <> old.freq_little then 1 else 0
@@ -546,3 +546,7 @@ let metrics t =
   }
 
 let true_power t = (t.acc.last_power_big, t.acc.last_power_little)
+
+(* True die temperature: unlike [observe]'s outputs, never corrupted by
+   an injector's sensor faults — health monitors read this. *)
+let temperature t = Thermal.temperature t.thermal

@@ -160,3 +160,8 @@ val spare_capacity : cores_on:int -> busy:int -> threads:int -> float
 val true_power : t -> float * float
 (** Instantaneous (big, little) cluster power of the last simulation tick
     — the ground truth behind the sensors; used for trace figures. *)
+
+val temperature : t -> float
+(** True die temperature now. Unlike the [outputs] of {!observe}, this
+    can never be corrupted by an injector's sensor faults — health
+    monitors measure the plant, not the sensor. *)

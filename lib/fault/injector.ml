@@ -55,9 +55,13 @@ let on_tick t ~time =
       if now && not t.active.(i) then begin
         t.active.(i) <- true;
         t.injections <- t.injections + 1;
-        if Obs.Collector.enabled () then begin
+        if Obs.Collector.observing () then begin
           Obs.Metrics.incr injections_metric;
-          Obs.Collector.event ~name:"fault.inject" ~sim:time (fault_fields f)
+          Obs.Collector.event ~name:"fault.inject" ~sim:time (fault_fields f);
+          (* Injection is a dump trigger: the window shows what the
+             stack was doing when the fault landed. *)
+          if Obs.Recorder.enabled () then
+            Obs.Recorder.dump ~reason:"fault.inject" ~sim:time
         end
       end
       else if (not now) && t.active.(i) then begin
@@ -70,7 +74,7 @@ let on_tick t ~time =
           t.config_requests <- [];
           t.placement_requests <- []
         | _ -> ());
-        if Obs.Collector.enabled () then begin
+        if Obs.Collector.observing () then begin
           Obs.Metrics.incr clears_metric;
           Obs.Collector.event ~name:"fault.clear" ~sim:time (fault_fields f)
         end

@@ -6,6 +6,10 @@ let enable () = Atomic.set flag true
 
 let disable () = Atomic.set flag false
 
+(* Anyone listening at all? Sites that feed both the trace stream and
+   the flight recorder guard on this instead of [enabled]. *)
+let observing () = Atomic.get flag || Recorder.enabled ()
+
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -101,16 +105,28 @@ let emit json = emit_line (Json.to_string json)
 (* Emission                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Dump records produced by the flight recorder flow into the trace
+   stream only when collection is on; the recorder itself works either
+   way. Registered here (not in recorder.ml) to keep the dependency
+   one-way. *)
+let () = Recorder.set_emitter (fun json -> if enabled () then emit json)
+
 let event ~name ~sim fields =
-  if enabled () then
-    emit
-      (Json.Obj
-         [
-           ("type", Json.String "event");
-           ("name", Json.String name);
-           ("sim_s", Json.Float sim);
-           ("fields", Json.Obj fields);
-         ])
+  let trace = enabled () in
+  let record = Recorder.enabled () in
+  if trace || record then begin
+    let json =
+      Json.Obj
+        [
+          ("type", Json.String "event");
+          ("name", Json.String name);
+          ("sim_s", Json.Float sim);
+          ("fields", Json.Obj fields);
+        ]
+    in
+    if record then Recorder.note json;
+    if trace then emit json
+  end
 
 let debug ~name fields =
   if enabled () then

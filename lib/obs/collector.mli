@@ -33,6 +33,11 @@
 val enabled : unit -> bool
 (** One atomic load; the only cost a disabled instrumentation site pays. *)
 
+val observing : unit -> bool
+(** [enabled () || Recorder.enabled ()] — the guard for sites whose
+    events should also reach the flight recorder (board, emergency,
+    fault-injection and runtime epoch events). Two atomic loads. *)
+
 val enable : unit -> unit
 
 val disable : unit -> unit
@@ -80,7 +85,9 @@ val replay : string list -> unit
 
 val event : name:string -> sim:float -> (string * Json.t) list -> unit
 (** Simulated-time event: [{"type":"event","name":...,"sim_s":...,
-    "fields":{...}}]. No-op when disabled. *)
+    "fields":{...}}]. Emitted to the sink when {!enabled}; also noted in
+    the {!Recorder} ring when that is enabled. No-op when neither
+    listens. *)
 
 val debug : name:string -> (string * Json.t) list -> unit
 (** Diagnostic record with neither time domain attached:

@@ -12,7 +12,8 @@ type histogram = {
   mutable max_v : float;
 }
 
-(* Registration order is kept so [dump] output is deterministic. *)
+(* The enumeration list for [dump]; output is sorted by name there, so
+   order here is immaterial. *)
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
@@ -202,6 +203,15 @@ let reset_all () =
           h.max_v <- neg_infinity)
         histograms)
 
+(* Dumps sort by name (then type, for the pathological case of one name
+   registered as two kinds) so snapshots diff stably across runs and job
+   counts — registration order depends on which code path touched a
+   metric first. *)
+let entry_key = function
+  | `C (c : counter) -> (c.c_name, 0)
+  | `G (g : gauge) -> (g.g_name, 1)
+  | `H (h : histogram) -> (h.h_name, 2)
+
 let dump () =
   locked @@ fun () ->
   List.filter_map
@@ -245,4 +255,4 @@ let dump () =
                  ("p99", Json.Float s.p99);
                ])
         end)
-    (List.rev !order)
+    (List.sort (fun a b -> compare (entry_key a) (entry_key b)) !order)

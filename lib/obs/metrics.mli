@@ -77,7 +77,8 @@ val reset_all : unit -> unit
 val dump : unit -> Json.t list
 (** One JSON record per registered metric with a non-trivial value
     (counters at zero, never-set gauges and empty histograms are
-    skipped), in registration order:
+    skipped), sorted by name so snapshots diff stably across runs and
+    job counts:
     [{"type":"counter","name":...,"value":...}],
     [{"type":"gauge",...}], and
     [{"type":"histogram","name":...,"count":...,"mean":...,"p50":...}]. *)

@@ -1,0 +1,122 @@
+let flag = Atomic.make false
+
+let enabled () = Atomic.get flag
+
+let cap = Atomic.make 64
+
+let capacity () = Atomic.get cap
+
+let retention_default = 64
+
+let retention = Atomic.make retention_default
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain ring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type ring = {
+  slots : Json.t array;
+  mutable head : int;  (* Next write position. *)
+  mutable count : int; (* min count capacity = live entries. *)
+}
+
+(* The ring is created lazily at the first [note] in each domain, sized
+   to the capacity in force then; a capacity change takes effect in a
+   domain at its next note after [clear] (rings are rebuilt when the
+   size no longer matches). *)
+let ring_key : ring option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_ring () =
+  let cell = Domain.DLS.get ring_key in
+  let want = capacity () in
+  match !cell with
+  | Some r when Array.length r.slots = want -> r
+  | _ ->
+    let r = { slots = Array.make want Json.Null; head = 0; count = 0 } in
+    cell := Some r;
+    r
+
+let note json =
+  if enabled () then begin
+    let r = current_ring () in
+    let n = Array.length r.slots in
+    r.slots.(r.head) <- json;
+    r.head <- (r.head + 1) mod n;
+    if r.count < n then r.count <- r.count + 1
+  end
+
+let window () =
+  match !(Domain.DLS.get ring_key) with
+  | None -> []
+  | Some r ->
+    let n = Array.length r.slots in
+    let start = (r.head - r.count + n) mod n in
+    List.init r.count (fun i -> r.slots.((start + i) mod n))
+
+(* ------------------------------------------------------------------ *)
+(* Dumps                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dumps_mutex = Mutex.create ()
+
+let retained : Json.t list ref = ref [] (* Newest first. *)
+
+let taken = ref 0
+
+let emitter : (Json.t -> unit) ref = ref (fun _ -> ())
+
+let set_emitter f = emitter := f
+
+let dump ~reason ~sim =
+  if enabled () then begin
+    let events = window () in
+    let record =
+      Json.Obj
+        [
+          ("type", Json.String "dump");
+          ("name", Json.String "recorder.dump");
+          ("sim_s", Json.Float sim);
+          ( "fields",
+            Json.Obj
+              [
+                ("reason", Json.String reason);
+                ("events", Json.Int (List.length events));
+                ("window", Json.List events);
+              ] );
+        ]
+    in
+    Mutex.lock dumps_mutex;
+    incr taken;
+    if !taken <= Atomic.get retention then retained := record :: !retained;
+    Mutex.unlock dumps_mutex;
+    !emitter record
+  end
+
+let dumps () =
+  Mutex.lock dumps_mutex;
+  let l = List.rev !retained in
+  Mutex.unlock dumps_mutex;
+  l
+
+let dump_count () =
+  Mutex.lock dumps_mutex;
+  let n = !taken in
+  Mutex.unlock dumps_mutex;
+  n
+
+let clear () =
+  Domain.DLS.get ring_key := None;
+  Mutex.lock dumps_mutex;
+  retained := [];
+  taken := 0;
+  Mutex.unlock dumps_mutex
+
+let enable ?(capacity = 64) ?(max_dumps = retention_default) () =
+  if capacity < 1 then invalid_arg "Recorder.enable: capacity < 1";
+  if max_dumps < 0 then invalid_arg "Recorder.enable: max_dumps < 0";
+  Atomic.set cap capacity;
+  Atomic.set retention max_dumps;
+  Atomic.set flag true
+
+let disable () = Atomic.set flag false

@@ -1,0 +1,70 @@
+(** The bounded flight recorder.
+
+    A ring buffer that retains the last [capacity] simulated-time event
+    records per domain, so an emergency trip or injected fault can dump
+    the window that led up to it — causal context without paying for
+    full tracing. {!Collector.event} feeds the ring whenever the
+    recorder is enabled, even when the collector itself is disabled, so
+    recording costs one extra atomic load per instrumentation site plus
+    a ring store per emitted event.
+
+    Rings are per-domain (no locks on the hot path); the retained dump
+    records are process-global behind a mutex, which is fine because
+    dumps only happen on trips and faults.
+
+    Dumps are deterministic: a dump record carries only simulated-time
+    data, and when the collector is enabled it is emitted through the
+    collector's sink — inside any active {!Collector.capture} scope —
+    so parallel replays stay byte-identical. *)
+
+val enabled : unit -> bool
+(** One atomic load. *)
+
+val enable : ?capacity:int -> ?max_dumps:int -> unit -> unit
+(** Start recording. [capacity] (default [64]) is the per-domain window
+    length in events; [max_dumps] (default [64]) bounds how many dump
+    records are retained in memory (oldest kept — the first trips are
+    the interesting ones; later dumps are still emitted to the
+    collector sink, just not retained).
+    @raise Invalid_argument when [capacity < 1] or [max_dumps < 0]. *)
+
+val disable : unit -> unit
+(** Stop recording. Rings and retained dumps survive until {!clear} so
+    they can still be inspected. *)
+
+val capacity : unit -> int
+(** The window length set by the last {!enable}. *)
+
+val note : Json.t -> unit
+(** Append an already-built event record to this domain's ring,
+    evicting the oldest when full. No-op when disabled. *)
+
+val window : unit -> Json.t list
+(** This domain's current ring contents, oldest first. *)
+
+val dump : reason:string -> sim:float -> unit
+(** Snapshot this domain's window into a dump record
+
+    [{"type":"dump","name":"recorder.dump","sim_s":...,
+      "fields":{"reason":...,"events":N,"window":[...]}}],
+
+    retain it (subject to [max_dumps]) and hand it to the emitter
+    installed by {!set_emitter} (the collector forwards it to its sink
+    when tracing is on). No-op when disabled. The ring is left intact:
+    overlapping windows across nearby trips are intentional. *)
+
+val dumps : unit -> Json.t list
+(** Retained dump records, oldest first (across all domains, in dump
+    order). *)
+
+val dump_count : unit -> int
+(** Total dumps taken since the last {!clear} — counts past the
+    [max_dumps] retention bound. *)
+
+val clear : unit -> unit
+(** Empty this domain's ring and drop all retained dumps, resetting
+    {!dump_count}. *)
+
+val set_emitter : (Json.t -> unit) -> unit
+(** Install the downstream for dump records. Wired by {!Collector} at
+    module initialization; tests may override it. *)

@@ -1,0 +1,141 @@
+(* Mergeable per-owner statistics: Welford mean/variance and exact
+   fixed-bucket histograms. No locks — one owner at a time. *)
+
+module Welford = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;       (* Sum of squared deviations from the mean. *)
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. Float.of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+
+  let count t = t.n
+
+  let mean t = if t.n = 0 then Float.nan else t.mean
+
+  let variance t = if t.n = 0 then Float.nan else t.m2 /. Float.of_int t.n
+
+  let std t = Float.sqrt (variance t)
+
+  let min_v t = t.min_v
+
+  let max_v t = t.max_v
+
+  let copy t = { t with n = t.n }
+
+  (* Chan et al. pairwise update: exact in the counts, stable in the
+     moments. An empty side is an identity. *)
+  let merge_into ~into src =
+    if src.n <> 0 then
+      if into.n = 0 then begin
+        into.n <- src.n;
+        into.mean <- src.mean;
+        into.m2 <- src.m2;
+        into.min_v <- src.min_v;
+        into.max_v <- src.max_v
+      end
+      else begin
+        let na = Float.of_int into.n and nb = Float.of_int src.n in
+        let n = na +. nb in
+        let delta = src.mean -. into.mean in
+        into.mean <- into.mean +. (delta *. nb /. n);
+        into.m2 <- into.m2 +. src.m2 +. (delta *. delta *. na *. nb /. n);
+        into.n <- into.n + src.n;
+        if src.min_v < into.min_v then into.min_v <- src.min_v;
+        if src.max_v > into.max_v then into.max_v <- src.max_v
+      end
+
+  let to_json t =
+    if t.n = 0 then
+      Json.Obj
+        [
+          ("count", Json.Int 0);
+          ("mean", Json.Float 0.0);
+          ("std", Json.Float 0.0);
+          ("min", Json.Float 0.0);
+          ("max", Json.Float 0.0);
+        ]
+    else
+      Json.Obj
+        [
+          ("count", Json.Int t.n);
+          ("mean", Json.Float t.mean);
+          ("std", Json.Float (std t));
+          ("min", Json.Float t.min_v);
+          ("max", Json.Float t.max_v);
+        ]
+end
+
+module Hist = struct
+  type t = {
+    bounds : float array;     (* Strictly increasing upper bounds. *)
+    slots : int array;        (* length bounds + 1 (overflow). *)
+    mutable n : int;
+  }
+
+  let validate bounds =
+    if Array.length bounds = 0 then
+      invalid_arg "Stats.Hist.create: empty bucket array";
+    for i = 1 to Array.length bounds - 1 do
+      if bounds.(i) <= bounds.(i - 1) then
+        invalid_arg "Stats.Hist.create: buckets must be strictly increasing"
+    done
+
+  let create ~buckets =
+    validate buckets;
+    let bounds = Array.copy buckets in
+    { bounds; slots = Array.make (Array.length bounds + 1) 0; n = 0 }
+
+  (* First upper bound >= v, by binary search; length means overflow. *)
+  let slot_index t v =
+    let nb = Array.length t.bounds in
+    let lo = ref 0 and hi = ref nb in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.bounds.(mid) >= v then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  let observe t v =
+    let i = slot_index t v in
+    t.slots.(i) <- t.slots.(i) + 1;
+    t.n <- t.n + 1
+
+  let count t = t.n
+
+  let buckets t = Array.copy t.bounds
+
+  let counts t = Array.copy t.slots
+
+  let copy t = { t with slots = Array.copy t.slots }
+
+  let merge_into ~into src =
+    if into.bounds <> src.bounds then
+      invalid_arg "Stats.Hist.merge_into: bucket layouts differ";
+    Array.iteri (fun i c -> into.slots.(i) <- into.slots.(i) + c) src.slots;
+    into.n <- into.n + src.n
+
+  let to_json t =
+    Json.Obj
+      [
+        ( "buckets",
+          Json.List
+            (Array.to_list (Array.map (fun b -> Json.Float b) t.bounds)) );
+        ( "counts",
+          Json.List (Array.to_list (Array.map (fun c -> Json.Int c) t.slots))
+        );
+        ("count", Json.Int t.n);
+      ]
+end

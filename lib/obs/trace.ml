@@ -53,6 +53,7 @@ type summary = {
   spans : span_stat list;
   events : event_stat list;
   metrics : entry list;
+  dumps : entry list;
   lines : int;
 }
 
@@ -77,6 +78,7 @@ let group_by_name entries =
 let summarize entries =
   let spans, rest = List.partition (fun e -> e.kind = "span") entries in
   let events, rest = List.partition (fun e -> e.kind = "event") rest in
+  let dumps, rest = List.partition (fun e -> e.kind = "dump") rest in
   let span_stats =
     group_by_name spans
     |> List.map (fun (name, es) ->
@@ -104,10 +106,13 @@ let summarize entries =
            })
     |> List.sort (fun a b -> compare b.event_count a.event_count)
   in
-  { spans = span_stats; events = event_stats; metrics = rest;
+  { spans = span_stats; events = event_stats; metrics = rest; dumps;
     lines = List.length entries }
 
-let render s =
+let dump_field key e =
+  Option.bind (Json.member "fields" e.json) (Json.member key)
+
+let render ?(counters = false) s =
   let buf = Buffer.create 1024 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pr "%d records\n" s.lines;
@@ -151,5 +156,29 @@ let render s =
             (float_field "p99" e) (float_field "max" e)
         | k -> pr "  %-10s %-28s\n" k e.name)
       s.metrics
+  end;
+  if s.dumps <> [] then begin
+    pr "\nrecorder dumps: %d\n" (List.length s.dumps);
+    if counters then
+      List.iter
+        (fun e ->
+          pr "  %10.2fs  %-24s %d events\n" (float_field "sim_s" e)
+            (Option.value ~default:"?"
+               (Option.bind (dump_field "reason" e) Json.to_string_opt))
+            (Option.value ~default:0
+               (Option.bind (dump_field "events" e) Json.to_int_opt)))
+        s.dumps
+  end;
+  if counters then begin
+    let cs = List.filter (fun e -> e.kind = "counter") s.metrics in
+    if cs <> [] then begin
+      pr "\nfinal counters\n";
+      List.iter
+        (fun e ->
+          pr "  %-32s %d\n" e.name
+            (Option.value ~default:0
+               (Option.bind (Json.member "value" e.json) Json.to_int_opt)))
+        cs
+    end
   end;
   Buffer.contents buf

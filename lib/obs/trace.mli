@@ -32,11 +32,16 @@ type summary = {
   spans : span_stat list;      (** Ordered by descending total time. *)
   events : event_stat list;    (** Ordered by descending count. *)
   metrics : entry list;        (** Counter/gauge/histogram records. *)
+  dumps : entry list;          (** Flight-recorder dump records, in
+                                   stream order. *)
   lines : int;
 }
 
 val summarize : entry list -> summary
 
-val render : summary -> string
+val render : ?counters:bool -> summary -> string
 (** Human-readable tables: span timing, event counts with simulated-time
-    extents, and the metric records. *)
+    extents, the metric records, and a recorder-dump count. With
+    [~counters:true], also one line per dump (simulated time, reason,
+    window size) and a final-counter table — the [trace --counters]
+    view. *)

@@ -94,6 +94,29 @@ let step t ~measurements ~targets ~externals =
 
 let last_raw_command t = Vec.copy t.last_raw
 
+(* Health-path accessors: read the step buffers in place (valid until
+   the next [step]), so feeding a monitor allocates nothing. *)
+
+let last_tracking_error t =
+  let no = Array.length t.outputs in
+  if no = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to no - 1 do
+      acc := !acc +. (t.dy.(i) *. t.dy.(i))
+    done;
+    Float.sqrt (!acc /. Float.of_int no)
+  end
+
+let saturation_eps = 1e-9
+
+let last_saturated t =
+  let sat = ref false in
+  for i = 0 to Vec.dim t.last_raw - 1 do
+    if Float.abs t.last_raw.(i) >= 1.0 -. saturation_eps then sat := true
+  done;
+  !sat
+
 let order t = Control.Ss.order t.core
 
 let period t =

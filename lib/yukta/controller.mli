@@ -50,6 +50,16 @@ val last_raw_command : t -> Linalg.Vec.t
 (** The pre-quantization command of the last [step] (normalized units);
     exposed for the quantization-ablation bench. *)
 
+val last_tracking_error : t -> float
+(** RMS of the last [step]'s normalized output deviations (the first
+    block of [dy]; externals excluded). Reads the step buffer in place
+    — no allocation — and is only meaningful right after a [step]. *)
+
+val last_saturated : t -> bool
+(** Whether any pre-quantization command of the last [step] sat at a
+    normalized rail ([|u| >= 1]). Same in-place, allocation-free
+    contract as {!last_tracking_error}. *)
+
 val order : t -> int
 
 val period : t -> float

@@ -8,13 +8,20 @@ type app_result = {
   scheme : Schemes.info;
   metrics : Board.Xu3.metrics;
   completed : bool;
+  health : Obs.Health.t;
 }
 
 let run_app ?max_time scheme (name, workloads) =
   let t0 = if Obs.Collector.enabled () then Obs.Collector.now () else 0.0 in
   let r = Schemes.run ?max_time scheme workloads in
   let result =
-    { app = name; scheme; metrics = r.Stack.metrics; completed = r.Stack.completed }
+    {
+      app = name;
+      scheme;
+      metrics = r.Stack.metrics;
+      completed = r.Stack.completed;
+      health = r.Stack.health;
+    }
   in
   if Obs.Collector.enabled () then
     Obs.Collector.record_span ~name:"experiment.app"
@@ -168,6 +175,25 @@ let row_json (r : normalized_row) =
                    ] ))
              r.raw) );
     ]
+
+(* Fleet health: fold every row's per-scheme health into one aggregate
+   per scheme, always in row order — the fold is independent of how the
+   cells were scheduled, so the block is byte-identical at any -j. *)
+let suite_health_json rows =
+  let schemes =
+    match rows with [] -> [] | r :: _ -> List.map fst r.raw
+  in
+  Obs.Json.Obj
+    (List.map
+       (fun (s : Schemes.info) ->
+         let merged = Obs.Health.create () in
+         List.iter
+           (fun r ->
+             let a = List.assoc s r.raw in
+             Obs.Health.merge_into ~into:merged a.health)
+           rows;
+         (s.Schemes.name, Obs.Health.to_json merged))
+       schemes)
 
 let suite_json rows =
   let schemes =

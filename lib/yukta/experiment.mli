@@ -10,6 +10,7 @@ type app_result = {
   scheme : Schemes.info;
   metrics : Board.Xu3.metrics;
   completed : bool;
+  health : Obs.Health.t;  (** The cell's controller-health monitors. *)
 }
 
 val run_app :
@@ -70,3 +71,9 @@ val suite_json : normalized_row list -> Obs.Json.t
 (** Machine-readable form of a suite: per-app rows with raw and
     normalized E x D / execution-time metrics per scheme, plus suite
     averages — the shape [bench --json] embeds per figure. *)
+
+val suite_health_json : normalized_row list -> Obs.Json.t
+(** Fleet health: every row's per-scheme {!Obs.Health} accumulators
+    merged into one aggregate per scheme (keyed by scheme name). The
+    fold runs in row order regardless of how the cells were scheduled,
+    so the block is byte-identical at any job count. *)

@@ -128,12 +128,15 @@ let floats_json v =
 
 let decisions_metric = Obs.Metrics.counter "runtime.decisions"
 
-let step t board o =
+let step ?health t board o =
   match t.kind with
   | Heuristic h ->
     h.h_epoch <- h.h_epoch + 1;
     h.h_act board o;
-    if Obs.Collector.enabled () then begin
+    (match health with
+    | Some hl -> Obs.Health.note_heuristic hl
+    | None -> ());
+    if Obs.Collector.observing () then begin
       Obs.Metrics.incr decisions_metric;
       Obs.Collector.event ~name:"runtime.decision" ~sim:(Xu3.time board)
         [
@@ -159,7 +162,13 @@ let step t board o =
         ~externals:(c.externals board)
     in
     c.actuate board u;
-    if Obs.Collector.enabled () then begin
+    (match health with
+    | Some hl ->
+      Obs.Health.note_decision hl
+        ~err:(Controller.last_tracking_error c.controller)
+        ~saturated:(Controller.last_saturated c.controller)
+    | None -> ());
+    if Obs.Collector.observing () then begin
       (* The pre-quantization normalized command shows which inputs the
          controller drove into saturation this epoch. *)
       let raw = Controller.last_raw_command c.controller in

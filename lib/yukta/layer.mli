@@ -85,9 +85,12 @@ val reset : t -> unit
 (** Start-of-execution reset: controller state, optimizer, E x D
     tracker, epoch counter, and any layer-private state. *)
 
-val step : t -> Board.Xu3.t -> Board.Xu3.outputs -> unit
+val step : ?health:Obs.Health.layer -> t -> Board.Xu3.t -> Board.Xu3.outputs -> unit
 (** One epoch: sample, decide, actuate; emits a [runtime.decision]
-    event when the Obs collector is enabled. *)
+    event when the Obs collector (or flight recorder) is on. With
+    [?health], also feeds the layer's accumulator — one decision per
+    epoch, with tracking error and saturation for controlled layers.
+    Health feeding is pure observation: it cannot change the run. *)
 
 val optimizer_interval : int
 (** Epochs between optimizer retargets (the controller settles on each

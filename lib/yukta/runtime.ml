@@ -46,6 +46,7 @@ type result = Stack.result = {
   metrics : Board.Xu3.metrics;
   completed : bool;
   trace : trace_point array;
+  health : Obs.Health.t;
 }
 
 let run ?max_time ?collect_trace ?sensor_period ?epoch ?injector scheme

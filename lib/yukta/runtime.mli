@@ -42,6 +42,8 @@ type result = Stack.result = {
   metrics : Board.Xu3.metrics;
   completed : bool;
   trace : trace_point array;  (** Per-epoch; empty unless requested. *)
+  health : Obs.Health.t;      (** Always-on health monitors (see
+                                  {!Stack.result}). *)
 }
 
 val run :

@@ -36,6 +36,7 @@ type result = {
   metrics : Xu3.metrics;
   completed : bool;
   trace : trace_point array;
+  health : Obs.Health.t;
 }
 
 let trace_point board (o : Xu3.outputs) =
@@ -72,11 +73,30 @@ let emit_epoch_event (p : trace_point) =
     ]
 
 let record_epoch board o ~collect trace =
-  if collect || Obs.Collector.enabled () then begin
+  if collect || Obs.Collector.observing () then begin
     let p = trace_point board o in
     if collect then trace := p :: !trace;
-    if Obs.Collector.enabled () then emit_epoch_event p
+    if Obs.Collector.observing () then emit_epoch_event p
   end
+
+(* The guardband channels every stack monitors: the evaluation's
+   controller limits (Section V-A) against the board's emergency trip
+   thresholds. *)
+let health_channels health =
+  (* Sequenced lets, not a tuple: creation order is output order. *)
+  let pb =
+    Obs.Health.channel health ~name:"power_big"
+      ~limit:Hw_layer.power_limit_big ~trip:Emergency.power_trip_big
+  in
+  let pl =
+    Obs.Health.channel health ~name:"power_little"
+      ~limit:Hw_layer.power_limit_little ~trip:Emergency.power_trip_little
+  in
+  let temp =
+    Obs.Health.channel health ~name:"temperature" ~limit:Hw_layer.temp_limit
+      ~trip:Emergency.thermal_trip
+  in
+  (pb, pl, temp)
 
 let run ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period
     ?(epoch = default_epoch) ?injector t workloads =
@@ -85,12 +105,33 @@ let run ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period
   let board = Xu3.create ?sensor_period ?injector workloads in
   reset t;
   let trace = ref [] in
+  (* Health monitoring is always on: it is pure observation of
+     simulated-time data (true power/temperature, trip counts, the
+     controllers' own step buffers), so it cannot perturb the run. *)
+  let health = Obs.Health.create () in
+  let hlayers =
+    List.map (fun l -> Obs.Health.layer health (Layer.label l)) t.layers
+  in
+  let ch_pb, ch_pl, ch_temp = health_channels health in
+  let last_time = ref (Xu3.time board) in
+  let last_trips = ref (Xu3.trip_count board) in
   while (not (Xu3.finished board)) && Xu3.time board < max_time do
     let o = Xu3.run_epoch board epoch in
-    step t board o;
+    List.iter2 (fun l hl -> Layer.step ~health:hl l board o) t.layers hlayers;
+    let now = Xu3.time board in
+    let dt = now -. !last_time in
+    last_time := now;
+    let pb, pl = Xu3.true_power board in
+    Obs.Health.observe_channel ch_pb ~value:pb ~dt;
+    Obs.Health.observe_channel ch_pl ~value:pl ~dt;
+    Obs.Health.observe_channel ch_temp ~value:(Xu3.temperature board) ~dt;
+    Obs.Health.note_epoch health ~dt;
+    let trips = Xu3.trip_count board in
+    Obs.Health.note_trips health (trips - !last_trips);
+    last_trips := trips;
     record_epoch board o ~collect:collect_trace trace
   done;
-  if Obs.Collector.enabled () then begin
+  if Obs.Collector.observing () then begin
     let m = Xu3.metrics board in
     Obs.Collector.event ~name:"runtime.run_complete" ~sim:(Xu3.time board)
       [
@@ -107,4 +148,5 @@ let run ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period
     metrics = Xu3.metrics board;
     completed = Xu3.finished board;
     trace = Array.of_list (List.rev !trace);
+    health;
   }

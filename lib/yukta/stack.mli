@@ -52,6 +52,11 @@ type result = {
   metrics : Board.Xu3.metrics;
   completed : bool;
   trace : trace_point array;  (** Per-epoch; empty unless requested. *)
+  health : Obs.Health.t;      (** Always-on controller-health monitors:
+                                  per-layer tracking error/saturation,
+                                  guardband channels, trip counts. Pure
+                                  observation — it never perturbs the
+                                  run. *)
 }
 
 val run :

@@ -350,6 +350,40 @@ let test_emergency_recovers () =
   check_bool "caps lifted" true (a.Emergency.cap_freq_big = None);
   check_bool "recovered" false (Emergency.tripped e)
 
+let test_emergency_trip_dumps_recorder () =
+  (* A trip with the flight recorder armed snapshots the event window
+     that led up to it — including the trip event itself, last. *)
+  Obs.Collector.disable ();
+  Obs.Recorder.clear ();
+  Obs.Recorder.enable ~capacity:8 ();
+  (* Pre-trip context lands in the ring even though tracing is off. *)
+  Obs.Collector.event ~name:"pre.context" ~sim:0.0
+    [ ("k", Obs.Json.Int 1) ];
+  let e = Emergency.create () in
+  ignore
+    (Emergency.step e ~dt:0.01 ~temperature:86.0 ~power_big:2.0
+       ~power_little:0.2);
+  check_int "one dump per trip" 1 (Obs.Recorder.dump_count ());
+  (match Obs.Recorder.dumps () with
+  | [ d ] ->
+    let fields = Obs.Json.member "fields" d in
+    Alcotest.(check (option string)) "dump reason"
+      (Some "emergency.trip:thermal")
+      (Option.bind (Option.bind fields (Obs.Json.member "reason"))
+         Obs.Json.to_string_opt);
+    let names =
+      Option.bind (Option.bind fields (Obs.Json.member "window"))
+        Obs.Json.to_list_opt
+      |> Option.value ~default:[]
+      |> List.filter_map (fun j ->
+             Option.bind (Obs.Json.member "name" j) Obs.Json.to_string_opt)
+    in
+    check_bool "window holds the preceding context" true
+      (names = [ "pre.context"; "emergency.trip" ])
+  | ds -> Alcotest.failf "expected 1 dump, got %d" (List.length ds));
+  Obs.Recorder.disable ();
+  Obs.Recorder.clear ()
+
 (* ------------------------------------------------------------------ *)
 (* Board integration                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -691,6 +725,8 @@ let () =
           Alcotest.test_case "sustained power" `Quick
             test_emergency_power_needs_sustained_overage;
           Alcotest.test_case "recovers" `Quick test_emergency_recovers;
+          Alcotest.test_case "trip dumps the flight recorder" `Quick
+            test_emergency_trip_dumps_recorder;
         ] );
       ( "board",
         [

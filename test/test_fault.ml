@@ -94,6 +94,34 @@ let test_empty_schedule_passthrough () =
   check_int "trips identical" mb.Xu3.trips mi.Xu3.trips;
   check_int "no injections" 0 (Fault.Injector.injections injector)
 
+(* An injection event is a dump trigger: with the flight recorder armed,
+   the moment a fault lands the preceding event window is snapshotted. *)
+let test_injection_dumps_recorder () =
+  Obs.Collector.disable ();
+  Obs.Recorder.clear ();
+  Obs.Recorder.enable ~capacity:16 ();
+  let fault =
+    Fault.Spec.make ~start:2.0 ~duration:3.0 (Fault.Spec.Power_gain_drift 0.5)
+  in
+  let injector = Fault.Injector.make [ fault ] in
+  ignore
+    (Schemes.run ~max_time:30.0 ~injector:(Fault.Injector.hooks injector)
+       (coord ()) (small_workload ()));
+  check_int "fault fired once" 1 (Fault.Injector.injections injector);
+  check_int "one dump per injection" 1 (Obs.Recorder.dump_count ());
+  let reasons =
+    List.filter_map
+      (fun d ->
+        Option.bind
+          (Option.bind (Obs.Json.member "fields" d)
+             (Obs.Json.member "reason"))
+          Obs.Json.to_string_opt)
+      (Obs.Recorder.dumps ())
+  in
+  check_bool "dump reason is fault.inject" true (reasons = [ "fault.inject" ]);
+  Obs.Recorder.disable ();
+  Obs.Recorder.clear ()
+
 (* ------------------------------------------------------------------ *)
 (* Campaign                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -181,6 +209,8 @@ let () =
         [
           Alcotest.test_case "empty schedule pass-through" `Quick
             test_empty_schedule_passthrough;
+          Alcotest.test_case "injection dumps the flight recorder" `Quick
+            test_injection_dumps_recorder;
         ] );
       ( "campaign",
         [

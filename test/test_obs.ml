@@ -258,6 +258,288 @@ let test_with_collection () =
   Alcotest.(check bool) "has counter dump" true (List.mem "counter" kinds)
 
 (* ------------------------------------------------------------------ *)
+(* Stats: the mergeable core                                           *)
+(* ------------------------------------------------------------------ *)
+
+let welford_of_list xs =
+  let w = Obs.Stats.Welford.create () in
+  List.iter (Obs.Stats.Welford.add w) xs;
+  w
+
+(* Property: merging the Welford summaries of a split stream agrees
+   with the single-stream summary. Counts and extrema are exact; mean
+   and variance agree up to floating-point reassociation, so the
+   tolerance scales with the magnitude of the data. *)
+let welford_merge_matches_single =
+  QCheck.Test.make ~name:"welford merge of split streams = single stream"
+    ~count:300
+    QCheck.(pair (list_of_size Gen.(0 -- 200) (float_range (-1e6) 1e6))
+              (list_of_size Gen.(0 -- 200) (float_range (-1e6) 1e6)))
+    (fun (xs, ys) ->
+      let whole = welford_of_list (xs @ ys) in
+      let merged = welford_of_list xs in
+      Obs.Stats.Welford.merge_into ~into:merged (welford_of_list ys);
+      let open Obs.Stats.Welford in
+      let close a b scale =
+        (Float.is_nan a && Float.is_nan b)
+        || Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 scale
+      in
+      count merged = count whole
+      && (count whole = 0
+          || (min_v merged = min_v whole && max_v merged = max_v whole))
+      && close (mean merged) (mean whole)
+           (Float.max (Float.abs (mean whole)) 1.0)
+      && close (variance merged) (variance whole)
+           (Float.max (variance whole) 1.0))
+
+(* Property: histogram merges are exact — integer counts add, so the
+   merged histogram is bit-for-bit the single-stream histogram. *)
+let hist_merge_exact =
+  let bounds = [| -0.5; 0.0; 0.25; 0.5; 1.0 |] in
+  QCheck.Test.make ~name:"hist merge of split streams is exact" ~count:300
+    QCheck.(pair (list_of_size Gen.(0 -- 200) (float_range (-2.0) 2.0))
+              (list_of_size Gen.(0 -- 200) (float_range (-2.0) 2.0)))
+    (fun (xs, ys) ->
+      let hist_of l =
+        let h = Obs.Stats.Hist.create ~buckets:bounds in
+        List.iter (Obs.Stats.Hist.observe h) l;
+        h
+      in
+      let whole = hist_of (xs @ ys) in
+      let merged = hist_of xs in
+      Obs.Stats.Hist.merge_into ~into:merged (hist_of ys);
+      Obs.Stats.Hist.count merged = Obs.Stats.Hist.count whole
+      && Obs.Stats.Hist.counts merged = Obs.Stats.Hist.counts whole)
+
+let test_welford_basics () =
+  let w = welford_of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check int) "count" 8 (Obs.Stats.Welford.count w);
+  check_float "mean" 5.0 (Obs.Stats.Welford.mean w);
+  check_float "population variance" 4.0 (Obs.Stats.Welford.variance w);
+  check_float "std" 2.0 (Obs.Stats.Welford.std w);
+  check_float "min" 2.0 (Obs.Stats.Welford.min_v w);
+  check_float "max" 9.0 (Obs.Stats.Welford.max_v w);
+  (* Merging an empty accumulator either way is the identity. *)
+  let empty = Obs.Stats.Welford.create () in
+  Obs.Stats.Welford.merge_into ~into:w empty;
+  check_float "merge empty src is identity" 5.0 (Obs.Stats.Welford.mean w);
+  let into = Obs.Stats.Welford.create () in
+  Obs.Stats.Welford.merge_into ~into w;
+  check_float "merge into empty adopts" 5.0 (Obs.Stats.Welford.mean into);
+  (* The empty accumulator serializes as zeros, not nan. *)
+  (match Obs.Stats.Welford.to_json (Obs.Stats.Welford.create ()) with
+  | j ->
+    Alcotest.(check (option int)) "empty count json" (Some 0)
+      (Option.bind (Obs.Json.member "count" j) Obs.Json.to_int_opt);
+    Alcotest.(check bool) "empty mean json is 0" true
+      (Option.bind (Obs.Json.member "mean" j) Obs.Json.to_float_opt
+       = Some 0.0))
+
+let test_hist_basics () =
+  let h = Obs.Stats.Hist.create ~buckets:[| 1.0; 2.0 |] in
+  List.iter (Obs.Stats.Hist.observe h) [ 0.5; 1.0; 1.5; 2.0; 99.0 ];
+  (* Bounds are inclusive upper bounds; 99 lands in the overflow slot. *)
+  Alcotest.(check (array int)) "slotting" [| 2; 2; 1 |]
+    (Obs.Stats.Hist.counts h);
+  Alcotest.(check int) "count" 5 (Obs.Stats.Hist.count h);
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "empty bounds rejected" true
+    (raises (fun () -> Obs.Stats.Hist.create ~buckets:[||]));
+  Alcotest.(check bool) "non-increasing bounds rejected" true
+    (raises (fun () -> Obs.Stats.Hist.create ~buckets:[| 1.0; 1.0 |]));
+  Alcotest.(check bool) "layout mismatch rejected" true
+    (raises (fun () ->
+         Obs.Stats.Hist.merge_into ~into:h
+           (Obs.Stats.Hist.create ~buckets:[| 1.0; 3.0 |])))
+
+let test_metrics_dump_sorted () =
+  Obs.Metrics.reset_all ();
+  (* Register deliberately out of order; dump must come back sorted. *)
+  List.iter
+    (fun n -> Obs.Metrics.incr (Obs.Metrics.counter n))
+    [ "zz.last"; "aa.first"; "mm.middle" ];
+  Obs.Metrics.set (Obs.Metrics.gauge "bb.gauge") 1.0;
+  let names =
+    List.filter_map
+      (fun j -> Option.bind (Obs.Json.member "name" j) Obs.Json.to_string_opt)
+      (Obs.Metrics.dump ())
+  in
+  Alcotest.(check (list string)) "dump sorted by name"
+    [ "aa.first"; "bb.gauge"; "mm.middle"; "zz.last" ]
+    names
+
+(* ------------------------------------------------------------------ *)
+(* Recorder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let note_n n =
+  for i = 1 to n do
+    Obs.Recorder.note (Obs.Json.Int i)
+  done
+
+let test_recorder_ring () =
+  Obs.Recorder.clear ();
+  Obs.Recorder.enable ~capacity:4 ();
+  Alcotest.(check int) "capacity" 4 (Obs.Recorder.capacity ());
+  note_n 10;
+  (* Only the last [capacity] events survive, oldest first. *)
+  Alcotest.(check bool) "window keeps the newest, oldest first" true
+    (Obs.Recorder.window ()
+    = [ Obs.Json.Int 7; Obs.Json.Int 8; Obs.Json.Int 9; Obs.Json.Int 10 ]);
+  Obs.Recorder.disable ();
+  Obs.Recorder.clear ();
+  (* Disabled notes are dropped. *)
+  note_n 3;
+  Alcotest.(check bool) "disabled note is a no-op" true
+    (Obs.Recorder.window () = []);
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "capacity < 1 rejected" true
+    (raises (fun () -> Obs.Recorder.enable ~capacity:0 ()))
+
+let test_recorder_dump () =
+  Obs.Recorder.clear ();
+  Obs.Recorder.enable ~capacity:8 ();
+  note_n 3;
+  Obs.Recorder.dump ~reason:"test.trigger" ~sim:1.25;
+  Alcotest.(check int) "one dump taken" 1 (Obs.Recorder.dump_count ());
+  (match Obs.Recorder.dumps () with
+  | [ d ] ->
+    Alcotest.(check (option string)) "record name" (Some "recorder.dump")
+      (Option.bind (Obs.Json.member "name" d) Obs.Json.to_string_opt);
+    let fields = Obs.Json.member "fields" d in
+    Alcotest.(check (option string)) "reason" (Some "test.trigger")
+      (Option.bind (Option.bind fields (Obs.Json.member "reason"))
+         Obs.Json.to_string_opt);
+    Alcotest.(check (option int)) "event count" (Some 3)
+      (Option.bind (Option.bind fields (Obs.Json.member "events"))
+         Obs.Json.to_int_opt);
+    Alcotest.(check bool) "window carried verbatim" true
+      (Option.bind (Option.bind fields (Obs.Json.member "window"))
+         Obs.Json.to_list_opt
+      = Some [ Obs.Json.Int 1; Obs.Json.Int 2; Obs.Json.Int 3 ])
+  | ds -> Alcotest.failf "expected 1 retained dump, got %d" (List.length ds));
+  (* The ring survives a dump: nearby triggers see overlapping windows. *)
+  Obs.Recorder.dump ~reason:"again" ~sim:1.5;
+  Alcotest.(check int) "second dump" 2 (Obs.Recorder.dump_count ());
+  Obs.Recorder.disable ();
+  Obs.Recorder.clear ();
+  Alcotest.(check int) "clear resets the dump count" 0
+    (Obs.Recorder.dump_count ())
+
+let test_recorder_feeds_from_collector () =
+  (* Collector.event must feed the ring when only the recorder is on,
+     and dump records must reach the collector sink when tracing is on. *)
+  Obs.Collector.disable ();
+  Obs.Collector.buffer_sink ();
+  Obs.Recorder.clear ();
+  Obs.Recorder.enable ~capacity:4 ();
+  Obs.Collector.event ~name:"quiet" ~sim:0.5 [];
+  Alcotest.(check int) "collector disabled: nothing traced" 0
+    (List.length (Obs.Collector.drain ()));
+  Alcotest.(check int) "...but the ring saw the event" 1
+    (List.length (Obs.Recorder.window ()));
+  Obs.Collector.enable ();
+  Obs.Recorder.dump ~reason:"traced" ~sim:0.75;
+  Obs.Collector.disable ();
+  let lines = drain_json () in
+  Alcotest.(check bool) "dump emitted through the collector sink" true
+    (List.exists (fun j -> sfield "name" j = Some "recorder.dump") lines);
+  Obs.Recorder.disable ();
+  Obs.Recorder.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Health                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let populate_health ~errs () =
+  let h = Obs.Health.create () in
+  let l = Obs.Health.layer h "sw" in
+  List.iter
+    (fun e -> Obs.Health.note_decision l ~err:e ~saturated:(e > 0.5))
+    errs;
+  let c = Obs.Health.channel h ~name:"power" ~limit:3.3 ~trip:4.2 in
+  List.iter
+    (fun e -> Obs.Health.observe_channel c ~value:(3.0 +. e) ~dt:0.5)
+    errs;
+  List.iter (fun _ -> Obs.Health.note_epoch h ~dt:0.5) errs;
+  h
+
+let test_health_accumulates () =
+  let h = populate_health ~errs:[ 0.1; 0.6; 0.2 ] () in
+  let j = Obs.Health.to_json h in
+  let layer0 =
+    Option.bind (Obs.Json.member "layers" j) Obs.Json.to_list_opt
+    |> Option.map List.hd
+  in
+  Alcotest.(check (option int)) "decisions" (Some 3)
+    (Option.bind (Option.bind layer0 (Obs.Json.member "decisions"))
+       Obs.Json.to_int_opt);
+  (* One of three decisions saturated. *)
+  (match
+     Option.bind (Option.bind layer0 (Obs.Json.member "saturation_duty"))
+       Obs.Json.to_float_opt
+   with
+  | Some d -> check_float "saturation duty" (1.0 /. 3.0) d
+  | None -> Alcotest.fail "saturation_duty missing");
+  (* value 3.6 breaches the 3.3 limit: fraction (3.6-3.3)/0.9 = 1/3,
+     and 0.5 s accrues to time-in-violation. *)
+  let chan0 =
+    Option.bind (Obs.Json.member "channels" j) Obs.Json.to_list_opt
+    |> Option.map List.hd
+  in
+  (match
+     Option.bind
+       (Option.bind chan0 (Obs.Json.member "worst_guardband_fraction"))
+       Obs.Json.to_float_opt
+   with
+  | Some w -> Alcotest.(check (float 1e-9)) "worst fraction" (1.0 /. 3.0) w
+  | None -> Alcotest.fail "worst_guardband_fraction missing");
+  (match
+     Option.bind (Option.bind chan0 (Obs.Json.member "violation_s"))
+       Obs.Json.to_float_opt
+   with
+  | Some v -> check_float "violation time" 0.5 v
+  | None -> Alcotest.fail "violation_s missing");
+  (* The render path covers every row type without raising. *)
+  Alcotest.(check bool) "render mentions the layer" true
+    (let s = Obs.Health.render h in
+     String.length s > 0)
+
+let test_health_merge () =
+  let a = populate_health ~errs:[ 0.1; 0.6 ] () in
+  let b = populate_health ~errs:[ 0.2; 0.3; 0.7 ] () in
+  let whole = populate_health ~errs:[ 0.1; 0.6; 0.2; 0.3; 0.7 ] () in
+  (* A fresh accumulator adopts the first source's layout... *)
+  let merged = Obs.Health.create () in
+  Obs.Health.merge_into ~into:merged a;
+  Obs.Health.merge_into ~into:merged b;
+  Alcotest.(check int) "epochs add" (Obs.Health.epochs whole)
+    (Obs.Health.epochs merged);
+  check_float "sim adds" (Obs.Health.sim_s whole) (Obs.Health.sim_s merged);
+  (* Counts, extrema and histograms are exact across the merge; only
+     mean/EWMA are subject to reassociation/approximation. *)
+  let j = Obs.Health.to_json merged and jw = Obs.Health.to_json whole in
+  let hist_counts j =
+    Option.bind (Obs.Json.member "channels" j) Obs.Json.to_list_opt
+    |> Option.map List.hd
+    |> Fun.flip Option.bind (Obs.Json.member "fraction_hist")
+    |> Fun.flip Option.bind (Obs.Json.member "counts")
+  in
+  Alcotest.(check bool) "merged histogram exact" true
+    (hist_counts j = hist_counts jw && hist_counts j <> None);
+  (* ...and mismatched layouts are rejected once populated. *)
+  let other = Obs.Health.create () in
+  ignore (Obs.Health.layer other "different");
+  Alcotest.(check bool) "layout mismatch rejected" true
+    (match Obs.Health.merge_into ~into:other a with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+(* ------------------------------------------------------------------ *)
 (* Runtime instrumentation contract                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -352,6 +634,26 @@ let () =
           Alcotest.test_case "histogram single/overflow" `Quick
             test_histogram_single_and_overflow;
           Alcotest.test_case "dump" `Quick test_metrics_dump;
+          Alcotest.test_case "dump sorted by name" `Quick
+            test_metrics_dump_sorted;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "welford basics" `Quick test_welford_basics;
+          Alcotest.test_case "hist basics" `Quick test_hist_basics;
+        ]
+        @ qsuite [ welford_merge_matches_single; hist_merge_exact ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring semantics" `Quick test_recorder_ring;
+          Alcotest.test_case "dump record" `Quick test_recorder_dump;
+          Alcotest.test_case "collector feed and emit" `Quick
+            test_recorder_feeds_from_collector;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "accumulates" `Quick test_health_accumulates;
+          Alcotest.test_case "merge" `Quick test_health_merge;
         ] );
       ( "collector",
         [

@@ -103,6 +103,33 @@ let test_run_suite_parity () =
   in
   check_bool "-j 1 equals serial" true (serial = one)
 
+let test_suite_health_identical () =
+  (* The fleet-health aggregate folds per-cell accumulators in row
+     order, so its JSON must be byte-identical at any job count. *)
+  let rows jobs =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Experiment.run_suite ~max_time:120.0 ~pool ~schemes:(schemes ())
+          (entries ()))
+  in
+  let doc jobs =
+    Obs.Json.to_string (Experiment.suite_health_json (rows jobs))
+  in
+  let serial =
+    Obs.Json.to_string
+      (Experiment.suite_health_json
+         (Experiment.run_suite ~max_time:120.0 ~schemes:(schemes ())
+            (entries ())))
+  in
+  Alcotest.(check string) "-j4 health equals serial" serial (doc 4);
+  Alcotest.(check string) "-j1 health equals serial" serial (doc 1);
+  check_bool "health block is non-trivial" true
+    (String.length serial > 2
+    && List.for_all
+         (fun (s : Schemes.info) ->
+           (* Every scheme keys an aggregate. *)
+           Obs.Json.member s.Schemes.name (Obs.Json.of_string serial) <> None)
+         (schemes ()))
+
 let test_campaign_parity () =
   let workloads =
     [ Workload.scale ~ginsts:300.0 (Workload.by_name "blackscholes") ]
@@ -197,6 +224,8 @@ let () =
         [
           Alcotest.test_case "run_suite -j1/-j4 parity" `Quick
             test_run_suite_parity;
+          Alcotest.test_case "health aggregate -j1/-j4 byte-identity" `Quick
+            test_suite_health_identical;
           Alcotest.test_case "campaign parity" `Quick test_campaign_parity;
           Alcotest.test_case "worker exception propagates" `Quick
             test_worker_exception_propagates;
