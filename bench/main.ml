@@ -4,6 +4,7 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- --fig9 --fig10 ...   -- selected pieces
      dune exec bench/main.exe -- -j 4 ...             -- domain-parallel grids
+     dune exec bench/main.exe -- fleet ...            -- rack-level fleet runs
 
    Flags, the --json document schema, and the parallelism/cache rules
    are documented in BENCHMARKS.md.
@@ -774,6 +775,8 @@ let () =
     exit 0
   (* The perf-regression gate: diff two bench-micro documents. *)
   | "compare" :: rest -> exit (Compare.main rest)
+  (* The fleet harness: N boards under one rack budget (bench/fleetbench.ml). *)
+  | "fleet" :: rest -> exit (Fleetbench.main rest)
   | _ -> ());
   (* [--json OUT] and [-j N] consume their values; everything else is a
      flag. *)

@@ -256,6 +256,26 @@ let obs_overhead_on =
         fun () -> Layer.step layer board o);
   }
 
+(* One fleet slice: 64 boards under the feedback rack policy, 16 s of
+   simulated time (8 rack epochs), serial, on a workload scaled so no
+   board finishes — the per-rack-epoch constant factor behind
+   [bench fleet], board construction included. *)
+let fleet_64boards =
+  {
+    kernel = "fleet_64boards";
+    size = "64 boards x 16 s";
+    batch = 1;
+    reps = 10;
+    smoke_reps = 5;
+    prepare =
+      (fun () ->
+        let cfg =
+          Fleet.Sim.config ~policy:Fleet.Rack.Feedback ~max_time:16.0
+            ~ginsts:1e3 ~boards:64 ()
+        in
+        fun () -> ignore (Fleet.Sim.run cfg));
+  }
+
 let all_kernels =
   [
     gemm 4;
@@ -268,6 +288,7 @@ let all_kernels =
     dk_design;
     xu3_epochs;
     controller_step;
+    fleet_64boards;
     obs_overhead_off;
     obs_overhead_on;
   ]

@@ -9,6 +9,8 @@ type action = {
 type fstate = {
   mutable over_power_big_s : float;    (* Continuous time above threshold. *)
   mutable over_power_little_s : float;
+  mutable over_cap_s : float;          (* Time above the external cap. *)
+  mutable cap_cooldown : float;        (* Remaining cap clamp time. *)
   mutable thermal_cooldown : float;    (* Remaining thermal clamp time. *)
   mutable power_cooldown_big : float;
   mutable power_cooldown_little : float;
@@ -45,6 +47,8 @@ let create () =
       {
         over_power_big_s = 0.0;
         over_power_little_s = 0.0;
+        over_cap_s = 0.0;
+        cap_cooldown = 0.0;
         thermal_cooldown = 0.0;
         power_cooldown_big = 0.0;
         power_cooldown_little = 0.0;
@@ -83,12 +87,30 @@ let register_trip t ~kind ~value =
 let no_caps =
   { cap_freq_big = None; cap_freq_little = None; cap_big_cores = None }
 
-let step t ~dt ~temperature ~power_big ~power_little =
+let step t ?cap ~dt ~temperature ~power_big ~power_little () =
   t.f.clock <- t.f.clock +. dt;
   (* Cooldowns tick first. *)
   t.f.thermal_cooldown <- Float.max 0.0 (t.f.thermal_cooldown -. dt);
   t.f.power_cooldown_big <- Float.max 0.0 (t.f.power_cooldown_big -. dt);
   t.f.power_cooldown_little <- Float.max 0.0 (t.f.power_cooldown_little -. dt);
+  (* The externally imposed board cap (rack apportionment) guards total
+     board power with the same sustained-overage machinery as the
+     per-cluster limiters. With no cap the two fields never leave 0.0,
+     so cap-less runs are bit-identical to the pre-cap behaviour. *)
+  (match cap with
+  | None ->
+      if t.f.over_cap_s <> 0.0 then t.f.over_cap_s <- 0.0;
+      t.f.cap_cooldown <- Float.max 0.0 (t.f.cap_cooldown -. dt)
+  | Some cap ->
+      t.f.cap_cooldown <- Float.max 0.0 (t.f.cap_cooldown -. dt);
+      let total = power_big +. power_little in
+      if total > cap then t.f.over_cap_s <- t.f.over_cap_s +. dt
+      else t.f.over_cap_s <- 0.0;
+      if t.f.over_cap_s >= power_patience && t.f.cap_cooldown = 0.0 then begin
+        register_trip t ~kind:"power_cap" ~value:total;
+        t.f.cap_cooldown <- power_clamp_s *. t.f.escalation;
+        t.f.over_cap_s <- 0.0
+      end);
   (* Thermal trip is immediate. *)
   if temperature >= thermal_trip && t.f.thermal_cooldown = 0.0 then begin
     register_trip t ~kind:"thermal" ~value:temperature;
@@ -114,23 +136,25 @@ let step t ~dt ~temperature ~power_big ~power_little =
   end;
   if
     t.f.thermal_cooldown = 0.0 && t.f.power_cooldown_big = 0.0
-    && t.f.power_cooldown_little = 0.0
+    && t.f.power_cooldown_little = 0.0 && t.f.cap_cooldown = 0.0
   then no_caps
   else
     {
       cap_freq_big =
         (if t.f.thermal_cooldown > 0.0 then Some 0.5
-         else if t.f.power_cooldown_big > 0.0 then Some 0.6
+         else if t.f.power_cooldown_big > 0.0 || t.f.cap_cooldown > 0.0 then
+           Some 0.6
          else None);
       cap_freq_little =
         (if t.f.thermal_cooldown > 0.0 then Some 0.3
-         else if t.f.power_cooldown_little > 0.0 then Some 0.4
+         else if t.f.power_cooldown_little > 0.0 || t.f.cap_cooldown > 0.0 then
+           Some 0.4
          else None);
       cap_big_cores = (if t.f.thermal_cooldown > 0.0 then Some 2 else None);
     }
 
 let tripped t =
   t.f.thermal_cooldown > 0.0 || t.f.power_cooldown_big > 0.0
-  || t.f.power_cooldown_little > 0.0
+  || t.f.power_cooldown_little > 0.0 || t.f.cap_cooldown > 0.0
 
 let trip_count t = t.trips

@@ -30,13 +30,22 @@ val create : unit -> t
 
 val step :
   t ->
+  ?cap:float ->
   dt:float ->
   temperature:float ->
   power_big:float ->
   power_little:float ->
+  unit ->
   action
 (** Advance the trip state machine by [dt] and return the currently
-    enforced caps (all [None] when not tripped). *)
+    enforced caps (all [None] when not tripped).
+
+    [?cap] is an externally imposed limit on {e total} board power
+    (big + little), in watts — the per-board share of a rack budget.
+    Sustained overage (the same [power_patience] window as the cluster
+    limiters) trips a ["power_cap"] clamp on both clusters. Omitting
+    [cap] leaves the trip machinery bit-identical to a build without
+    it. *)
 
 val tripped : t -> bool
 

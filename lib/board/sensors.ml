@@ -41,7 +41,9 @@ let refresh t ~time ~power_big ~power_little =
     t.held_little <- corrupt t power_little;
     t.last_update <- time;
     t.initialized <- true;
-    if Obs.Collector.enabled () then begin
+    (* [observing], not [enabled]: the refresh event must also feed the
+       flight recorder when only the recorder is on. *)
+    if Obs.Collector.observing () then begin
       Obs.Metrics.incr refreshes_metric;
       Obs.Collector.event ~name:"sensors.refresh" ~sim:time
         [

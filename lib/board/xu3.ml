@@ -84,6 +84,7 @@ type t = {
   mutable last_busy_big : int;
   mutable last_busy_little : int;
   mutable last_action : Emergency.action;
+  mutable power_cap : float option;    (* External total-power cap, watts. *)
   injector : injector option;
 }
 
@@ -151,6 +152,7 @@ let create ?(sensor_noise = 0.0) ?(seed = 17)
       List.fold_left (fun acc w -> acc +. Workload.total_ginsts w) 0.0 workloads;
     last_busy_big = 0;
     last_busy_little = 0;
+    power_cap = None;
     last_action =
       {
         Emergency.cap_freq_big = None;
@@ -451,9 +453,9 @@ let one_tick t =
      on both clusters (clamp transition, PLL relock, pipeline flush). *)
   let trips_before = Emergency.trip_count t.emergency in
   let act =
-    Emergency.step t.emergency ~dt:tick
+    Emergency.step t.emergency ?cap:t.power_cap ~dt:tick
       ~temperature:(Thermal.temperature t.thermal)
-      ~power_big:p_big ~power_little:p_little
+      ~power_big:p_big ~power_little:p_little ()
   in
   (* Untripped, [step] returns the shared [no_caps] constant every tick;
      storing it again would only pay the write barrier. *)
@@ -520,6 +522,21 @@ let run_epoch t epoch =
     step t epoch;
     observe t
   end
+
+let set_power_cap t cap =
+  if cap <> t.power_cap then begin
+    t.power_cap <- cap;
+    if Obs.Collector.observing () then
+      Obs.Collector.event ~name:"board.cap" ~sim:t.acc.time
+        [
+          ( "cap_w",
+            match cap with
+            | None -> Obs.Json.Null
+            | Some w -> Obs.Json.Float w );
+        ]
+  end
+
+let power_cap t = t.power_cap
 
 let time t = t.acc.time
 

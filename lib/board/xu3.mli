@@ -119,6 +119,16 @@ val effective_config : t -> config
 
 val placement : t -> placement
 
+val set_power_cap : t -> float option -> unit
+(** Impose (or lift, with [None]) an external cap on total board power in
+    watts — a rack controller's per-board share of the shared budget.
+    Enforcement is by {!Emergency}'s sustained-overage machinery
+    (["power_cap"] trips clamp both clusters); boards that never receive
+    a cap behave bit-identically to a build without this surface. *)
+
+val power_cap : t -> float option
+(** The currently imposed external power cap, if any. *)
+
 val step : t -> float -> unit
 (** Advance the simulation by the given number of seconds (internally in
     10 ms ticks). No-op once finished. *)

@@ -1,0 +1,25 @@
+(* Deterministic per-board seed derivation (splitmix64-style finalizer).
+
+   Every board's RNG seeds are pure functions of (fleet_seed, board
+   index, stream), so a fleet run is reproducible and board i's
+   behaviour is independent of how many other boards exist, in which
+   order they are built, and how many domains step them. *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let golden = 0x9e3779b97f4a7c15L
+
+let derive ~fleet_seed ~board ~stream =
+  if board < 0 then invalid_arg "Seed.derive: negative board index";
+  let open Int64 in
+  let z =
+    add
+      (mul (of_int fleet_seed) golden)
+      (add (mul (of_int (board + 1)) 0xbf58476d1ce4e5b9L) (of_int stream))
+  in
+  (* Mask to 30 bits: positive on every OCaml int size. *)
+  to_int (logand (mix64 z) 0x3FFFFFFFL)

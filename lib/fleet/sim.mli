@@ -1,0 +1,73 @@
+(** The streaming fleet driver: N boards, each under its own
+    {!Yukta.Stack}, sharing one rack power budget apportioned by
+    {!Rack} each rack epoch.
+
+    The driver keeps persistent per-board state (board + stack) across
+    rack epochs. Each rack epoch it fans the still-running boards out
+    over a {!Parallel.Pool} — every board steps
+    [rack_epoch / epoch] control epochs under its current cap — and
+    folds the per-board samples (average power, progress, finished)
+    into mergeable accumulators {e in board order} via the pool's
+    streaming [map_reduce]: no per-board result list is ever
+    materialized, and the folded aggregates are byte-identical at any
+    job count (collector events are captured per board and replayed in
+    order). Per-board RNG seeds derive from the fleet seed via {!Seed},
+    so results are also independent of board count and ordering. *)
+
+type config = {
+  boards : int;
+  cap : float;              (** Shared rack budget, watts. *)
+  policy : Rack.policy;
+  scheme : string;          (** Scheme key for every board's stack. *)
+  seed : int;               (** Fleet seed; per-board seeds derive. *)
+  epoch : float;            (** Board control epoch, seconds. *)
+  rack_epoch : float;       (** Rack decision period, seconds. *)
+  max_time : float;         (** Simulated horizon, seconds. *)
+  ginsts : float;           (** Per-board workload size, Ginsts. *)
+}
+
+val config :
+  ?cap_per_board:float ->
+  ?policy:Rack.policy ->
+  ?scheme:string ->
+  ?seed:int ->
+  ?epoch:float ->
+  ?rack_epoch:float ->
+  ?max_time:float ->
+  ?ginsts:float ->
+  boards:int ->
+  unit ->
+  config
+(** Defaults: 1.6 W/board shared budget (contended — the uncapped
+    per-board budget is {!Yukta.Hw_layer.board_power_budget} = 3.63 W),
+    feedback policy, the ["coord"] scheme (no synthesis needed), seed
+    42, 0.5 s epochs, 2 s rack epochs, 240 s horizon, 60 Ginsts of
+    synthetic (per-board heterogeneous) work.
+    @raise Invalid_argument on [boards < 1], a non-positive budget, or
+    [epoch]/[rack_epoch] that don't satisfy [0 < epoch <= rack_epoch]. *)
+
+type result = {
+  cfg : config;
+  rack_epochs : int;
+  board_epochs : int;       (** Total control epochs stepped, fleet-wide. *)
+  completed : int;          (** Boards that finished their work. *)
+  makespan : float;         (** Latest board clock at the end, seconds. *)
+  energy : float;           (** Fleet joules. *)
+  exd : float;              (** Fleet E x D: [energy * makespan]. *)
+  cap_violation_s : float;  (** Rack-epoch time with measured total power
+                                above the budget. *)
+  trips : int;              (** Emergency trips, fleet-wide. *)
+  power : Obs.Stats.Welford.t;
+      (** Per-board-rack-epoch average power samples. *)
+}
+
+val run : ?pool:Parallel.Pool.t -> config -> result
+(** Run the fleet to completion or the horizon. Without a pool (or with
+    a 1-job pool) everything steps inline in the caller; the parallel
+    and serial paths produce bit-identical results. *)
+
+val json : result -> Obs.Json.t
+(** The deterministic ["fleet"] result block (config echo + aggregate
+    metrics). Contains no wall-clock fields, so it is byte-identical
+    across job counts; throughput (boards x epochs / wall second) is the
+    harness's to report. *)

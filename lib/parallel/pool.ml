@@ -1,7 +1,9 @@
-(* A fixed-size domain pool. Workers pull thunks from one shared queue;
-   Pool.map writes results into a pre-sized slot array, so ordering is
-   by input index no matter which domain finishes first, and exceptions
-   are carried as values until the whole batch has settled. *)
+(* A fixed-size domain pool. Workers pull thunks from one shared queue.
+   Pool.map_reduce streams tasks through a bounded in-flight window and
+   folds each result into the caller's accumulator in input order, so a
+   batch of any length holds at most O(window) results at once and the
+   fold is byte-identical at any job count. Exceptions are carried as
+   values and the earliest failing input re-raises in the caller. *)
 
 type t = {
   jobs : int;
@@ -10,7 +12,7 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
-  batch : Mutex.t;                      (* One [map] batch at a time. *)
+  batch : Mutex.t;                      (* One batch at a time. *)
 }
 
 let rec worker_loop t =
@@ -39,7 +41,7 @@ let create ~jobs =
       batch = Mutex.create ();
     }
   in
-  (* The calling domain participates in [map], so [jobs - 1] extra
+  (* The calling domain participates in batches, so [jobs - 1] extra
      domains give [jobs]-way parallelism. *)
   t.workers <-
     List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
@@ -61,8 +63,7 @@ let with_pool ~jobs f =
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-(* The caller drains the queue alongside the workers, then waits for
-   in-flight tasks running on other domains. *)
+(* The caller drains the queue alongside the workers. *)
 let help t =
   let rec go () =
     Mutex.lock t.mutex;
@@ -76,55 +77,116 @@ let help t =
   in
   go ()
 
+(* In-flight window: results not yet folded live in a ring of this many
+   slots, bounding memory independently of batch length while keeping
+   every domain busy. *)
+let window t = 4 * t.jobs
+
+let map_reduce t ~map:f ~init ~reduce xs =
+  if t.closed then invalid_arg "Pool.map_reduce: pool is shut down";
+  match xs with
+  | [] -> init
+  | xs when t.jobs = 1 ->
+      List.fold_left (fun acc x -> reduce acc (f x)) init xs
+  | xs ->
+      Mutex.lock t.batch;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.batch) @@ fun () ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let w = min n (window t) in
+      (* ring.(i mod w) holds input i's settled result until the caller
+         folds it; issuance is gated so in-flight inputs occupy distinct
+         slots. settled counts finished tasks (guarded by slot_mutex). *)
+      let ring = Array.make w None in
+      let slot_mutex = Mutex.create () in
+      let slot_ready = Condition.create () in
+      let settled = ref 0 in
+      let task i () =
+        let r =
+          match f arr.(i) with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock slot_mutex;
+        ring.(i mod w) <- Some r;
+        settled := !settled + 1;
+        Condition.broadcast slot_ready;
+        Mutex.unlock slot_mutex
+      in
+      let issued = ref 0 in
+      let issue_until k =
+        let k = min k n in
+        if !issued < k then begin
+          Mutex.lock t.mutex;
+          while !issued < k do
+            Queue.push (task !issued) t.queue;
+            incr issued
+          done;
+          Condition.broadcast t.work_available;
+          Mutex.unlock t.mutex
+        end
+      in
+      let run_one_queued () =
+        Mutex.lock t.mutex;
+        if Queue.is_empty t.queue then begin
+          Mutex.unlock t.mutex;
+          false
+        end
+        else begin
+          let task = Queue.pop t.queue in
+          Mutex.unlock t.mutex;
+          task ();
+          true
+        end
+      in
+      issue_until w;
+      (* Whatever exits the fold (completion, a task failure, a raising
+         [reduce]), no task of this batch may outlive it: run anything
+         still queued, then wait out the in-flight stragglers. *)
+      let cleanup () =
+        help t;
+        Mutex.lock slot_mutex;
+        while !settled < !issued do
+          Condition.wait slot_ready slot_mutex
+        done;
+        Mutex.unlock slot_mutex
+      in
+      Fun.protect ~finally:cleanup @@ fun () ->
+      let acc = ref init in
+      let cursor = ref 0 in
+      let failure = ref None in
+      while !cursor < n && !failure = None do
+        let slot = !cursor mod w in
+        Mutex.lock slot_mutex;
+        let r = ring.(slot) in
+        if r <> None then ring.(slot) <- None;
+        Mutex.unlock slot_mutex;
+        match r with
+        | Some (Ok v) ->
+            (* Refill the freed slot before folding so domains stay busy
+               while [reduce] runs in the caller. *)
+            incr cursor;
+            issue_until (!cursor + w);
+            acc := reduce !acc v
+        | Some (Error e) ->
+            (* Earliest input in fold order: stop issuing and re-raise. *)
+            failure := Some e
+        | None ->
+            (* Not settled yet: help with queued work, or sleep until a
+               worker publishes a slot. The cursor's task is always
+               issued, so someone is running it. *)
+            if not (run_one_queued ()) then begin
+              Mutex.lock slot_mutex;
+              while ring.(slot) = None do
+                Condition.wait slot_ready slot_mutex
+              done;
+              Mutex.unlock slot_mutex
+            end
+      done;
+      match !failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> !acc
+
 let map t f xs =
   if t.closed then invalid_arg "Pool.map: pool is shut down";
-  match xs with
-  | [] -> []
-  | xs when t.jobs = 1 -> List.map f xs
-  | xs ->
-    Mutex.lock t.batch;
-    Fun.protect ~finally:(fun () -> Mutex.unlock t.batch) @@ fun () ->
-    let arr = Array.of_list xs in
-    let n = Array.length arr in
-    let results = Array.make n None in
-    let remaining = Atomic.make n in
-    let done_mutex = Mutex.create () in
-    let all_done = Condition.create () in
-    let task i () =
-      let r =
-        match f arr.(i) with
-        | v -> Ok v
-        | exception e -> Error (e, Printexc.get_raw_backtrace ())
-      in
-      (* Plain write to a private slot, published to the caller by the
-         seq-cst decrement below. *)
-      results.(i) <- Some r;
-      if Atomic.fetch_and_add remaining (-1) = 1 then begin
-        Mutex.lock done_mutex;
-        Condition.signal all_done;
-        Mutex.unlock done_mutex
-      end
-    in
-    Mutex.lock t.mutex;
-    for i = 0 to n - 1 do
-      Queue.push (task i) t.queue
-    done;
-    Condition.broadcast t.work_available;
-    Mutex.unlock t.mutex;
-    help t;
-    Mutex.lock done_mutex;
-    while Atomic.get remaining > 0 do
-      Condition.wait all_done done_mutex
-    done;
-    Mutex.unlock done_mutex;
-    let settled =
-      Array.to_list
-        (Array.map (function Some r -> r | None -> assert false) results)
-    in
-    (* Re-raise the earliest failure only after the whole batch settled,
-       so a raising task can never strand its siblings. *)
-    List.iter
-      (function
-        | Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
-      settled;
-    List.map (function Ok v -> v | Error _ -> assert false) settled
+  List.rev (map_reduce t ~map:f ~init:[] ~reduce:(fun acc v -> v :: acc) xs)

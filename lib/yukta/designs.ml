@@ -157,6 +157,31 @@ let lqg_mono_default =
     (cached_controller "mono" (fun () ->
          Lqg_layer.monolithic_controller (get_records_unlocked ())))
 
+(* The rack layer's feedback design: the budget-tracking loop is a
+   scalar integrator plant (total fleet power responds within one rack
+   epoch to a cap change), so its LQR reduces to one DARE-derived gain.
+   Cached like the layer designs — the key is the plant/weights alone,
+   no training records needed. *)
+let rack_q = 1.0
+
+let rack_r = 4.0
+
+let rack_gain_unlocked () =
+  let key =
+    Printf.sprintf "rack-v%d-q%.17g-r%.17g" schema_version rack_q rack_r
+  in
+  match cache_load key with
+  | Some (g : float) -> g
+  | None ->
+    let m x = Linalg.Mat.of_lists [ [ x ] ] in
+    let a = m 1.0 and b = m 1.0 in
+    let x = Control.Dare.solve ~a ~b ~q:(m rack_q) ~r:(m rack_r) in
+    let g = Linalg.Mat.get (Control.Dare.gain ~a ~b ~r:(m rack_r) x) 0 0 in
+    cache_store key g;
+    g
+
+let rack_default = lazy (rack_gain_unlocked ())
+
 (* ------------------------------------------------------------------ *)
 (* Public (locking) entry points                                       *)
 (* ------------------------------------------------------------------ *)
@@ -177,6 +202,8 @@ let lqg_sw () = with_memo_lock (fun () -> Lazy.force lqg_sw_default)
 
 let lqg_monolithic () = with_memo_lock (fun () -> Lazy.force lqg_mono_default)
 
+let rack_gain () = with_memo_lock (fun () -> Lazy.force rack_default)
+
 let prepare () =
   with_memo_lock (fun () ->
       ignore (get_records_unlocked ());
@@ -184,4 +211,5 @@ let prepare () =
       ignore (Lazy.force sw_default);
       ignore (Lazy.force lqg_hw_default);
       ignore (Lazy.force lqg_sw_default);
-      ignore (Lazy.force lqg_mono_default))
+      ignore (Lazy.force lqg_mono_default);
+      ignore (Lazy.force rack_default))

@@ -36,6 +36,13 @@ val lqg_hw : unit -> Controller.t
 val lqg_sw : unit -> Controller.t
 val lqg_monolithic : unit -> Controller.t
 
+val rack_gain : unit -> float
+(** The rack layer's budget-tracking feedback gain: the LQR of a scalar
+    integrator plant (total fleet power vs. the cap trim), solved by the
+    same DARE machinery as the LQG baselines and cached in
+    [.yukta_cache/] (keyed by plant weights only — no training records).
+    Used by [Fleet.Rack]'s feedback policy. *)
+
 val prepare : unit -> unit
 (** Force every default memo (records, both SSV designs, all three LQG
     baselines) under the lock — the single-force-before-fan-out step of

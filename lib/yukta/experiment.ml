@@ -57,18 +57,25 @@ type normalized_row = {
 
 (* Apply [f] to every grid cell, in order or fanned out to [pool]. Every
    cell is independent and deterministic (fresh stack, fresh board), so
-   the two paths compute identical results; per-domain capture + replay
-   in input order makes the collector's trace stream identical too
-   (modulo wall-clock span durations). *)
+   the two paths compute identical results; per-domain capture plus
+   in-stream replay in input order makes the collector's trace stream
+   identical too (modulo wall-clock span durations). The parallel path
+   rides the pool's streaming [map_reduce]: each cell's captured trace
+   lines are replayed the moment its slot folds, rather than after the
+   whole grid has materialized. *)
 let map_cells ?pool f cells =
   match pool with
   | None -> List.map f cells
   | Some p when Parallel.Pool.jobs p <= 1 -> List.map f cells
   | Some p ->
-    Parallel.Pool.map p (fun c -> Obs.Collector.capture (fun () -> f c)) cells
-    |> List.map (fun (v, lines) ->
+    List.rev
+      (Parallel.Pool.map_reduce p
+         ~map:(fun c -> Obs.Collector.capture (fun () -> f c))
+         ~init:[]
+         ~reduce:(fun acc (v, lines) ->
            Obs.Collector.replay lines;
-           v)
+           v :: acc)
+         cells)
 
 let parallel_active pool =
   match pool with None -> false | Some p -> Parallel.Pool.jobs p > 1

@@ -37,12 +37,14 @@ val map_cells :
   ?pool:Parallel.Pool.t -> ('a -> 'b) -> 'a list -> 'b list
 (** Apply [f] to every cell of an evaluation grid, preserving input
     order. Without a pool (or with a 1-job pool) this is [List.map];
-    with a parallel pool, cells fan out to the pool's domains, each
-    wrapped in [Obs.Collector.capture], and the captured trace lines are
-    replayed in input order — so serial and parallel runs produce
-    identical results {e and} identical trace streams (modulo wall-clock
-    span durations). Cells must be independent: fresh stack, fresh
-    board, no writes to shared state. *)
+    with a parallel pool, cells fan out through the pool's streaming
+    [map_reduce], each wrapped in [Obs.Collector.capture], and the
+    captured trace lines are replayed in input order as each cell's
+    result streams back — so serial and parallel runs produce identical
+    results {e and} identical trace streams (modulo wall-clock span
+    durations), and no intermediate captured-trace list is ever
+    materialized. Cells must be independent: fresh stack, fresh board,
+    no writes to shared state. *)
 
 val run_suite :
   ?max_time:float ->

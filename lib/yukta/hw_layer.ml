@@ -84,6 +84,23 @@ let spec ?(uncertainty = 0.40) ?(input_weight = 1.0) ?(perf_bound = 0.20)
     period;
   }
 
+(* External rack caps: a board's uncapped budget is the sum of the two
+   cluster power limits; a cap below it scales both power targets by the
+   same fraction (temperature and performance targets are left to the
+   controller). At or above the budget the rewrite is the identity —
+   returning the argument itself keeps cap-less stacks bit-identical. *)
+let board_power_budget = power_limit_big +. power_limit_little
+
+let cap_targets ~cap (targets : Vec.t) =
+  if cap >= board_power_budget then targets
+  else begin
+    let s = Float.max 0.05 (cap /. board_power_budget) in
+    let t = Array.copy targets in
+    t.(1) <- Float.min t.(1) (power_limit_big *. s);
+    t.(2) <- Float.min t.(2) (power_limit_little *. s);
+    t
+  end
+
 (* Optimizer roles (Section IV-D): maximize performance subject to the
    power and temperature caps. *)
 let optimizer_roles =

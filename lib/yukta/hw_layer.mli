@@ -47,6 +47,17 @@ val spec :
 (** The full layer specification; the optional arguments are the knobs the
     Section VI-E sensitivity studies turn. *)
 
+val board_power_budget : float
+(** The board's uncapped total power budget:
+    [power_limit_big + power_limit_little]. A rack cap at or above this
+    changes nothing; below it, {!cap_targets} scales proportionally. *)
+
+val cap_targets : cap:float -> Linalg.Vec.t -> Linalg.Vec.t
+(** Target rewrite under an external total-power cap, for
+    [Layer.controlled ~cap_targets]: both power targets are clamped to
+    their limit scaled by [cap / board_power_budget] (floored at 5%).
+    Identity — the very same vector — for [cap >= board_power_budget]. *)
+
 val optimizer_roles : Optimizer.role array
 (** Maximize performance; power and temperature capped at the limits. *)
 

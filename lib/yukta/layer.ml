@@ -40,6 +40,10 @@ type controlled = {
   actuate : Xu3.t -> Vec.t -> unit;
   on_reset : unit -> unit;
   mutable epoch_index : int;
+  (* Rewrites the target vector when an external power cap is active
+     (rack apportionment); must return a fresh vector, never mutate its
+     argument. None (or no cap): targets pass through untouched. *)
+  cap_targets : (cap:float -> Vec.t -> Vec.t) option;
 }
 
 type heuristic = {
@@ -67,8 +71,8 @@ let heuristic ~label ?(measures = [||]) ?(actuates = [||])
   }
 
 let controlled ~label ?(measures = [||]) ?(actuates = [||])
-    ?(on_reset = fun () -> ()) ~controller ~targets ~measure ~externals
-    ~actuate () =
+    ?(on_reset = fun () -> ()) ?cap_targets ~controller ~targets ~measure
+    ~externals ~actuate () =
   {
     label;
     measures_ = measures;
@@ -84,6 +88,7 @@ let controlled ~label ?(measures = [||]) ?(actuates = [||])
           actuate;
           on_reset;
           epoch_index = 0;
+          cap_targets;
         };
   }
 
@@ -128,7 +133,7 @@ let floats_json v =
 
 let decisions_metric = Obs.Metrics.counter "runtime.decisions"
 
-let step ?health t board o =
+let step ?health ?cap t board o =
   match t.kind with
   | Heuristic h ->
     h.h_epoch <- h.h_epoch + 1;
@@ -156,6 +161,11 @@ let step ?health t board o =
         if c.epoch_index mod optimizer_interval = 0 then
           Optimizer.update opt ~objective ~measurements:meas
         else Optimizer.targets opt
+    in
+    let targets =
+      match (cap, c.cap_targets) with
+      | Some cap, Some rewrite -> rewrite ~cap targets
+      | _ -> targets
     in
     let u =
       Controller.step c.controller ~measurements:meas ~targets

@@ -45,6 +45,7 @@ val controlled :
   ?measures:string array ->
   ?actuates:string array ->
   ?on_reset:(unit -> unit) ->
+  ?cap_targets:(cap:float -> Vec.t -> Vec.t) ->
   controller:Controller.t ->
   targets:targets ->
   measure:(Board.Xu3.outputs -> Vec.t) ->
@@ -57,7 +58,14 @@ val controlled :
     values of its external signals (usually other layers' inputs, via
     the board); [actuate] applies the command vector. [on_reset] runs in
     addition to the controller/optimizer resets (e.g. to restore a
-    layer-private knob). *)
+    layer-private knob).
+
+    [cap_targets], if given, rewrites the epoch's target vector whenever
+    {!step} receives an external power cap — e.g. scaling power-limit
+    targets to the board's share of a rack budget. It must return a
+    fresh vector (the incoming targets may be optimizer- or caller-owned
+    state) and must be the identity for caps at or above the layer's
+    uncapped budget, so cap-less runs stay bit-identical. *)
 
 val label : t -> string
 
@@ -85,12 +93,24 @@ val reset : t -> unit
 (** Start-of-execution reset: controller state, optimizer, E x D
     tracker, epoch counter, and any layer-private state. *)
 
-val step : ?health:Obs.Health.layer -> t -> Board.Xu3.t -> Board.Xu3.outputs -> unit
+val step :
+  ?health:Obs.Health.layer ->
+  ?cap:float ->
+  t ->
+  Board.Xu3.t ->
+  Board.Xu3.outputs ->
+  unit
 (** One epoch: sample, decide, actuate; emits a [runtime.decision]
     event when the Obs collector (or flight recorder) is on. With
     [?health], also feeds the layer's accumulator — one decision per
     epoch, with tracking error and saturation for controlled layers.
-    Health feeding is pure observation: it cannot change the run. *)
+    Health feeding is pure observation: it cannot change the run.
+
+    [?cap] is the external total-board-power cap active this epoch (a
+    rack controller's per-board share). Controlled layers built with
+    [cap_targets] rewrite their targets under it; heuristic layers
+    ignore it and rely on the board's {!Board.Emergency} cap enforcement
+    alone. Omitting [cap] is bit-identical to pre-cap behaviour. *)
 
 val optimizer_interval : int
 (** Epochs between optimizer retargets (the controller settles on each

@@ -24,6 +24,7 @@ let hw_ssv_layer (syn : Design.synthesis) =
   Layer.controlled ~label:"hw"
     ~measures:(output_names (Hw_layer.outputs ()))
     ~actuates:(input_names (Hw_layer.inputs ()))
+    ~cap_targets:Hw_layer.cap_targets
     ~controller:(Controller.copy syn.Design.controller)
     ~targets:(Layer.Optimized (Hw_layer.make_optimizer ()))
     ~measure:Hw_layer.measurements
@@ -49,6 +50,7 @@ let lqg_hw_layer controller =
   Layer.controlled ~label:"hw"
     ~measures:(output_names (Hw_layer.outputs ()))
     ~actuates:(input_names (Hw_layer.inputs ()))
+    ~cap_targets:Hw_layer.cap_targets
     ~controller:(Controller.copy controller)
     ~targets:(Layer.Optimized (Hw_layer.make_optimizer ()))
     ~measure:Hw_layer.measurements

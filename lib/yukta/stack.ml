@@ -17,7 +17,8 @@ let make ?(label = "stack") layers =
 let label t = t.label
 let layers t = t.layers
 let reset t = List.iter Layer.reset t.layers
-let step t board o = List.iter (fun l -> Layer.step l board o) t.layers
+let step ?cap t board o =
+  List.iter (fun l -> Layer.step ?cap l board o) t.layers
 
 let default_epoch = 0.5
 
@@ -99,7 +100,7 @@ let health_channels health =
   (pb, pl, temp)
 
 let run ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period
-    ?(epoch = default_epoch) ?injector t workloads =
+    ?(epoch = default_epoch) ?injector ?cap t workloads =
   if not (epoch > 0.0) then
     invalid_arg "Stack.run: epoch must be positive";
   let board = Xu3.create ?sensor_period ?injector workloads in
@@ -116,8 +117,21 @@ let run ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period
   let last_time = ref (Xu3.time board) in
   let last_trips = ref (Xu3.trip_count board) in
   while (not (Xu3.finished board)) && Xu3.time board < max_time do
+    (* Sample the cap stream at epoch start: the value governs both the
+       board's emergency enforcement during the epoch and the layers'
+       target rewrites after it. Cap-less runs never touch the board. *)
+    let cap_now =
+      match cap with
+      | None -> None
+      | Some stream ->
+        let c = stream (Xu3.time board) in
+        Xu3.set_power_cap board c;
+        c
+    in
     let o = Xu3.run_epoch board epoch in
-    List.iter2 (fun l hl -> Layer.step ~health:hl l board o) t.layers hlayers;
+    List.iter2
+      (fun l hl -> Layer.step ~health:hl ?cap:cap_now l board o)
+      t.layers hlayers;
     let now = Xu3.time board in
     let dt = now -. !last_time in
     last_time := now;

@@ -30,8 +30,11 @@ val layers : t -> Layer.t list
 val reset : t -> unit
 (** Reset every layer (start of an execution). *)
 
-val step : t -> Board.Xu3.t -> Board.Xu3.outputs -> unit
-(** One epoch: step every layer in declared order. *)
+val step : ?cap:float -> t -> Board.Xu3.t -> Board.Xu3.outputs -> unit
+(** One epoch: step every layer in declared order. [?cap] is the
+    external total-power cap active this epoch, forwarded to every
+    {!Layer.step}; the caller is responsible for also imposing it on
+    the board ({!Board.Xu3.set_power_cap}) — {!run} does both. *)
 
 val default_epoch : float
 (** The default invocation period, seconds (0.5 — the power-sensor-
@@ -65,6 +68,7 @@ val run :
   ?sensor_period:float ->
   ?epoch:float ->
   ?injector:Board.Xu3.injector ->
+  ?cap:(float -> float option) ->
   t ->
   Board.Workload.t list ->
   result
@@ -75,4 +79,10 @@ val run :
     fault-injection hooks to the board (robustness campaigns). Emits
     per-epoch [runtime.epoch] events and a [runtime.run_complete]
     summary when the Obs collector is on.
+
+    [cap] is a time-varying external power-cap stream: sampled at each
+    epoch start with the current simulated time, the returned watts (or
+    [None] for uncapped) are imposed on the board and forwarded to
+    every layer's step. Not supplying [cap] is bit-identical to a
+    cap-less build; so is a stream that always returns [None].
     @raise Invalid_argument on a non-positive [epoch]. *)

@@ -309,7 +309,7 @@ let test_sensor_noise_bounded () =
 let test_emergency_quiet_below_limits () =
   let e = Emergency.create () in
   let a =
-    Emergency.step e ~dt:1.0 ~temperature:70.0 ~power_big:3.0 ~power_little:0.3
+    Emergency.step e ~dt:1.0 ~temperature:70.0 ~power_big:3.0 ~power_little:0.3 ()
   in
   check_bool "no caps" true
     (a.Emergency.cap_freq_big = None && a.Emergency.cap_freq_little = None);
@@ -318,7 +318,7 @@ let test_emergency_quiet_below_limits () =
 let test_emergency_thermal_trip () =
   let e = Emergency.create () in
   let a =
-    Emergency.step e ~dt:0.01 ~temperature:86.0 ~power_big:2.0 ~power_little:0.2
+    Emergency.step e ~dt:0.01 ~temperature:86.0 ~power_big:2.0 ~power_little:0.2 ()
   in
   check_bool "freq clamped" true (a.Emergency.cap_freq_big = Some 0.5);
   check_bool "cores clamped" true (a.Emergency.cap_big_cores = Some 2);
@@ -329,12 +329,12 @@ let test_emergency_power_needs_sustained_overage () =
   let e = Emergency.create () in
   (* A short spike does not trip. *)
   let a =
-    Emergency.step e ~dt:0.3 ~temperature:70.0 ~power_big:5.0 ~power_little:0.2
+    Emergency.step e ~dt:0.3 ~temperature:70.0 ~power_big:5.0 ~power_little:0.2 ()
   in
   check_bool "spike tolerated" true (a.Emergency.cap_freq_big = None);
   (* Sustained overage does. *)
   let a2 =
-    Emergency.step e ~dt:0.5 ~temperature:70.0 ~power_big:5.0 ~power_little:0.2
+    Emergency.step e ~dt:0.5 ~temperature:70.0 ~power_big:5.0 ~power_little:0.2 ()
   in
   check_bool "sustained trips" true (a2.Emergency.cap_freq_big <> None)
 
@@ -342,10 +342,10 @@ let test_emergency_recovers () =
   let e = Emergency.create () in
   ignore
     (Emergency.step e ~dt:0.01 ~temperature:86.0 ~power_big:2.0
-       ~power_little:0.2);
+       ~power_little:0.2 ());
   (* After the cooldown elapses with a cool chip, caps lift. *)
   let a =
-    Emergency.step e ~dt:5.0 ~temperature:70.0 ~power_big:2.0 ~power_little:0.2
+    Emergency.step e ~dt:5.0 ~temperature:70.0 ~power_big:2.0 ~power_little:0.2 ()
   in
   check_bool "caps lifted" true (a.Emergency.cap_freq_big = None);
   check_bool "recovered" false (Emergency.tripped e)
@@ -362,7 +362,7 @@ let test_emergency_trip_dumps_recorder () =
   let e = Emergency.create () in
   ignore
     (Emergency.step e ~dt:0.01 ~temperature:86.0 ~power_big:2.0
-       ~power_little:0.2);
+       ~power_little:0.2 ());
   check_int "one dump per trip" 1 (Obs.Recorder.dump_count ());
   (match Obs.Recorder.dumps () with
   | [ d ] ->
@@ -561,18 +561,18 @@ let test_emergency_escalation () =
   (* First trip: clamp lasts the base duration. *)
   ignore
     (Emergency.step e ~dt:0.01 ~temperature:86.0 ~power_big:2.0
-       ~power_little:0.2);
+       ~power_little:0.2 ());
   (* Cool down fully, then trip again quickly: the clamp escalates, so
      after the base duration it is still active. *)
   ignore
     (Emergency.step e ~dt:3.1 ~temperature:70.0 ~power_big:2.0
-       ~power_little:0.2);
+       ~power_little:0.2 ());
   ignore
     (Emergency.step e ~dt:0.01 ~temperature:86.0 ~power_big:2.0
-       ~power_little:0.2);
+       ~power_little:0.2 ());
   let a =
     Emergency.step e ~dt:3.5 ~temperature:70.0 ~power_big:2.0
-      ~power_little:0.2
+      ~power_little:0.2 ()
   in
   check_bool "escalated clamp outlasts base duration" true
     (a.Emergency.cap_freq_big <> None);

@@ -1,0 +1,70 @@
+(* Help sync: every registered yukta_cli subcommand must appear in the
+   top-level --help, so the CLI's own documentation can never silently
+   fall behind the command group (the dune rule makes the built
+   executable a test dependency). *)
+
+let subcommands =
+  (* The full command group of bin/yukta_cli.ml; adding a subcommand
+     there without updating this list fails the count check below. *)
+  [ "apps"; "schemes"; "run"; "csv"; "trace"; "design"; "faults"; "fleet" ]
+
+let read_all ic =
+  let b = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel b ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents b
+
+let cli_help () =
+  (* --help=plain: no pager, stable formatting. The exe path is relative
+     to the test's directory in _build (declared as a dune dep). *)
+  let ic = Unix.open_process_in "../bin/yukta_cli.exe --help=plain" in
+  let out = read_all ic in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> out
+  | _ -> Alcotest.fail "yukta_cli --help=plain failed"
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec scan i = i + ln <= lh && (String.sub haystack i ln = needle || scan (i + 1)) in
+  scan 0
+
+let test_every_subcommand_in_help () =
+  let help = cli_help () in
+  (* Each command renders as its own indented heading in the COMMANDS
+     section, so match "\n       <name>", not a bare substring (which
+     "run" would satisfy from any prose). *)
+  List.iter
+    (fun cmd ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S listed in --help" cmd)
+        true
+        (contains help ("\n       " ^ cmd)))
+    subcommands
+
+let test_fleet_help_documents_flags () =
+  let ic = Unix.open_process_in "../bin/yukta_cli.exe fleet --help=plain" in
+  let out = read_all ic in
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "yukta_cli fleet --help=plain failed");
+  List.iter
+    (fun flag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fleet --help documents %s" flag)
+        true (contains out flag))
+    [ "--boards"; "--cap"; "--policy"; "--seed"; "--jobs" ]
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "help",
+        [
+          Alcotest.test_case "every subcommand listed" `Quick
+            test_every_subcommand_in_help;
+          Alcotest.test_case "fleet flags documented" `Quick
+            test_fleet_help_documents_flags;
+        ] );
+    ]

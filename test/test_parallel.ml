@@ -60,6 +60,114 @@ let test_pool_exception () =
       let ys = Parallel.Pool.map pool succ [ 1; 2; 3 ] in
       check_bool "pool usable after exception" true (ys = [ 2; 3; 4 ]))
 
+let test_map_reduce_streams_in_order () =
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 200 Fun.id in
+      (* Uneven work so completion order scrambles; the fold must still
+         see results in input (slot) order. *)
+      let f i =
+        let n = ref 0 in
+        for _ = 1 to (i mod 5) * 20_000 do
+          incr n
+        done;
+        ignore !n;
+        i
+      in
+      let folded =
+        Parallel.Pool.map_reduce pool ~map:f ~init:[]
+          ~reduce:(fun acc v -> v :: acc)
+          xs
+      in
+      check_bool "fold saw slot order" true (List.rev folded = xs);
+      check_bool "empty input returns init" true
+        (Parallel.Pool.map_reduce pool ~map:f ~init:[ 9 ]
+           ~reduce:(fun acc v -> v :: acc)
+           []
+        = [ 9 ]))
+
+let test_map_reduce_jobs1_degenerates () =
+  (* jobs = 1: a straight List.fold_left in the caller's domain — map
+     and reduce both run here, strictly interleaved. *)
+  Parallel.Pool.with_pool ~jobs:1 (fun pool ->
+      let d = Domain.self () in
+      let here = ref true in
+      let trace = ref [] in
+      let sum =
+        Parallel.Pool.map_reduce pool
+          ~map:(fun i ->
+            here := !here && Domain.self () = d;
+            trace := ("m" ^ string_of_int i) :: !trace;
+            i)
+          ~init:0
+          ~reduce:(fun acc v ->
+            trace := ("r" ^ string_of_int v) :: !trace;
+            acc + v)
+          [ 1; 2; 3 ]
+      in
+      check_int "sum" 6 sum;
+      check_bool "ran in the caller's domain" true !here;
+      check_bool "map and reduce strictly interleaved" true
+        (List.rev !trace = [ "m1"; "r1"; "m2"; "r2"; "m3"; "r3" ]))
+
+let test_map_reduce_fold_exception_mid_stream () =
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let folded = ref 0 in
+      let raised =
+        match
+          Parallel.Pool.map_reduce pool ~map:Fun.id ~init:()
+            ~reduce:(fun () v ->
+              if v = 5 then raise (Boom v) else incr folded)
+            (List.init 64 Fun.id)
+        with
+        | () -> None
+        | exception Boom v -> Some v
+      in
+      (* The reduce raised mid-stream, after folding exactly inputs
+         0..4: the failure surfaces and nothing later was folded. *)
+      check_bool "fold exception propagates" true (raised = Some 5);
+      check_int "folds before the failure" 5 !folded;
+      (* In-flight tasks were drained; the pool takes the next batch. *)
+      let ys = Parallel.Pool.map pool succ [ 1; 2; 3 ] in
+      check_bool "pool usable after fold failure" true (ys = [ 2; 3; 4 ]))
+
+let test_map_reduce_earliest_map_exception () =
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let raised =
+        match
+          Parallel.Pool.map_reduce pool
+            ~map:(fun i -> if i mod 3 = 0 then raise (Boom i) else i)
+            ~init:0 ~reduce:( + )
+            (List.init 20 succ)
+        with
+        | _ -> None
+        | exception Boom i -> Some i
+      in
+      check_bool "earliest failing input re-raises" true (raised = Some 3))
+
+let test_map_reduce_window_bounded () =
+  (* Issuance is gated on the fold cursor: with jobs = 2 the window is
+     8 slots, and slot 0's successor (input 8) is issued only once the
+     cursor has retrieved result 0 — so when the first reduce runs, at
+     most 9 inputs can ever have started, however long the batch. *)
+  Parallel.Pool.with_pool ~jobs:2 (fun pool ->
+      let started = Atomic.make 0 in
+      let max_seen_at_first_fold = ref (-1) in
+      Parallel.Pool.map_reduce pool
+        ~map:(fun i ->
+          let rec bump () =
+            let cur = Atomic.get started in
+            let nxt = max cur (i + 1) in
+            if not (Atomic.compare_and_set started cur nxt) then bump ()
+          in
+          bump ();
+          i)
+        ~init:()
+        ~reduce:(fun () i ->
+          if i = 0 then max_seen_at_first_fold := Atomic.get started)
+        (List.init 100 Fun.id);
+      check_bool "issuance gated on the fold cursor" true
+        (!max_seen_at_first_fold <= 9 && !max_seen_at_first_fold >= 1))
+
 let test_pool_validation () =
   let raises_invalid f =
     match f () with exception Invalid_argument _ -> true | _ -> false
@@ -218,6 +326,16 @@ let () =
             test_pool_serial_degeneration;
           Alcotest.test_case "exception propagation" `Quick
             test_pool_exception;
+          Alcotest.test_case "map_reduce streams in order" `Quick
+            test_map_reduce_streams_in_order;
+          Alcotest.test_case "map_reduce jobs=1 degenerates" `Quick
+            test_map_reduce_jobs1_degenerates;
+          Alcotest.test_case "map_reduce fold exception mid-stream" `Quick
+            test_map_reduce_fold_exception_mid_stream;
+          Alcotest.test_case "map_reduce earliest map exception" `Quick
+            test_map_reduce_earliest_map_exception;
+          Alcotest.test_case "map_reduce window bounded" `Quick
+            test_map_reduce_window_bounded;
           Alcotest.test_case "validation" `Quick test_pool_validation;
         ] );
       ( "suite",
