@@ -777,6 +777,8 @@ let () =
   | "compare" :: rest -> exit (Compare.main rest)
   (* The fleet harness: N boards under one rack budget (bench/fleetbench.ml). *)
   | "fleet" :: rest -> exit (Fleetbench.main rest)
+  (* The serving harness: concurrent sessions + adaptation (bench/servebench.ml). *)
+  | "serve" :: rest -> exit (Servebench.main rest)
   | _ -> ());
   (* [--json OUT] and [-j N] consume their values; everything else is a
      flag. *)

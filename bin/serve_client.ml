@@ -1,0 +1,245 @@
+(* Scripted NDJSON client for the yukta session server.
+
+   Drives one complete session — hello, configure (optionally with an
+   injected plant drift and adaptation enabled), step, drain, close —
+   printing every server response line to stdout, so a CI smoke job can
+   grep the output for frames, adapt.swap notices, and the clean
+   [closed] shutdown. Exercises backpressure handling: a [busy]
+   response sleeps for the advertised retry hint and re-sends.
+
+     serve_client --port 7077 --scheme yukta --steps 50
+     serve_client --socket y.sock --adapt --drift-start 3 \
+       --drift-severity 1.5 --steps 400 *)
+
+open Cmdliner
+module Json = Obs.Json
+
+let connect ~socket ~port =
+  let addr =
+    match (socket, port) with
+    | Some path, None -> Unix.ADDR_UNIX path
+    | None, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+    | _ ->
+      prerr_endline "serve_client: give exactly one of --socket or --port";
+      exit 2
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "serve_client: connect failed: %s\n"
+       (Unix.error_message e);
+     exit 1);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let field_type line =
+  match Json.of_string line with
+  | json -> (
+    match Option.bind (Json.member "type" json) Json.to_string_opt with
+    | Some t -> t
+    | None -> "?")
+  | exception Json.Parse_error _ -> "?"
+
+let retry_after line =
+  match Json.of_string line with
+  | json -> (
+    match Option.bind (Json.member "retry_after_ms" json) Json.to_int_opt with
+    | Some ms -> float_of_int ms /. 1000.0
+    | None -> 0.05)
+  | exception Json.Parse_error _ -> 0.05
+
+(* Send [request] and consume responses until [until] says the exchange
+   is complete; every received line is echoed to stdout. A [busy]
+   rejection sleeps for the server's retry hint and re-sends. *)
+let exchange ic oc request ~until =
+  let rec go () =
+    send oc request;
+    let rec read () =
+      match input_line ic with
+      | line ->
+        print_endline line;
+        let t = field_type line in
+        if t = "busy" then begin
+          Unix.sleepf (retry_after line);
+          `Retry
+        end
+        else if until t line then `Done
+        else read ()
+      | exception End_of_file ->
+        prerr_endline "serve_client: server closed the connection";
+        exit 1
+    in
+    match read () with `Done -> () | `Retry -> go ()
+  in
+  go ()
+
+let obj fields = Json.to_string (Json.Obj fields)
+
+let run socket port scheme app adapt steps chunk pace_ms until_swap
+    drift_start drift_severity drift_kind =
+  let ic, oc = connect ~socket ~port in
+  exchange ic oc
+    (obj
+       [
+         ("type", Json.String "hello"); ("client", Json.String "serve_client");
+       ])
+    ~until:(fun t _ -> t = "welcome" || t = "error");
+  let drift =
+    match drift_start with
+    | None -> []
+    | Some start ->
+      [
+        ( "drift",
+          Json.Obj
+            [
+              ("start", Json.Float start);
+              ("severity", Json.Float drift_severity);
+              ("kind", Json.String drift_kind);
+            ] );
+      ]
+  in
+  exchange ic oc
+    (obj
+       ([
+          ("type", Json.String "configure");
+          ("scheme", Json.String scheme);
+          ("app", Json.String app);
+          ("adapt", Json.Bool adapt);
+        ]
+       @ drift))
+    ~until:(fun t _ -> t = "configured" || t = "error");
+  let remaining = ref steps in
+  let finished = ref false in
+  let swapped = ref false in
+  while !remaining > 0 && (not !finished) && not (until_swap && !swapped) do
+    let count = min chunk !remaining in
+    let frames = ref 0 in
+    exchange ic oc
+      (obj [ ("type", Json.String "step"); ("count", Json.Int count) ])
+      ~until:(fun t line ->
+        match t with
+        | "frame" ->
+          incr frames;
+          let done_ =
+            match Json.of_string line with
+            | json -> Json.member "done" json = Some (Json.Bool true)
+            | exception Json.Parse_error _ -> false
+          in
+          if done_ then finished := true;
+          done_ || !frames >= count
+        | "adapt" ->
+          (match Json.of_string line with
+          | json ->
+            if Json.member "name" json = Some (Json.String "adapt.swap") then
+              swapped := true
+          | exception Json.Parse_error _ -> ());
+          false
+        | "end" ->
+          finished := true;
+          true
+        | "error" -> true
+        | _ -> false);
+    remaining := !remaining - count;
+    if pace_ms > 0 then Unix.sleepf (float_of_int pace_ms /. 1000.0)
+  done;
+  exchange ic oc
+    (obj [ ("type", Json.String "health") ])
+    ~until:(fun t _ -> t = "health" || t = "error");
+  exchange ic oc
+    (obj [ ("type", Json.String "drain") ])
+    ~until:(fun t _ -> t = "drained" || t = "error");
+  exchange ic oc
+    (obj [ ("type", Json.String "close") ])
+    ~until:(fun t _ -> t = "closed" || t = "error");
+  close_out_noerr oc
+
+let () =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Connect to a Unix socket.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Connect to loopback TCP $(docv).")
+  in
+  let scheme_arg =
+    Arg.(
+      value & opt string "yukta"
+      & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc:"Scheme to run.")
+  in
+  let app_arg =
+    Arg.(
+      value & opt string "blackscholes"
+      & info [ "a"; "app" ] ~docv:"APP" ~doc:"Workload or mix.")
+  in
+  let adapt_arg =
+    Arg.(
+      value & flag
+      & info [ "adapt" ] ~doc:"Enable online identification + re-synthesis.")
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "steps" ] ~docv:"N" ~doc:"Total epochs to stream.")
+  in
+  let chunk_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "chunk" ] ~docv:"N" ~doc:"Epochs per step request.")
+  in
+  let pace_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "pace" ] ~docv:"MS"
+          ~doc:
+            "Sleep $(docv) milliseconds between step requests — emulates \
+             real-time sensor streaming, giving a background re-synthesis \
+             wall time to land mid-run.")
+  in
+  let until_swap_arg =
+    Arg.(
+      value & flag
+      & info [ "until-swap" ]
+          ~doc:
+            "Stop stepping (and drain) as soon as an adapt.swap notice \
+             arrives; --steps then only bounds the wait.")
+  in
+  let drift_start_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "drift-start" ] ~docv:"S"
+          ~doc:"Inject a plant drift at $(docv) simulated seconds.")
+  in
+  let drift_severity_arg =
+    Arg.(
+      value & opt float 1.5
+      & info [ "drift-severity" ] ~docv:"F"
+          ~doc:"Drift severity as a fraction of the guardband (>1 leaves \
+                the certified ball).")
+  in
+  let drift_kind_arg =
+    Arg.(
+      value & opt string "power_gain"
+      & info [ "drift-kind" ] ~docv:"KIND"
+          ~doc:"power_gain, thermal_gain or perf_gain.")
+  in
+  let info_ =
+    Cmd.info "serve_client" ~version:"1.0"
+      ~doc:"Scripted NDJSON client for `yukta_cli serve` (CI smoke driver)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info_
+          Term.(
+            const run $ socket_arg $ port_arg $ scheme_arg $ app_arg
+            $ adapt_arg $ steps_arg $ chunk_arg $ pace_arg $ until_swap_arg
+            $ drift_start_arg $ drift_severity_arg $ drift_kind_arg)))

@@ -15,7 +15,12 @@
      yukta_cli faults                    show a deterministic fault schedule
      yukta_cli faults --run -s yukta     replay it against a scheme
      yukta_cli fleet --boards 256 -j 4   rack-capped fleet run
-     yukta_cli fleet --policy even-split --cap 1.2  the static baseline *)
+     yukta_cli fleet --policy even-split --cap 1.2  the static baseline
+     yukta_cli trace -f out.jsonl        tail a live trace (poll+seek)
+     yukta_cli cache                     list the on-disk design cache
+     yukta_cli cache --clear             wipe it
+     yukta_cli serve --port 7077         NDJSON session server
+     yukta_cli serve --socket y.sock --once   CI smoke mode *)
 
 open Cmdliner
 open Yukta
@@ -214,6 +219,52 @@ let csv_cmd =
     (Cmd.info "csv" ~doc:"Run one scheme and print a CSV trace to stdout")
     Term.(const run $ scheme_arg $ app_arg)
 
+(* trace --follow: a poll+seek tail. New complete lines are printed as
+   the producer appends them; partial trailing lines wait in the buffer
+   until their newline arrives. Truncation rewinds to the start. *)
+let follow_file file ~poll ~idle_exit =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let buf = Buffer.create 4096 in
+      let pos = ref 0 in
+      let idle = ref 0.0 in
+      let stop = ref false in
+      while not !stop do
+        let size = (Unix.stat file).Unix.st_size in
+        if size < !pos then begin
+          (* Truncated/rotated: start over. *)
+          pos := 0;
+          Buffer.clear buf
+        end;
+        if size > !pos then begin
+          seek_in ic !pos;
+          Buffer.add_string buf (really_input_string ic (size - !pos));
+          pos := size;
+          idle := 0.0;
+          let data = Buffer.contents buf in
+          Buffer.clear buf;
+          let parts = String.split_on_char '\n' data in
+          let rec emit = function
+            | [] -> ()
+            | [ rest ] -> Buffer.add_string buf rest
+            | line :: tl ->
+              print_endline line;
+              emit tl
+          in
+          emit parts;
+          flush stdout
+        end
+        else begin
+          Unix.sleepf poll;
+          idle := !idle +. poll;
+          match idle_exit with
+          | Some limit when !idle >= limit -> stop := true
+          | _ -> ()
+        end
+      done)
+
 let trace_cmd =
   let file_arg =
     let doc = "JSONL trace file produced by `run --jsonl` or bench." in
@@ -229,18 +280,52 @@ let trace_cmd =
     in
     Arg.(value & flag & info [ "counters" ] ~doc)
   in
-  let run file counters =
-    match Obs.Trace.read_file file with
-    | entries ->
-      print_string (Obs.Trace.render ~counters (Obs.Trace.summarize entries))
-    | exception Obs.Trace.Bad_trace msg ->
-      Printf.eprintf "%s: %s\n" file msg;
-      exit 1
+  let follow_arg =
+    let doc =
+      "Tail mode: print new trace lines as they are appended (poll + \
+       seek) instead of summarizing. Interrupt to stop."
+    in
+    Arg.(value & flag & info [ "f"; "follow" ] ~doc)
+  in
+  let poll_arg =
+    let doc = "Polling interval for --follow, seconds." in
+    Arg.(value & opt float 0.2 & info [ "poll" ] ~docv:"S" ~doc)
+  in
+  let idle_exit_arg =
+    let doc =
+      "With --follow, exit once the file has been quiet for $(docv) \
+       seconds (default: follow forever)."
+    in
+    Arg.(value & opt (some float) None & info [ "idle-exit" ] ~docv:"S" ~doc)
+  in
+  let run file counters follow poll idle_exit =
+    if follow then begin
+      if poll <= 0.0 then begin
+        prerr_endline "yukta_cli trace: --poll expects a positive interval";
+        exit 2
+      end;
+      match follow_file file ~poll ~idle_exit with
+      | () -> ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "%s: %s\n" file (Unix.error_message e);
+        exit 1
+    end
+    else
+      match Obs.Trace.read_file file with
+      | entries ->
+        print_string (Obs.Trace.render ~counters (Obs.Trace.summarize entries))
+      | exception Obs.Trace.Bad_trace msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Summarize an Obs JSONL trace (span timings, event counts)")
-    Term.(const run $ file_arg $ counters_arg)
+       ~doc:
+         "Summarize an Obs JSONL trace (span timings, event counts), or \
+          tail it live with --follow")
+    Term.(
+      const run $ file_arg $ counters_arg $ follow_arg $ poll_arg
+      $ idle_exit_arg)
 
 let design_cmd =
   let run () =
@@ -328,6 +413,130 @@ let faults_cmd =
     Term.(
       const run $ seed_arg $ out_arg $ horizon_arg $ count_arg $ run_arg
       $ scheme_arg $ app_arg)
+
+let cache_cmd =
+  let clear_arg =
+    let doc = "Delete every cache entry instead of listing." in
+    Arg.(value & flag & info [ "clear" ] ~doc)
+  in
+  let run clear =
+    let dir = Designs.cache_dir in
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      Printf.printf "cache %s: empty (directory absent)\n" dir
+    else begin
+      let files = Array.to_list (Sys.readdir dir) in
+      let bins =
+        List.sort compare
+          (List.filter (fun f -> Filename.check_suffix f ".bin") files)
+      in
+      if clear then begin
+        List.iter
+          (fun f ->
+            try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          files;
+        Printf.printf "cache %s: removed %d entries\n" dir (List.length bins)
+      end
+      else if bins = [] then Printf.printf "cache %s: empty\n" dir
+      else begin
+        Printf.printf "cache %s: %d entries\n" dir (List.length bins);
+        List.iter
+          (fun f ->
+            let path = Filename.concat dir f in
+            let digest = Filename.chop_suffix f ".bin" in
+            let label =
+              let meta = Filename.concat dir (digest ^ ".meta") in
+              if Sys.file_exists meta then begin
+                let ic = open_in meta in
+                let l = try input_line ic with End_of_file -> "" in
+                close_in ic;
+                l
+              end
+              else "(unlabeled)"
+            in
+            let st = Unix.stat path in
+            let tm = Unix.localtime st.Unix.st_mtime in
+            Printf.printf "  %-12s %8d B  %04d-%02d-%02d %02d:%02d  %s\n"
+              (String.sub digest 0 (min 12 (String.length digest)))
+              st.Unix.st_size (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+              tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min label)
+          bins
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "List the on-disk design cache (.yukta_cache: entry, size, \
+          mtime, what it holds), or wipe it with --clear")
+    Term.(const run $ clear_arg)
+
+let serve_cmd =
+  let socket_arg =
+    let doc = "Serve on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let port_arg =
+    let doc = "Serve on loopback TCP port $(docv) (0 picks a free port)." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let once_arg =
+    let doc =
+      "Exit after the first accepted connection (and any concurrent \
+       ones) disconnect — the CI smoke mode."
+    in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let idle_arg =
+    let doc = "Disconnect silent clients after $(docv) seconds." in
+    Arg.(value & opt float 30.0 & info [ "idle-timeout" ] ~docv:"S" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Per-session epoch budget per loop iteration (fairness between \
+       concurrent sessions)."
+    in
+    Arg.(value & opt int 256 & info [ "step-budget" ] ~docv:"N" ~doc)
+  in
+  let run socket port once idle budget =
+    let address =
+      match (socket, port) with
+      | Some _, Some _ ->
+        prerr_endline "yukta_cli serve: give either --socket or --port";
+        exit 2
+      | Some path, None -> Serve.Server.Unix_path path
+      | None, Some p -> Serve.Server.Tcp ("", p)
+      | None, None -> Serve.Server.Unix_path "yukta.sock"
+    in
+    let server =
+      match Serve.Server.create ~idle_timeout:idle ~step_budget:budget address with
+      | s -> s
+      | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "yukta_cli serve: bind failed: %s\n"
+          (Unix.error_message e);
+        exit 1
+      | exception Invalid_argument msg ->
+        prerr_endline ("yukta_cli serve: " ^ msg);
+        exit 2
+    in
+    (match Serve.Server.address server with
+    | Unix.ADDR_UNIX path -> Printf.printf "serving on unix socket %s\n%!" path
+    | Unix.ADDR_INET (_, p) -> Printf.printf "serving on tcp port %d\n%!" p);
+    let stop _ = Serve.Server.stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Serve.Server.run ~once server;
+    let accepted, _, frames, swaps, errors = Serve.Server.stats server in
+    Printf.printf
+      "server done: %d sessions, %d frames, %d controller swaps, %d errors\n"
+      accepted frames swaps errors
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve scheme sessions over newline-delimited JSON on a Unix \
+          or TCP socket (streaming observations in, decisions out, with \
+          optional online adaptation)")
+    Term.(const run $ socket_arg $ port_arg $ once_arg $ idle_arg $ budget_arg)
 
 let fleet_cmd =
   let policy_conv =
@@ -435,4 +644,6 @@ let () =
             design_cmd;
             faults_cmd;
             fleet_cmd;
+            cache_cmd;
+            serve_cmd;
           ]))

@@ -61,6 +61,11 @@ let create () =
 
 let trips_metric = Obs.Metrics.counter "emergency.trips"
 
+(* A trip is a flight-recorder dump trigger: the window that led up to
+   it (the trip event itself included) is the recorder's reason to
+   exist. Registered once here; the collector feed does the dumping. *)
+let () = Obs.Recorder.register_trigger ~suffix_field:"kind" "emergency.trip"
+
 let register_trip t ~kind ~value =
   t.trips <- t.trips + 1;
   if t.f.clock -. t.f.last_trip_time < escalation_window then
@@ -75,11 +80,7 @@ let register_trip t ~kind ~value =
         ("value", Obs.Json.Float value);
         ("trip_index", Obs.Json.Int t.trips);
         ("escalation", Obs.Json.Float t.f.escalation);
-      ];
-    (* The flight recorder's reason to exist: a trip snapshots the event
-       window (the trip event itself included) as a dump record. *)
-    if Obs.Recorder.enabled () then
-      Obs.Recorder.dump ~reason:("emergency.trip:" ^ kind) ~sim:t.f.clock
+      ]
   end
 
 (* The steady-state verdict: shared so an untripped tick — the vast

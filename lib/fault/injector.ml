@@ -43,6 +43,10 @@ let schedule t = Array.to_list t.faults
 
 let injections_metric = Obs.Metrics.counter "fault.injections"
 
+(* Injection events snapshot the flight-recorder window: the dump shows
+   what the stack was doing when the fault landed. *)
+let () = Obs.Recorder.register_trigger "fault.inject"
+
 let clears_metric = Obs.Metrics.counter "fault.clears"
 
 let fault_fields f =
@@ -57,11 +61,9 @@ let on_tick t ~time =
         t.injections <- t.injections + 1;
         if Obs.Collector.observing () then begin
           Obs.Metrics.incr injections_metric;
-          Obs.Collector.event ~name:"fault.inject" ~sim:time (fault_fields f);
-          (* Injection is a dump trigger: the window shows what the
-             stack was doing when the fault landed. *)
-          if Obs.Recorder.enabled () then
-            Obs.Recorder.dump ~reason:"fault.inject" ~sim:time
+          (* Injection is a registered dump trigger: the window shows
+             what the stack was doing when the fault landed. *)
+          Obs.Collector.event ~name:"fault.inject" ~sim:time (fault_fields f)
         end
       end
       else if (not now) && t.active.(i) then begin

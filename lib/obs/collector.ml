@@ -124,7 +124,7 @@ let event ~name ~sim fields =
           ("fields", Json.Obj fields);
         ]
     in
-    if record then Recorder.note json;
+    if record then Recorder.note_event ~name ~sim json;
     if trace then emit json
   end
 

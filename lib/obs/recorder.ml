@@ -46,6 +46,34 @@ let note json =
     if r.count < n then r.count <- r.count + 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Dump triggers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Event-name prefixes whose arrival snapshots the window. The list is
+   tiny (a handful of registrations at module-init time) and only
+   scanned when the recorder is enabled, so a linear scan per noted
+   event is fine. Registrations are process-global and idempotent. *)
+let triggers_mutex = Mutex.create ()
+
+let trigger_list : (string * string option) list ref = ref []
+
+let register_trigger ?suffix_field prefix =
+  if prefix = "" then invalid_arg "Recorder.register_trigger: empty prefix";
+  Mutex.lock triggers_mutex;
+  if not (List.mem (prefix, suffix_field) !trigger_list) then
+    trigger_list := !trigger_list @ [ (prefix, suffix_field) ];
+  Mutex.unlock triggers_mutex
+
+let triggers () =
+  Mutex.lock triggers_mutex;
+  let l = !trigger_list in
+  Mutex.unlock triggers_mutex;
+  l
+
+let trigger_match name =
+  List.find_opt (fun (p, _) -> String.starts_with ~prefix:p name) (triggers ())
+
 let window () =
   match !(Domain.DLS.get ring_key) with
   | None -> []
@@ -91,6 +119,32 @@ let dump ~reason ~sim =
     if !taken <= Atomic.get retention then retained := record :: !retained;
     Mutex.unlock dumps_mutex;
     !emitter record
+  end
+
+(* The collector's feed: append the event to the ring, then — if its
+   name matches a registered trigger prefix — snapshot the window (the
+   triggering event is in the ring, last, by construction). The dump
+   reason is the event name, refined by the trigger's suffix field when
+   it names a string field of the event (e.g. the trip [kind]). *)
+let note_event ~name ~sim json =
+  if enabled () then begin
+    note json;
+    match trigger_match name with
+    | None -> ()
+    | Some (_, suffix_field) ->
+      let reason =
+        match suffix_field with
+        | None -> name
+        | Some field -> (
+          match
+            Option.bind
+              (Option.bind (Json.member "fields" json) (Json.member field))
+              Json.to_string_opt
+          with
+          | Some v -> name ^ ":" ^ v
+          | None -> name)
+      in
+      dump ~reason ~sim
   end
 
 let dumps () =

@@ -39,6 +39,30 @@ val note : Json.t -> unit
 (** Append an already-built event record to this domain's ring,
     evicting the oldest when full. No-op when disabled. *)
 
+(** {1 Dump triggers}
+
+    Instrumentation sites never call {!dump} directly: they register the
+    event-name prefixes whose arrival should snapshot the window, and
+    the collector's feed ({!note_event}) does the rest. New trigger
+    vocabularies (e.g. [adapt.swap]) register a prefix at module-init
+    time instead of patching the recorder. *)
+
+val register_trigger : ?suffix_field:string -> string -> unit
+(** [register_trigger prefix] makes every event whose name starts with
+    [prefix] a dump trigger. The dump reason is the event name; with
+    [suffix_field], the named string field of the event is appended as
+    [name ^ ":" ^ value] when present (e.g. [emergency.trip:thermal]).
+    Process-global and idempotent.
+    @raise Invalid_argument on an empty prefix. *)
+
+val triggers : unit -> (string * string option) list
+(** Registered [(prefix, suffix_field)] pairs, in registration order. *)
+
+val note_event : name:string -> sim:float -> Json.t -> unit
+(** {!note} the record, then {!dump} if [name] matches a registered
+    trigger prefix — the triggering event sits in the dumped window,
+    last. This is {!Collector.event}'s feed; no-op when disabled. *)
+
 val window : unit -> Json.t list
 (** This domain's current ring contents, oldest first. *)
 

@@ -1,0 +1,211 @@
+(* The serving wire protocol: newline-delimited JSON over a stream
+   socket. One request per line in, one or more response lines out.
+   Parsing is total — every malformed line maps to an [Error] the
+   session answers with a non-fatal error record, never an exception. *)
+
+module Json = Obs.Json
+
+let version = 1
+
+type drift = {
+  start : float;
+  duration : float;
+  severity : float; (* Fraction of the certified guardband. *)
+  kind : string; (* power_gain | thermal_gain | perf_gain. *)
+}
+
+type request =
+  | Hello of { client : string option }
+  | Configure of {
+      scheme : string;
+      app : string;
+      epoch : float option;
+      adapt : bool;
+      drift : drift option;
+    }
+  | Step of { count : int }
+  | Health
+  | Drain
+  | Close
+
+let drift_kinds = [ "power_gain"; "thermal_gain"; "perf_gain" ]
+
+let mem key json = Json.member key json
+
+let str_field key json = Option.bind (mem key json) Json.to_string_opt
+
+let float_field key json = Option.bind (mem key json) Json.to_float_opt
+
+let int_field key json = Option.bind (mem key json) Json.to_int_opt
+
+let bool_field key json =
+  match mem key json with Some (Json.Bool b) -> Some b | _ -> None
+
+let parse_drift json =
+  match mem "drift" json with
+  | None | Some Json.Null -> Ok None
+  | Some d -> (
+    let kind = Option.value (str_field "kind" d) ~default:"power_gain" in
+    if not (List.mem kind drift_kinds) then
+      Error
+        (Printf.sprintf "drift.kind must be one of %s"
+           (String.concat ", " drift_kinds))
+    else
+      match (float_field "start" d, float_field "severity" d) with
+      | Some start, Some severity ->
+        let duration =
+          Option.value (float_field "duration" d) ~default:Float.infinity
+        in
+        if start < 0.0 || duration <= 0.0 then
+          Error "drift.start must be >= 0 and drift.duration > 0"
+        else Ok (Some { start; duration; severity; kind })
+      | _ -> Error "drift needs numeric start and severity")
+
+let request_of_json json =
+  match str_field "type" json with
+  | None -> Error "missing \"type\""
+  | Some "hello" -> Ok (Hello { client = str_field "client" json })
+  | Some "configure" -> (
+    match str_field "scheme" json with
+    | None -> Error "configure needs a \"scheme\""
+    | Some scheme -> (
+      let app = Option.value (str_field "app" json) ~default:"blackscholes" in
+      let adapt = Option.value (bool_field "adapt" json) ~default:false in
+      match parse_drift json with
+      | Error e -> Error e
+      | Ok drift ->
+        Ok (Configure { scheme; app; epoch = float_field "epoch" json; adapt; drift })
+      ))
+  | Some "step" ->
+    let count = Option.value (int_field "count" json) ~default:1 in
+    if count < 1 then Error "step.count must be >= 1" else Ok (Step { count })
+  | Some "health" -> Ok Health
+  | Some "drain" -> Ok Drain
+  | Some "close" -> Ok Close
+  | Some other -> Error (Printf.sprintf "unknown request type %S" other)
+
+let request_of_line line =
+  match Json.of_string line with
+  | json -> request_of_json json
+  | exception Json.Parse_error msg -> Error ("malformed JSON: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let line json = Json.to_string json
+
+let welcome () =
+  line
+    (Json.Obj
+       [
+         ("type", Json.String "welcome");
+         ("server", Json.String "yukta");
+         ("version", Json.Int version);
+         ( "schemes",
+           Json.List
+             (List.map
+                (fun (i : Yukta.Schemes.info) -> Json.String i.Yukta.Schemes.key)
+                Yukta.Schemes.all) );
+       ])
+
+let configured ~session ~scheme ~layers ~adapt =
+  line
+    (Json.Obj
+       [
+         ("type", Json.String "configured");
+         ("session", Json.Int session);
+         ("scheme", Json.String scheme);
+         ("layers", Json.List (List.map (fun l -> Json.String l) layers));
+         ("adapt", Json.Bool adapt);
+       ])
+
+let error ?(fatal = false) msg =
+  line
+    (Json.Obj
+       [
+         ("type", Json.String "error");
+         ("message", Json.String msg);
+         ("fatal", Json.Bool fatal);
+       ])
+
+let busy ~retry_after_ms =
+  line
+    (Json.Obj
+       [
+         ("type", Json.String "busy");
+         ("retry_after_ms", Json.Int retry_after_ms);
+       ])
+
+let closed () = line (Json.Obj [ ("type", Json.String "closed") ])
+
+let summary_fields (m : Board.Xu3.metrics) ~completed =
+  [
+    ("execution_time_s", Json.Float m.Board.Xu3.execution_time);
+    ("energy_j", Json.Float m.Board.Xu3.total_energy);
+    ("energy_delay_js", Json.Float m.Board.Xu3.energy_delay);
+    ("trips", Json.Int m.Board.Xu3.trips);
+    ("completed", Json.Bool completed);
+  ]
+
+let frame ~epoch ~sim ~(o : Board.Xu3.outputs) ~(config : Board.Xu3.config)
+    ~(placement : Board.Xu3.placement) ~done_ =
+  line
+    (Json.Obj
+       [
+         ("type", Json.String "frame");
+         ("epoch", Json.Int epoch);
+         ("sim_s", Json.Float sim);
+         ( "observation",
+           Json.Obj
+             [
+               ("bips", Json.Float o.Board.Xu3.bips);
+               ("power_big", Json.Float o.Board.Xu3.power_big);
+               ("power_little", Json.Float o.Board.Xu3.power_little);
+               ("temperature", Json.Float o.Board.Xu3.temperature);
+               ("threads_active", Json.Int o.Board.Xu3.threads_active);
+             ] );
+         ( "decision",
+           Json.Obj
+             [
+               ("big_cores", Json.Int config.Board.Xu3.big_cores);
+               ("little_cores", Json.Int config.Board.Xu3.little_cores);
+               ("freq_big", Json.Float config.Board.Xu3.freq_big);
+               ("freq_little", Json.Float config.Board.Xu3.freq_little);
+               ("threads_big", Json.Int placement.Board.Xu3.threads_big);
+               ("tpc_big", Json.Float placement.Board.Xu3.tpc_big);
+               ("tpc_little", Json.Float placement.Board.Xu3.tpc_little);
+             ] );
+         ("done", Json.Bool done_);
+       ])
+
+let end_of_run ~sim ~metrics ~completed =
+  line
+    (Json.Obj
+       (("type", Json.String "end")
+       :: ("sim_s", Json.Float sim)
+       :: summary_fields metrics ~completed))
+
+let drained ~epochs ~sim ~metrics ~completed =
+  line
+    (Json.Obj
+       (("type", Json.String "drained")
+       :: ("epochs", Json.Int epochs)
+       :: ("sim_s", Json.Float sim)
+       :: summary_fields metrics ~completed))
+
+let health_snapshot health =
+  line
+    (Json.Obj
+       [ ("type", Json.String "health"); ("health", Obs.Health.to_json health) ])
+
+let adapt_notification ~name ~epoch ~sim fields =
+  line
+    (Json.Obj
+       ([
+          ("type", Json.String "adapt");
+          ("name", Json.String name);
+          ("epoch", Json.Int epoch);
+          ("sim_s", Json.Float sim);
+        ]
+       @ fields))

@@ -1,0 +1,77 @@
+(** The serving wire protocol: newline-delimited JSON over a stream
+    socket (reusing {!Obs.Json}). One request object per line in; one
+    or more response lines out. {!request_of_line} is total — malformed
+    input becomes an [Error] string the session answers with a
+    non-fatal [error] record, never an exception. *)
+
+val version : int
+
+(** An injected plant drift, scheduled at configure time (simulated
+    seconds; severity as a fraction of the certified guardband, kind
+    one of [power_gain]/[thermal_gain]/[perf_gain]). *)
+type drift = {
+  start : float;
+  duration : float;
+  severity : float;
+  kind : string;
+}
+
+type request =
+  | Hello of { client : string option }
+  | Configure of {
+      scheme : string;  (** Registry key ({!Yukta.Schemes.find}). *)
+      app : string;     (** Workload or mix name (default blackscholes). *)
+      epoch : float option;  (** Stepping period override, seconds. *)
+      adapt : bool;     (** Online ID + re-synthesis on drift. *)
+      drift : drift option;
+    }
+  | Step of { count : int }
+  | Health
+  | Drain
+  | Close
+
+val request_of_line : string -> (request, string) result
+
+(** {1 Response encoders} — each returns one encoded line (no
+    trailing newline). *)
+
+val welcome : unit -> string
+val configured :
+  session:int -> scheme:string -> layers:string list -> adapt:bool -> string
+
+val error : ?fatal:bool -> string -> string
+val busy : retry_after_ms:int -> string
+val closed : unit -> string
+
+val frame :
+  epoch:int ->
+  sim:float ->
+  o:Board.Xu3.outputs ->
+  config:Board.Xu3.config ->
+  placement:Board.Xu3.placement ->
+  done_:bool ->
+  string
+(** One epoch's result: the sensor observation and the actuation
+    decision in force after the layers stepped. *)
+
+val end_of_run :
+  sim:float -> metrics:Board.Xu3.metrics -> completed:bool -> string
+(** Response to a [step] past the end of the workloads. *)
+
+val drained :
+  epochs:int ->
+  sim:float ->
+  metrics:Board.Xu3.metrics ->
+  completed:bool ->
+  string
+
+val health_snapshot : Obs.Health.t -> string
+
+val adapt_notification :
+  name:string ->
+  epoch:int ->
+  sim:float ->
+  (string * Obs.Json.t) list ->
+  string
+(** Out-of-band adaptation notice ([adapt.drift], [adapt.swap],
+    [adapt.failed]) appended after the frame that triggered it. *)

@@ -1,0 +1,54 @@
+(** The serving front end: a single-threaded [Unix.select] loop
+    multiplexing NDJSON connections over a Unix or TCP socket, one
+    {!Session} per connection.
+
+    Sessions are fully isolated from each other: a malformed message, a
+    handler crash, or a mid-stream disconnect affects only its own
+    connection — the loop and every other session keep running. Each
+    iteration gives every session at most [step_budget] epochs, so a
+    session streaming a huge [step] shares the loop fairly. Idle
+    connections (no traffic, nothing queued) are closed with a fatal
+    [idle timeout] error after [idle_timeout] seconds. *)
+
+type address = Unix_path of string | Tcp of string * int
+(** [Tcp ("", port)] / [Tcp ("*", port)] bind the loopback address;
+    port [0] binds an ephemeral port (see {!port}). *)
+
+type t
+
+val create :
+  ?idle_timeout:float -> ?step_budget:int -> ?max_line:int -> address -> t
+(** Bind and listen. [idle_timeout] (default 30 s) sweeps silent
+    connections; [step_budget] (default 256) is the per-session epoch
+    budget per loop iteration; [max_line] (default 64 KiB) bounds one
+    request line — an unframed peer is disconnected with a fatal error
+    instead of growing the buffer forever. A pre-existing Unix socket
+    path is unlinked first (and removed again on shutdown).
+    @raise Invalid_argument on a non-positive [idle_timeout] or
+    [step_budget]; [Unix.Unix_error] when the bind fails. *)
+
+val address : t -> Unix.sockaddr
+(** The bound address (after ephemeral-port resolution). *)
+
+val port : t -> int option
+(** The bound TCP port; [None] for a Unix socket. *)
+
+val run : ?once:bool -> t -> unit
+(** Serve until {!stop} is called (from a signal handler, typically).
+    With [once], return after the first accepted connection — and any
+    concurrent ones — have all disconnected: the CI smoke mode. Always
+    closes every connection and the listening socket (removing a Unix
+    socket file) before returning, including on exceptions. *)
+
+val iterate : ?timeout:float -> t -> unit
+(** One loop iteration (select, read, process, write, sweep) waiting at
+    most [timeout] (default 0.2 s) — exposed for tests that drive the
+    loop inline. *)
+
+val stop : t -> unit
+(** Make {!run} return after the current iteration. Safe to call from
+    a signal handler. *)
+
+val stats : t -> int * int * int * int * int
+(** [(accepted, active, frames, swaps, errors)] — totals over the
+    server lifetime, including live sessions. *)

@@ -16,6 +16,11 @@ type t = {
   sx : Vec.t;
   sy : Vec.t;
   out : Vec.t;
+  (* One-step output hold installed by [bumpless_from]: the next [step]
+     advances state normally but emits exactly these (raw, quantized)
+     commands, making the first post-swap actuation equal the last
+     pre-swap one by construction. *)
+  mutable hold : (Vec.t * Vec.t) option;
 }
 
 let make ~controller ~inputs ~outputs ~externals =
@@ -42,9 +47,12 @@ let make ~controller ~inputs ~outputs ~externals =
     sx = Vec.create n;
     sy = Vec.create ni;
     out = Vec.create ni;
+    hold = None;
   }
 
-let reset t = Array.fill t.x 0 (Vec.dim t.x) 0.0
+let reset t =
+  Array.fill t.x 0 (Vec.dim t.x) 0.0;
+  t.hold <- None
 
 (* A private state copy over the shared (immutable) core and signal
    specs. Memoized designs hand out one [t] per process; every stack
@@ -62,6 +70,7 @@ let copy t =
     sx = Vec.create n;
     sy = Vec.create ni;
     out = Vec.create ni;
+    hold = None;
   }
 
 let step t ~measurements ~targets ~externals =
@@ -90,7 +99,42 @@ let step t ~measurements ~targets ~externals =
     let raw = Signal.denormalize_input inp t.last_raw.(i) in
     t.out.(i) <- Control.Quantize.project inp.Signal.channel raw
   done;
+  (match t.hold with
+  | Some (raw, out) ->
+    Array.blit raw 0 t.last_raw 0 (Vec.dim t.last_raw);
+    Array.blit out 0 t.out 0 (Vec.dim t.out);
+    t.hold <- None
+  | None -> ());
   t.out
+
+(* Bumpless transfer (hand-off between two controllers mid-run): align
+   the incoming controller's state so its raw command at the hand-off
+   operating point reproduces the outgoing controller's last raw
+   command — solve C x = u_raw_old - D dy_old in (ridge-regularized)
+   least squares; the regularizer keeps the solve well-posed when C is
+   wide (more states than commands, the usual case) and picks the
+   near-minimum-norm alignment. The residual quantization-level bump is
+   removed exactly by a one-step output hold of the outgoing
+   controller's last commands, so the first post-swap actuation equals
+   the last pre-swap actuation by construction while the new state
+   advances under the real dynamics from step one. *)
+let bumpless_from t ~from =
+  if Array.length t.inputs <> Array.length from.inputs then
+    invalid_arg "Controller.bumpless_from: command dimension mismatch";
+  if Vec.dim t.dy <> Vec.dim from.dy then
+    invalid_arg "Controller.bumpless_from: measurement dimension mismatch";
+  let ni = Array.length t.inputs in
+  let n = Control.Ss.order t.core in
+  let dd = Mat.mul_vec t.core.Control.Ss.d from.dy in
+  let rhs = Vec.create (ni + n) in
+  for i = 0 to ni - 1 do
+    rhs.(i) <- from.last_raw.(i) -. dd.(i)
+  done;
+  let aug = Mat.vcat t.core.Control.Ss.c (Mat.scalar n (Float.sqrt 1e-6)) in
+  let x0 = Qr.solve_least_squares aug rhs in
+  Array.blit x0 0 t.x 0 n;
+  Array.blit from.dy 0 t.dy 0 (Vec.dim t.dy);
+  t.hold <- Some (Vec.copy from.last_raw, Vec.copy from.out)
 
 let last_raw_command t = Vec.copy t.last_raw
 

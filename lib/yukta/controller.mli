@@ -46,6 +46,17 @@ val step :
     by the next [step] — copy it if you need it to survive. A
     steady-state invocation performs no allocation. *)
 
+val bumpless_from : t -> from:t -> unit
+(** Prepare [t] to take over from [from] mid-run without an actuation
+    bump: [t]'s state is aligned (ridge least squares on [C x = u_raw -
+    D dy] at [from]'s last operating point) and a one-step output hold
+    of [from]'s last commands is installed, so [t]'s {e first} [step]
+    emits exactly [from]'s last raw and quantized commands while the
+    aligned state already advances under the new dynamics. Both
+    controllers must share command and measurement dimensions; only
+    meaningful when [from] has stepped at least once.
+    @raise Invalid_argument on dimension mismatch. *)
+
 val last_raw_command : t -> Linalg.Vec.t
 (** The pre-quantization command of the last [step] (normalized units);
     exposed for the quantization-ablation bench. *)

@@ -31,6 +31,14 @@ type spec = {
 
 val validate_spec : spec -> unit
 
+val stabilize : Control.Ss.t -> Control.Ss.t
+(** Shrink a marginally unstable identified model's dynamics just
+    inside the unit circle (spectral radius scaled to 0.99 when at or
+    above 0.995): synthesis needs a stabilizable nominal model, and the
+    guardband absorbs the small modelling lie. Identity on comfortably
+    stable models. Online re-identification uses this on RLS models
+    before re-synthesis, exactly as {!identify} does on batch fits. *)
+
 val normalize_records :
   spec ->
   u:Linalg.Vec.t array ->

@@ -59,13 +59,22 @@ let cache_load : type a. string -> a option =
     else None
   end
 
-let cache_store key v =
+(* Alongside every [.bin] sits a one-line [.meta] sidecar naming what
+   the digest holds — the cache keys themselves embed marshalled
+   fingerprints, so the sidecar is what `yukta_cli cache` lists. *)
+let cache_store ?label key v =
   if cache_enabled () then begin
     if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
     let path = cache_path key in
     let oc = open_out_bin path in
     Marshal.to_channel oc v [];
-    close_out oc
+    close_out oc;
+    match label with
+    | None -> ()
+    | Some label ->
+      let oc = open_out (Filename.concat cache_dir (digest_of_key key ^ ".meta")) in
+      output_string oc (label ^ "\n");
+      close_out oc
   end
 
 (* The cache key covers everything that determines a design: the training
@@ -113,7 +122,8 @@ let cached_design kind spec compute =
   | Some (d : Design.synthesis) -> d
   | None ->
     let d = compute () in
-    cache_store key d;
+    cache_store ~label:(Printf.sprintf "ssv %s design (%s)" kind spec.Design.layer)
+      key d;
     d
 
 let design_hw_unlocked spec =
@@ -139,7 +149,7 @@ let cached_controller kind compute =
   | Some (c : Controller.t) -> c
   | None ->
     let c = compute () in
-    cache_store key c;
+    cache_store ~label:(Printf.sprintf "lqg %s controller" kind) key c;
     c
 
 let lqg_hw_default =
@@ -177,7 +187,7 @@ let rack_gain_unlocked () =
     let a = m 1.0 and b = m 1.0 in
     let x = Control.Dare.solve ~a ~b ~q:(m rack_q) ~r:(m rack_r) in
     let g = Linalg.Mat.get (Control.Dare.gain ~a ~b ~r:(m rack_r) x) 0 0 in
-    cache_store key g;
+    cache_store ~label:"rack feedback gain" key g;
     g
 
 let rack_default = lazy (rack_gain_unlocked ())

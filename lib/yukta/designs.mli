@@ -15,6 +15,11 @@
     so the expensive synthesis happens exactly once instead of workers
     queuing on the lock; see the concurrency notes in [DESIGN.md]. *)
 
+val cache_dir : string
+(** The on-disk cache directory, [.yukta_cache]. Every entry is a
+    [<digest>.bin] Marshal blob, with a one-line [<digest>.meta]
+    sidecar naming what it holds (what [yukta_cli cache] lists). *)
+
 val get_records : unit -> Training.records
 (** The default training records (computed once per process). *)
 

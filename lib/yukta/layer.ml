@@ -32,7 +32,7 @@ type targets =
   | Fixed of Vec.t
 
 type controlled = {
-  controller : Controller.t;
+  mutable controller : Controller.t;
   mutable targets : targets;
   tracker : exd_tracker;
   measure : Xu3.outputs -> Vec.t;
@@ -104,6 +104,17 @@ let as_controlled op t =
   | Controlled c -> c
   | Heuristic _ ->
     invalid_arg (Printf.sprintf "Layer.%s: %s is a heuristic layer" op t.label)
+
+let controller t = (as_controlled "controller" t).controller
+
+(* Hot-swap: install a re-synthesized controller mid-run with bumpless
+   transfer from the incumbent. Swapping before the first step makes no
+   sense (there is no operating point to transfer), so adapt loops only
+   swap between epochs. *)
+let swap_controller t controller =
+  let c = as_controlled "swap_controller" t in
+  Controller.bumpless_from controller ~from:c.controller;
+  c.controller <- controller
 
 let with_externals t externals =
   let c = as_controlled "with_externals" t in

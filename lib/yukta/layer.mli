@@ -77,6 +77,20 @@ val actuates : t -> string array
 
 val is_controlled : t -> bool
 
+val controller : t -> Controller.t
+(** The mounted controller of a controlled layer.
+    @raise Invalid_argument on a heuristic layer. *)
+
+val swap_controller : t -> Controller.t -> unit
+(** Replace a controlled layer's controller mid-run (adaptive
+    re-synthesis). The incoming controller receives a
+    {!Controller.bumpless_from} transfer from the incumbent, so the
+    layer's next actuation equals what the incumbent just commanded;
+    its own dynamics take over from the following epoch. Only
+    meaningful after the layer has stepped at least once.
+    @raise Invalid_argument on a heuristic layer or on controller
+    dimension mismatch. *)
+
 val with_externals : t -> (Board.Xu3.t -> Vec.t) -> t
 (** The same controlled layer with its external-signal wiring replaced
     (e.g. constant center values — the coordination-ablation channel

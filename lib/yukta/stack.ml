@@ -99,13 +99,31 @@ let health_channels health =
   in
   (pb, pl, temp)
 
-let run ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period
-    ?(epoch = default_epoch) ?injector ?cap t workloads =
+(* The single stepping loop, reified: every execution mode — the batch
+   [run] below, the serving sessions, the benches — advances epochs
+   through the same [step_epoch], so a session that hosts a stepper is
+   bit-identical to a batch run of the same stack by construction. *)
+type stepper = {
+  s_stack : t;
+  board : Xu3.t;
+  epoch : float;
+  cap_stream : (float -> float option) option;
+  health : Obs.Health.t;
+  hlayers : Obs.Health.layer list;
+  ch_pb : Obs.Health.channel;
+  ch_pl : Obs.Health.channel;
+  ch_temp : Obs.Health.channel;
+  mutable last_time : float;
+  mutable last_trips : int;
+  mutable epochs : int;
+}
+
+let stepper ?sensor_period ?(epoch = default_epoch) ?injector ?cap t workloads
+    =
   if not (epoch > 0.0) then
-    invalid_arg "Stack.run: epoch must be positive";
+    invalid_arg "Stack.stepper: epoch must be positive";
   let board = Xu3.create ?sensor_period ?injector workloads in
   reset t;
-  let trace = ref [] in
   (* Health monitoring is always on: it is pure observation of
      simulated-time data (true power/temperature, trip counts, the
      controllers' own step buffers), so it cannot perturb the run. *)
@@ -114,53 +132,93 @@ let run ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period
     List.map (fun l -> Obs.Health.layer health (Layer.label l)) t.layers
   in
   let ch_pb, ch_pl, ch_temp = health_channels health in
-  let last_time = ref (Xu3.time board) in
-  let last_trips = ref (Xu3.trip_count board) in
-  while (not (Xu3.finished board)) && Xu3.time board < max_time do
+  {
+    s_stack = t;
+    board;
+    epoch;
+    cap_stream = cap;
+    health;
+    hlayers;
+    ch_pb;
+    ch_pl;
+    ch_temp;
+    last_time = Xu3.time board;
+    last_trips = Xu3.trip_count board;
+    epochs = 0;
+  }
+
+let board s = s.board
+let stack s = s.s_stack
+let health s = s.health
+let time s = Xu3.time s.board
+let finished s = Xu3.finished s.board
+let epoch_count s = s.epochs
+
+let step_epoch s =
+  if Xu3.finished s.board then None
+  else begin
     (* Sample the cap stream at epoch start: the value governs both the
        board's emergency enforcement during the epoch and the layers'
        target rewrites after it. Cap-less runs never touch the board. *)
     let cap_now =
-      match cap with
+      match s.cap_stream with
       | None -> None
       | Some stream ->
-        let c = stream (Xu3.time board) in
-        Xu3.set_power_cap board c;
+        let c = stream (Xu3.time s.board) in
+        Xu3.set_power_cap s.board c;
         c
     in
-    let o = Xu3.run_epoch board epoch in
+    let o = Xu3.run_epoch s.board s.epoch in
     List.iter2
-      (fun l hl -> Layer.step ~health:hl ?cap:cap_now l board o)
-      t.layers hlayers;
-    let now = Xu3.time board in
-    let dt = now -. !last_time in
-    last_time := now;
-    let pb, pl = Xu3.true_power board in
-    Obs.Health.observe_channel ch_pb ~value:pb ~dt;
-    Obs.Health.observe_channel ch_pl ~value:pl ~dt;
-    Obs.Health.observe_channel ch_temp ~value:(Xu3.temperature board) ~dt;
-    Obs.Health.note_epoch health ~dt;
-    let trips = Xu3.trip_count board in
-    Obs.Health.note_trips health (trips - !last_trips);
-    last_trips := trips;
-    record_epoch board o ~collect:collect_trace trace
-  done;
+      (fun l hl -> Layer.step ~health:hl ?cap:cap_now l s.board o)
+      s.s_stack.layers s.hlayers;
+    let now = Xu3.time s.board in
+    let dt = now -. s.last_time in
+    s.last_time <- now;
+    let pb, pl = Xu3.true_power s.board in
+    Obs.Health.observe_channel s.ch_pb ~value:pb ~dt;
+    Obs.Health.observe_channel s.ch_pl ~value:pl ~dt;
+    Obs.Health.observe_channel s.ch_temp ~value:(Xu3.temperature s.board) ~dt;
+    Obs.Health.note_epoch s.health ~dt;
+    let trips = Xu3.trip_count s.board in
+    Obs.Health.note_trips s.health (trips - s.last_trips);
+    s.last_trips <- trips;
+    s.epochs <- s.epochs + 1;
+    Some o
+  end
+
+let complete_event s =
   if Obs.Collector.observing () then begin
-    let m = Xu3.metrics board in
-    Obs.Collector.event ~name:"runtime.run_complete" ~sim:(Xu3.time board)
+    let m = Xu3.metrics s.board in
+    Obs.Collector.event ~name:"runtime.run_complete" ~sim:(Xu3.time s.board)
       [
-        ("stack", Obs.Json.String t.label);
-        ("layers", Obs.Json.Int (List.length t.layers));
+        ("stack", Obs.Json.String s.s_stack.label);
+        ("layers", Obs.Json.Int (List.length s.s_stack.layers));
         ("execution_time_s", Obs.Json.Float m.Xu3.execution_time);
         ("energy_j", Obs.Json.Float m.Xu3.total_energy);
         ("energy_delay_js", Obs.Json.Float m.Xu3.energy_delay);
         ("trips", Obs.Json.Int m.Xu3.trips);
-        ("completed", Obs.Json.Bool (Xu3.finished board));
+        ("completed", Obs.Json.Bool (Xu3.finished s.board));
       ]
-  end;
+  end
+
+let result_of_stepper s ~trace =
   {
-    metrics = Xu3.metrics board;
-    completed = Xu3.finished board;
-    trace = Array.of_list (List.rev !trace);
-    health;
+    metrics = Xu3.metrics s.board;
+    completed = Xu3.finished s.board;
+    trace = Array.of_list (List.rev trace);
+    health = s.health;
   }
+
+let run ?(max_time = 3000.0) ?(collect_trace = false) ?sensor_period ?epoch
+    ?injector ?cap t workloads =
+  let s = stepper ?sensor_period ?epoch ?injector ?cap t workloads in
+  let trace = ref [] in
+  let continue = ref true in
+  while !continue && Xu3.time s.board < max_time do
+    match step_epoch s with
+    | None -> continue := false
+    | Some o -> record_epoch s.board o ~collect:collect_trace trace
+  done;
+  complete_event s;
+  result_of_stepper s ~trace:!trace

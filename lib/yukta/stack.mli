@@ -62,6 +62,56 @@ type result = {
                                   run. *)
 }
 
+(** {1 Incremental stepping}
+
+    The stepping loop, reified as a value: a [stepper] owns a fresh
+    board and advances it one epoch per {!step_epoch} call, doing
+    exactly what one iteration of {!run}'s loop does — cap sampling,
+    layer stepping, health feeding. {!run} itself is implemented on a
+    stepper, so any driver that hosts one (a serving session, a bench)
+    produces bit-identical decisions to a batch run of the same stack
+    by construction. *)
+
+type stepper
+
+val stepper :
+  ?sensor_period:float ->
+  ?epoch:float ->
+  ?injector:Board.Xu3.injector ->
+  ?cap:(float -> float option) ->
+  t ->
+  Board.Workload.t list ->
+  stepper
+(** Create a board for [workloads], reset the stack and bind the two.
+    Options as in {!run}. The stack is reset here — mounting one stack
+    on two live steppers shares controller state and is an error.
+    @raise Invalid_argument on a non-positive [epoch]. *)
+
+val step_epoch : stepper -> Board.Xu3.outputs option
+(** Advance one epoch; [None] once the workloads have finished (the
+    caller owns any wall-clock or simulated-time budget — {!run} stops
+    at [max_time]). Emits the usual [runtime.decision] / [runtime.epoch]
+    events via the layers when the Obs collector is on. *)
+
+val board : stepper -> Board.Xu3.t
+val stack : stepper -> t
+val health : stepper -> Obs.Health.t
+val time : stepper -> float
+(** Current simulated time. *)
+
+val finished : stepper -> bool
+val epoch_count : stepper -> int
+(** Epochs stepped so far. *)
+
+val complete_event : stepper -> unit
+(** Emit the [runtime.run_complete] summary event (when observing);
+    {!run} calls this once its loop exits. *)
+
+val result_of_stepper : stepper -> trace:trace_point list -> result
+(** Package the stepper's final state as a {!result}. [trace] is the
+    caller-collected per-epoch list, newest first (as {!run} builds
+    it); pass [[]] when not collecting. *)
+
 val run :
   ?max_time:float ->
   ?collect_trace:bool ->

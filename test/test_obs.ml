@@ -451,6 +451,50 @@ let test_recorder_feeds_from_collector () =
   Obs.Recorder.disable ();
   Obs.Recorder.clear ()
 
+let test_recorder_trigger_registry () =
+  Obs.Recorder.clear ();
+  Obs.Recorder.enable ~capacity:8 ();
+  (* Registration is idempotent and order-preserving. *)
+  Obs.Recorder.register_trigger "testreg.swap";
+  Obs.Recorder.register_trigger ~suffix_field:"cause" "testreg.trip";
+  Obs.Recorder.register_trigger "testreg.swap";
+  let mine =
+    List.filter
+      (fun (p, _) -> String.starts_with ~prefix:"testreg." p)
+      (Obs.Recorder.triggers ())
+  in
+  Alcotest.(check bool) "registered once each" true
+    (mine = [ ("testreg.swap", None); ("testreg.trip", Some "cause") ]);
+  (* A matching event prefix dumps; a non-matching one only notes. *)
+  Obs.Recorder.note_event ~name:"testreg.other" ~sim:1.0 (Obs.Json.Int 1);
+  Alcotest.(check int) "no dump on other names" 0
+    (Obs.Recorder.dump_count ());
+  Obs.Recorder.note_event ~name:"testreg.swap" ~sim:1.5 (Obs.Json.Int 2);
+  Alcotest.(check int) "prefix match dumps" 1 (Obs.Recorder.dump_count ());
+  (* The suffix field decorates the reason. *)
+  Obs.Recorder.note_event ~name:"testreg.trip" ~sim:2.0
+    (Obs.Json.Obj
+       [ ("fields", Obs.Json.Obj [ ("cause", Obs.Json.String "thermal") ]) ]);
+  Alcotest.(check int) "suffix trigger dumps" 2 (Obs.Recorder.dump_count ());
+  (match List.rev (Obs.Recorder.dumps ()) with
+  | last :: _ ->
+    let reason =
+      Option.bind
+        (Option.bind (Obs.Json.member "fields" last)
+           (Obs.Json.member "reason"))
+        Obs.Json.to_string_opt
+    in
+    Alcotest.(check (option string)) "reason carries the suffix"
+      (Some "testreg.trip:thermal") reason
+  | [] -> Alcotest.fail "expected dumps");
+  (* The triggering event sits in the dumped window, last. *)
+  Alcotest.(check bool) "raise on empty prefix" true
+    (match Obs.Recorder.register_trigger "" with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Obs.Recorder.disable ();
+  Obs.Recorder.clear ()
+
 (* ------------------------------------------------------------------ *)
 (* Health                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -649,6 +693,8 @@ let () =
           Alcotest.test_case "dump record" `Quick test_recorder_dump;
           Alcotest.test_case "collector feed and emit" `Quick
             test_recorder_feeds_from_collector;
+          Alcotest.test_case "trigger registry" `Quick
+            test_recorder_trigger_registry;
         ] );
       ( "health",
         [

@@ -1,0 +1,360 @@
+(* Tests for the serving subsystem: the transport-free session state
+   machine (purity, backpressure, budget split, drain, crash isolation)
+   and the select-loop server (disconnect isolation, idle sweep). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+module Json = Obs.Json
+
+let jtype line =
+  match Option.bind (Json.member "type" (Json.of_string line)) Json.to_string_opt with
+  | Some t -> t
+  | None -> Alcotest.failf "response without type: %s" line
+
+let jint key line =
+  match Option.bind (Json.member key (Json.of_string line)) Json.to_int_opt with
+  | Some v -> v
+  | None -> Alcotest.failf "response without int %S: %s" key line
+
+let jbool key line =
+  match Json.member key (Json.of_string line) with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "response without bool %S: %s" key line
+
+(* All session tests run over the heuristic "coord" scheme: the full
+   Layer/Stack machinery with no mu-synthesis, so they are fast and
+   deterministic. *)
+let configure_line = {|{"type":"configure","scheme":"coord","app":"blackscholes"}|}
+
+let enqueue_ok t line =
+  match Serve.Session.enqueue t line with
+  | `Accepted -> ()
+  | `Rejected r -> Alcotest.failf "unexpected rejection: %s" r
+
+let fresh_session ?max_queue ?retry_after_ms () =
+  Serve.Session.create ?max_queue ?retry_after_ms ~id:1 ()
+
+let configured_session () =
+  let t = fresh_session () in
+  enqueue_ok t configure_line;
+  (match Serve.Session.process t with
+  | [ line ] -> check_string "configured" "configured" (jtype line)
+  | other -> Alcotest.failf "expected one configured line, got %d" (List.length other));
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Purity: a served run is bit-identical to a batch stepper run        *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance bar for the serve subsystem: with no drift, the
+   frames a session streams are byte-for-byte the frames a locally
+   driven [Stack.stepper] over the same scheme and workload would
+   produce. Comparing encoded lines (not parsed floats) makes any
+   divergence — ordering, formatting, decision values — fail loudly. *)
+let batch_frames () =
+  let info = Yukta.Schemes.find_exn "coord" in
+  let stepper =
+    Yukta.Stack.stepper (Yukta.Schemes.stack info)
+      [ Board.Workload.by_name "blackscholes" ]
+  in
+  let lines = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Yukta.Stack.step_epoch stepper with
+    | None -> continue := false
+    | Some o ->
+      let board = Yukta.Stack.board stepper in
+      lines :=
+        Serve.Protocol.frame
+          ~epoch:(Yukta.Stack.epoch_count stepper)
+          ~sim:(Yukta.Stack.time stepper)
+          ~o
+          ~config:(Board.Xu3.effective_config board)
+          ~placement:(Board.Xu3.placement board)
+          ~done_:(Yukta.Stack.finished stepper)
+        :: !lines
+  done;
+  List.rev !lines
+
+let test_session_bit_identical_to_batch () =
+  let expected = batch_frames () in
+  let n = List.length expected in
+  check_bool "batch run has epochs" true (n > 100);
+  let t = configured_session () in
+  enqueue_ok t
+    (Printf.sprintf {|{"type":"step","count":%d}|} (n + 10));
+  let lines = Serve.Session.process t in
+  let frames, rest =
+    List.partition (fun l -> jtype l = "frame") lines
+  in
+  check_int "one epoch one frame" n (List.length frames);
+  List.iteri
+    (fun i (e, g) ->
+      if e <> g then
+        Alcotest.failf "frame %d diverged:\nbatch: %s\nserved: %s" i e g)
+    (List.combine expected frames);
+  (* Stepping past the end answers with the end-of-run summary. *)
+  (match rest with
+  | [ e ] ->
+    check_string "end summary" "end" (jtype e);
+    check_bool "completed" true (jbool "completed" e)
+  | _ -> Alcotest.failf "expected exactly one end line, got %d" (List.length rest));
+  check_int "frames served" n (Serve.Session.frames_served t)
+
+(* ------------------------------------------------------------------ *)
+(* Crash isolation and backpressure                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_malformed_is_nonfatal () =
+  let t = configured_session () in
+  enqueue_ok t "this is not json";
+  enqueue_ok t {|{"type":"warp"}|};
+  enqueue_ok t {|{"type":"step","count":1}|};
+  (match Serve.Session.process t with
+  | [ e1; e2; frame ] ->
+    check_string "parse error" "error" (jtype e1);
+    check_bool "non-fatal" false (jbool "fatal" e1);
+    check_string "unknown type error" "error" (jtype e2);
+    check_string "still serving" "frame" (jtype frame)
+  | other -> Alcotest.failf "expected 3 lines, got %d" (List.length other));
+  check_int "errors counted" 2 (Serve.Session.errors t);
+  check_bool "not closed" false (Serve.Session.closed t)
+
+let test_session_requires_configure () =
+  let t = fresh_session () in
+  enqueue_ok t {|{"type":"step","count":1}|};
+  (match Serve.Session.process t with
+  | [ e ] ->
+    check_string "error" "error" (jtype e);
+    check_bool "non-fatal" false (jbool "fatal" e)
+  | _ -> Alcotest.fail "expected one error line")
+
+let test_session_backpressure () =
+  let t = fresh_session ~max_queue:2 ~retry_after_ms:7 () in
+  enqueue_ok t configure_line;
+  enqueue_ok t {|{"type":"step","count":1}|};
+  (match Serve.Session.enqueue t {|{"type":"step","count":1}|} with
+  | `Accepted -> Alcotest.fail "queue should be full"
+  | `Rejected line ->
+    check_string "busy" "busy" (jtype line);
+    check_int "retry hint" 7 (jint "retry_after_ms" line));
+  (* Processing the queue makes room again. *)
+  ignore (Serve.Session.process t);
+  enqueue_ok t {|{"type":"step","count":1}|}
+
+let test_session_closed_rejects () =
+  let t = configured_session () in
+  enqueue_ok t {|{"type":"close"}|};
+  (match Serve.Session.process t with
+  | [ line ] -> check_string "closed" "closed" (jtype line)
+  | _ -> Alcotest.fail "expected closed line");
+  check_bool "closed" true (Serve.Session.closed t);
+  match Serve.Session.enqueue t {|{"type":"step","count":1}|} with
+  | `Accepted -> Alcotest.fail "closed session must reject"
+  | `Rejected line ->
+    check_string "fatal error" "error" (jtype line);
+    check_bool "fatal" true (jbool "fatal" line)
+
+(* ------------------------------------------------------------------ *)
+(* Epoch budget: split, carry, drain                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_budget_carry () =
+  let t = configured_session () in
+  enqueue_ok t {|{"type":"step","count":10}|};
+  let first = Serve.Session.process ~budget:4 t in
+  check_int "budget bounds the chunk" 4 (List.length first);
+  check_bool "remainder pending" true (Serve.Session.pending t > 0);
+  let second = Serve.Session.process ~budget:4 t in
+  check_int "carry resumes" 4 (List.length second);
+  let third = Serve.Session.process ~budget:4 t in
+  check_int "tail" 2 (List.length third);
+  check_int "nothing pending" 0 (Serve.Session.pending t);
+  (* Frame epochs are contiguous across the splits. *)
+  let epochs = List.map (jint "epoch") (first @ second @ third) in
+  List.iteri (fun i e -> check_int "contiguous epoch" (i + 1) e) epochs
+
+let test_session_drain_streams_under_budget () =
+  let expected = List.length (batch_frames ()) in
+  let t = configured_session () in
+  enqueue_ok t {|{"type":"drain"}|};
+  let lines = ref [] in
+  let rounds = ref 0 in
+  let chunk = 50 in
+  lines := Serve.Session.process ~budget:chunk t;
+  while Serve.Session.pending t > 0 do
+    incr rounds;
+    if !rounds > (expected / chunk) + 3 then
+      Alcotest.fail "drain did not converge";
+    let more = Serve.Session.process ~budget:chunk t in
+    check_bool "drain makes progress" true (more <> []);
+    lines := !lines @ more
+  done;
+  check_bool "drain spans process calls" true (!rounds >= expected / chunk);
+  let frames = List.filter (fun l -> jtype l = "frame") !lines in
+  check_int "full run drained" expected (List.length frames);
+  match List.rev !lines with
+  | last :: _ ->
+    check_string "drained summary" "drained" (jtype last);
+    check_bool "completed" true (jbool "completed" last);
+    check_int "epochs" expected (jint "epochs" last)
+  | [] -> Alcotest.fail "no drain output"
+
+(* ------------------------------------------------------------------ *)
+(* Server loop: isolation and idle sweep                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal inline client: blocking connect, nonblocking reads, the
+   server loop driven by [Server.iterate] between polls. *)
+let connect srv =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Serve.Server.address srv);
+  Unix.set_nonblock fd;
+  fd
+
+let send_line srv fd line =
+  let payload = Bytes.of_string (line ^ "\n") in
+  let off = ref 0 in
+  while !off < Bytes.length payload do
+    match Unix.write fd payload !off (Bytes.length payload - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Serve.Server.iterate ~timeout:0.01 srv
+  done
+
+exception Disconnected
+
+(* Read until [want] complete lines arrived (driving the server loop),
+   or fail after ~2 s of no progress. *)
+let read_lines srv fd ~want =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let lines = ref [] in
+  let idle = ref 0 in
+  while List.length !lines < want do
+    Serve.Server.iterate ~timeout:0.005 srv;
+    (match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> raise Disconnected
+    | n ->
+      idle := 0;
+      Buffer.add_subbytes buf chunk 0 n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      incr idle;
+      if !idle > 400 then
+        Alcotest.failf "timed out waiting for %d lines (got %d)" want
+          (List.length !lines));
+    let rec split () =
+      let s = Buffer.contents buf in
+      match String.index_opt s '\n' with
+      | Some i ->
+        lines := String.sub s 0 i :: !lines;
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+        split ()
+      | None -> ()
+    in
+    split ()
+  done;
+  List.rev !lines
+
+let with_server ?idle_timeout f =
+  let srv =
+    Serve.Server.create ?idle_timeout ~step_budget:64 (Serve.Server.Tcp ("", 0))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop srv;
+      Serve.Server.run srv)
+    (fun () -> f srv)
+
+let greet srv fd =
+  send_line srv fd {|{"type":"hello","client":"test"}|};
+  match read_lines srv fd ~want:1 with
+  | [ w ] -> check_string "welcome" "welcome" (jtype w)
+  | _ -> Alcotest.fail "expected welcome"
+
+let configure srv fd =
+  send_line srv fd configure_line;
+  match read_lines srv fd ~want:1 with
+  | [ c ] -> check_string "configured" "configured" (jtype c)
+  | _ -> Alcotest.fail "expected configured"
+
+(* A mid-stream disconnect of one client must not disturb a concurrent
+   session: the survivor keeps streaming correct, contiguous frames. *)
+let test_server_disconnect_isolation () =
+  with_server (fun srv ->
+      let a = connect srv and b = connect srv in
+      greet srv a;
+      greet srv b;
+      configure srv a;
+      configure srv b;
+      send_line srv b {|{"type":"step","count":3}|};
+      let before = read_lines srv b ~want:3 in
+      (* A dies mid-stream, with a large step in flight. *)
+      send_line srv a {|{"type":"step","count":10000}|};
+      Serve.Server.iterate ~timeout:0.01 srv;
+      Unix.close a;
+      for _ = 1 to 10 do
+        Serve.Server.iterate ~timeout:0.005 srv
+      done;
+      (* B is unaffected: its frames continue exactly where they left
+         off. *)
+      send_line srv b {|{"type":"step","count":3}|};
+      let after = read_lines srv b ~want:3 in
+      List.iteri
+        (fun i l -> check_int "contiguous epochs" (i + 1) (jint "epoch" l))
+        (before @ after);
+      let accepted, active, frames, _, _ = Serve.Server.stats srv in
+      check_int "two accepted" 2 accepted;
+      check_int "one still active" 1 active;
+      check_bool "frames flowed" true (frames >= 6);
+      send_line srv b {|{"type":"close"}|};
+      (match read_lines srv b ~want:1 with
+      | [ c ] -> check_string "closed" "closed" (jtype c)
+      | _ -> Alcotest.fail "expected closed");
+      Unix.close b)
+
+let test_server_idle_sweep () =
+  with_server ~idle_timeout:0.05 (fun srv ->
+      let fd = connect srv in
+      greet srv fd;
+      Unix.sleepf 0.12;
+      (* The sweep sends a fatal idle-timeout error and closes. *)
+      (match read_lines srv fd ~want:1 with
+      | [ e ] ->
+        check_string "error" "error" (jtype e);
+        check_bool "fatal" true (jbool "fatal" e)
+      | _ -> Alcotest.fail "expected idle error");
+      (match read_lines srv fd ~want:1 with
+      | exception Disconnected -> ()
+      | _ -> Alcotest.fail "connection should be closed");
+      let _, active, _, _, _ = Serve.Server.stats srv in
+      check_int "swept" 0 active;
+      Unix.close fd)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "session",
+        [
+          Alcotest.test_case "bit-identical to batch" `Quick
+            test_session_bit_identical_to_batch;
+          Alcotest.test_case "malformed is non-fatal" `Quick
+            test_session_malformed_is_nonfatal;
+          Alcotest.test_case "requires configure" `Quick
+            test_session_requires_configure;
+          Alcotest.test_case "backpressure" `Quick test_session_backpressure;
+          Alcotest.test_case "closed rejects" `Quick test_session_closed_rejects;
+          Alcotest.test_case "budget carry" `Quick test_session_budget_carry;
+          Alcotest.test_case "drain streams" `Quick
+            test_session_drain_streams_under_budget;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "disconnect isolation" `Quick
+            test_server_disconnect_isolation;
+          Alcotest.test_case "idle sweep" `Quick test_server_idle_sweep;
+        ] );
+    ]

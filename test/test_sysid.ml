@@ -300,9 +300,203 @@ let prop_arx_recovery_various_orders =
       let f = Validate.fit_percent ~actual:y ~predicted:pred in
       f.(0) > 99.0)
 
+(* ------------------------------------------------------------------ *)
+(* Recursive (RLS)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed a full record through the recursive estimator, batch-style. *)
+let rls_feed est ~u ~y =
+  Array.iteri (fun t ut -> ignore (Recursive.observe est ~u:ut ~y:y.(t))) u
+
+let models_close ?(tol = 1e-6) (m1 : Arx.model) (m2 : Arx.model) =
+  Array.for_all2 (Mat.approx_equal ~tol) m1.Arx.a m2.Arx.a
+  && Array.for_all2 (Mat.approx_equal ~tol) m1.Arx.b m2.Arx.b
+
+let test_rls_matches_batch () =
+  let u, y = training_data ~noise:0.02 ~length:300 () in
+  let batch = Arx.fit ~na:2 ~nb:2 ~u ~y in
+  let est = Recursive.create ~na:2 ~nb:2 ~ny:2 ~nu:2 () in
+  rls_feed est ~u ~y;
+  check_bool "rls = batch ridge" true
+    (models_close ~tol:1e-6 batch (Recursive.model est));
+  check_int "updates skip warmup" (300 - 2) (Recursive.samples est)
+
+let test_rls_warmup () =
+  let est = Recursive.create ~na:2 ~nb:3 ~ny:1 ~nu:1 () in
+  check_bool "cold" true (not (Recursive.warm est));
+  let one = Vec.of_list [ 1.0 ] in
+  check_bool "first sample no error" true
+    (Recursive.observe est ~u:one ~y:one = None);
+  check_bool "second sample no error" true
+    (Recursive.observe est ~u:one ~y:one = None);
+  check_bool "warm after horizon" true (Recursive.warm est);
+  check_bool "third sample updates" true
+    (Recursive.observe est ~u:one ~y:one <> None)
+
+let test_rls_error_shrinks () =
+  (* On a deterministic plant the one-step error must collapse as the
+     estimate converges. *)
+  let u, y = training_data ~length:300 () in
+  let est = Recursive.create ~na:2 ~nb:2 ~ny:2 ~nu:2 () in
+  let errs = ref [] in
+  Array.iteri
+    (fun t ut ->
+      match Recursive.observe est ~u:ut ~y:y.(t) with
+      | Some e -> errs := e :: !errs
+      | None -> ())
+    u;
+  let errs = Array.of_list (List.rev !errs) in
+  let n = Array.length errs in
+  let mean lo hi =
+    let s = ref 0.0 in
+    for i = lo to hi - 1 do s := !s +. errs.(i) done;
+    !s /. float_of_int (hi - lo)
+  in
+  check_bool "late errors tiny" true (mean (n - 50) n < 1e-6);
+  check_bool "late << early" true (mean (n - 50) n < 0.01 *. mean 0 50)
+
+let test_drift_detector () =
+  let d = Recursive.Drift.create ~warmup:20 ~ratio:3.0 () in
+  (* Clean phase: residuals around 0.1 — calibrates, never trips. *)
+  for i = 0 to 99 do
+    let e = 0.1 +. (0.01 *. sin (float_of_int i)) in
+    check_bool "clean never trips" false (Recursive.Drift.observe d e)
+  done;
+  check_bool "calibrated" true (Recursive.Drift.calibrated d);
+  check_bool "baseline near level" true
+    (Float.abs (Recursive.Drift.baseline d -. 0.1) < 0.02);
+  (* Drift: residuals jump 10x — must trip exactly once. *)
+  let trips = ref 0 in
+  for _ = 0 to 99 do
+    if Recursive.Drift.observe d 1.0 then incr trips
+  done;
+  check_int "trips once" 1 !trips;
+  check_bool "latched" true (Recursive.Drift.tripped d);
+  Recursive.Drift.reset d;
+  check_bool "reset clears" true (not (Recursive.Drift.tripped d))
+
+let test_rls_reset_covariance () =
+  let u, y = training_data ~length:200 () in
+  let est = Recursive.create ~lambda:0.9 ~na:2 ~nb:2 ~ny:2 ~nu:2 () in
+  rls_feed est ~u ~y;
+  let before = Recursive.model est in
+  Recursive.reset_covariance est;
+  (* Resetting covariance keeps the estimate itself. *)
+  check_bool "estimate kept" true (models_close before (Recursive.model est))
+
+let test_rls_warm_start () =
+  let u, y = training_data ~noise:0.02 ~length:300 () in
+  let batch = Arx.fit ~na:2 ~nb:2 ~u ~y in
+  let est = Recursive.create ~na:2 ~nb:2 ~ny:2 ~nu:2 () in
+  Recursive.warm_start est batch;
+  (* The installed prior round-trips exactly through the packed layout. *)
+  check_bool "prior installed" true
+    (models_close ~tol:1e-12 batch (Recursive.model est));
+  (* Shape mismatches are rejected. *)
+  let other = Arx.fit ~na:3 ~nb:2 ~u ~y in
+  check_bool "shape mismatch rejected" true
+    (try
+       Recursive.warm_start est other;
+       false
+     with Invalid_argument _ -> true)
+
+let test_rls_structured_reset () =
+  (* Warm-start from the true model, then feed data from a plant whose
+     input gains drifted (B scaled 1.5x). With the input-only covariance
+     reset the A coefficients must stay pinned at the prior through every
+     subsequent update, while the B estimate tracks the drift. *)
+  let drifted =
+    {
+      true_model with
+      Arx.b = Array.map (Mat.map (fun x -> 1.5 *. x)) true_b;
+    }
+  in
+  let exc = { Excitation.seed = 5; hold = 2 } in
+  let u =
+    Excitation.channels exc
+      ~levels:[| [| -1.0; 0.0; 1.0 |]; [| -1.0; 1.0 |] |]
+      ~length:300
+  in
+  let y0 = [| Vec.create 2; Vec.create 2 |] in
+  let y = Arx.simulate drifted ~u ~y0 in
+  let est = Recursive.create ~na:2 ~nb:2 ~ny:2 ~nu:2 () in
+  Recursive.warm_start est true_model;
+  Recursive.reset_covariance ~only_inputs:true est;
+  rls_feed est ~u ~y;
+  let m = Recursive.model est in
+  check_bool "A pinned at prior" true
+    (Array.for_all2 (Mat.approx_equal ~tol:1e-12) true_a m.Arx.a);
+  check_bool "B tracked drift" true
+    (Array.for_all2 (Mat.approx_equal ~tol:1e-3) drifted.Arx.b m.Arx.b)
+
+let recursive_cases =
+  [
+    Alcotest.test_case "matches batch fit" `Quick test_rls_matches_batch;
+    Alcotest.test_case "warmup bookkeeping" `Quick test_rls_warmup;
+    Alcotest.test_case "error shrinks" `Quick test_rls_error_shrinks;
+    Alcotest.test_case "drift detector" `Quick test_drift_detector;
+    Alcotest.test_case "reset covariance" `Quick test_rls_reset_covariance;
+    Alcotest.test_case "warm start" `Quick test_rls_warm_start;
+    Alcotest.test_case "structured reset" `Quick test_rls_structured_reset;
+  ]
+
+let prop_rls_converges_to_batch =
+  (* The satellite property: forgetting 1.0 RLS equals the batch ridge
+     fit over the same record, for random orders and dimensions —
+     including records whose excitation is rank-deficient (constant
+     input), where only the shared ridge prior keeps the problem
+     well-posed. *)
+  QCheck.Test.make ~name:"rls forgetting 1.0 equals batch fit" ~count:25
+    QCheck.(
+      quad (int_range 1 3) (int_range 1 3) (int_range 1 2) (int_bound 1))
+    (fun (na, nb, ny, flat) ->
+      let nu = 1 in
+      let length = 120 in
+      let u =
+        if flat = 1 then
+          (* Rank-deficient: a constant input excites one direction. *)
+          Array.init length (fun _ -> Vec.of_list [ 0.7 ])
+        else
+          Excitation.channels
+            { Excitation.seed = (na * 31) + (nb * 7) + ny; hold = 2 }
+            ~levels:[| [| -1.0; 0.0; 1.0 |] |] ~length
+      in
+      let st = Random.State.make [| na; nb; ny; flat |] in
+      let rand_mat r c lim =
+        Mat.init r c (fun _ _ -> lim *. (Random.State.float st 2.0 -. 1.0))
+      in
+      let truth =
+        {
+          Arx.na;
+          nb;
+          ny;
+          nu;
+          a = Array.init na (fun _ -> rand_mat ny ny (0.3 /. float_of_int na));
+          b = Array.init nb (fun _ -> rand_mat ny nu 1.0);
+        }
+      in
+      let y0 =
+        Array.init (max na (nb - 1) + 1) (fun _ -> Vec.create ny)
+      in
+      let clean = Arx.simulate truth ~u ~y0 in
+      let y =
+        Array.map
+          (fun v ->
+            Vec.map (fun x -> x +. (0.01 *. (Random.State.float st 2.0 -. 1.0))) v)
+          clean
+      in
+      let batch = Arx.fit ~na ~nb ~u ~y in
+      let est = Recursive.create ~na ~nb ~ny ~nu () in
+      rls_feed est ~u ~y;
+      models_close ~tol:1e-5 batch (Recursive.model est))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_fit_percent_bounded_above; prop_arx_recovery_various_orders ]
+    [
+      prop_fit_percent_bounded_above;
+      prop_arx_recovery_various_orders;
+      prop_rls_converges_to_batch;
+    ]
 
 
 (* ------------------------------------------------------------------ *)
@@ -409,5 +603,6 @@ let () =
           Alcotest.test_case "channel" `Quick test_channel_extraction;
         ] );
       ("edge cases", round2_cases);
+      ("recursive", recursive_cases);
       ("properties", qcheck_cases);
     ]

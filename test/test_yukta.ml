@@ -721,6 +721,56 @@ let test_ablation_stacks_complete () =
         (r.Stack.metrics.Board.Xu3.total_energy > 0.0))
     stacks
 
+(* The reified stepper must reproduce [Stack.run] decision-for-decision:
+   driving an identical fresh stack through [step_epoch] with [run]'s
+   own loop condition yields bit-identical metrics. This is the batch
+   side of the serve-session purity guarantee. *)
+let test_stepper_matches_run () =
+  let mk () =
+    Stack.make [ toy_controlled_layer (); toy_heuristic_layer () ]
+  in
+  let r = Stack.run ~max_time:500.0 (mk ()) [ tiny_workload ] in
+  let s = Stack.stepper (mk ()) [ tiny_workload ] in
+  let continue = ref true in
+  while !continue && Stack.time s < 500.0 do
+    if Stack.step_epoch s = None then continue := false
+  done;
+  let r' = Stack.result_of_stepper s ~trace:[] in
+  let m = r.Stack.metrics and m' = r'.Stack.metrics in
+  check_bool "completed matches" r.Stack.completed r'.Stack.completed;
+  check_float "execution time" m.Board.Xu3.execution_time
+    m'.Board.Xu3.execution_time;
+  check_float "total energy" m.Board.Xu3.total_energy
+    m'.Board.Xu3.total_energy;
+  check_float "energy delay" m.Board.Xu3.energy_delay
+    m'.Board.Xu3.energy_delay;
+  check_int "trips" m.Board.Xu3.trips m'.Board.Xu3.trips
+
+(* Hot-swapping a controller mid-run is bumpless: the first post-swap
+   actuation equals the last pre-swap one exactly (the incoming
+   controller's one-step output hold), and the run keeps stepping. *)
+let test_swap_controller_bumpless () =
+  let layer = toy_controlled_layer () in
+  let stack = Stack.make [ layer ] in
+  let s = Stack.stepper stack [ tiny_workload ] in
+  for _ = 1 to 5 do
+    ignore (Stack.step_epoch s)
+  done;
+  let board = Stack.board s in
+  let pre = (Board.Xu3.config board).Board.Xu3.freq_big in
+  Layer.swap_controller layer (toy_controller ());
+  ignore (Stack.step_epoch s);
+  let post = (Board.Xu3.config board).Board.Xu3.freq_big in
+  check_float "first post-swap actuation held" pre post;
+  (* The hold is one epoch only: the new controller then runs free. *)
+  ignore (Stack.step_epoch s);
+  check_bool "keeps stepping" true (Stack.epoch_count s = 7);
+  (* Dimension mismatch is rejected, heuristic layers are rejected. *)
+  check_bool "heuristic rejected" true
+    (match Layer.swap_controller (toy_heuristic_layer ()) (toy_controller ()) with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -889,6 +939,10 @@ let () =
             test_stack_steps_in_declared_order;
           Alcotest.test_case "ablation stacks complete" `Quick
             test_ablation_stacks_complete;
+          Alcotest.test_case "stepper matches run" `Quick
+            test_stepper_matches_run;
+          Alcotest.test_case "bumpless controller swap" `Quick
+            test_swap_controller_bumpless;
         ] );
       ("properties", qcheck_cases);
     ]
