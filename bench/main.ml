@@ -779,6 +779,8 @@ let () =
   | "fleet" :: rest -> exit (Fleetbench.main rest)
   (* The serving harness: concurrent sessions + adaptation (bench/servebench.ml). *)
   | "serve" :: rest -> exit (Servebench.main rest)
+  (* The design-space exploration farm (bench/sweepbench.ml). *)
+  | "sweep" :: rest -> exit (Sweepbench.main rest)
   | _ -> ());
   (* [--json OUT] and [-j N] consume their values; everything else is a
      flag. *)

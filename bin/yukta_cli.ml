@@ -538,6 +538,107 @@ let serve_cmd =
           optional online adaptation)")
     Term.(const run $ socket_arg $ port_arg $ once_arg $ idle_arg $ budget_arg)
 
+let sweep_cmd =
+  let file_arg =
+    let doc =
+      "A yukta.bench-sweep/v1 document, as written by `bench sweep --json` \
+       (a single shard or a --merge result)."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let doc =
+      let ic = open_in_bin file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Obs.Json.of_string s with
+      | doc -> doc
+      | exception Obs.Json.Parse_error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1
+    in
+    (match
+       Option.bind (Obs.Json.member "schema" doc) Obs.Json.to_string_opt
+     with
+    | Some "yukta.bench-sweep/v1" -> ()
+    | Some s ->
+      Printf.eprintf "%s: schema %s is not yukta.bench-sweep/v1\n" file s;
+      exit 1
+    | None ->
+      Printf.eprintf "%s: no schema field\n" file;
+      exit 1);
+    let frontier =
+      match Obs.Json.member "frontier" doc with
+      | Some f -> f
+      | None ->
+        Printf.eprintf "%s: no frontier block\n" file;
+        exit 1
+    in
+    let str key =
+      match Option.bind (Obs.Json.member key frontier) Obs.Json.to_string_opt with
+      | Some s -> s
+      | None -> "?"
+    in
+    let int key =
+      match Option.bind (Obs.Json.member key frontier) Obs.Json.to_int_opt with
+      | Some n -> n
+      | None -> 0
+    in
+    Printf.printf "sweep %s: %d of %d points (seed %s)\n" (str "fingerprint")
+      (int "points") (int "cardinality")
+      (match Option.bind (Obs.Json.member "seed" frontier) Obs.Json.to_int_opt with
+      | Some s -> string_of_int s
+      | None -> "?");
+    (match Obs.Json.member "probe" frontier with
+    | Some probe ->
+      let p key =
+        Option.bind (Obs.Json.member key probe) Obs.Json.to_float_opt
+      in
+      (match
+         ( Option.bind (Obs.Json.member "app" probe) Obs.Json.to_string_opt,
+           p "ginsts",
+           p "max_time_s" )
+       with
+      | Some app, Some g, Some t ->
+        Printf.printf "probe: %s @ %.0f Ginsts, %.0f s horizon\n" app g t
+      | _ -> ())
+    | None -> ());
+    match Obs.Json.member "members" frontier with
+    | Some (Obs.Json.List members) ->
+      Printf.printf "frontier: %d non-dominated points\n\n"
+        (List.length members);
+      Printf.printf "%5s  %-8s %6s %6s %6s %8s  %8s %12s %8s\n" "id"
+        "layers" "delta" "weight" "bound" "epoch" "mu-peak" "ExD(J.s)"
+        "macs";
+      List.iter
+        (fun m ->
+          match Sweep.Frontier.entry_of_json m with
+          | Some (e : Sweep.Frontier.entry) ->
+            Printf.printf
+              "%5d  %-8s %6.2f %6.2f %6.2f %7.2fs  %8.3f %12.2f %8d\n"
+              e.Sweep.Frontier.point.Sweep.Space.id
+              (Sweep.Space.arrangement_name
+                 e.Sweep.Frontier.point.Sweep.Space.arrangement)
+              e.Sweep.Frontier.point.Sweep.Space.delta
+              e.Sweep.Frontier.point.Sweep.Space.weight
+              e.Sweep.Frontier.point.Sweep.Space.bound
+              e.Sweep.Frontier.point.Sweep.Space.epoch e.Sweep.Frontier.mu
+              e.Sweep.Frontier.exd e.Sweep.Frontier.macs
+          | None ->
+            Printf.eprintf "%s: malformed frontier member\n" file;
+            exit 1)
+        members
+    | _ ->
+      Printf.eprintf "%s: frontier block has no members list\n" file;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Print the Pareto frontier of a `bench sweep` artifact as a \
+          table (one row per non-dominated design point)")
+    Term.(const run $ file_arg)
+
 let fleet_cmd =
   let policy_conv =
     let parse s =
@@ -646,4 +747,5 @@ let () =
             fleet_cmd;
             cache_cmd;
             serve_cmd;
+            sweep_cmd;
           ]))

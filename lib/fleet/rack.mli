@@ -55,8 +55,10 @@ val make :
     @raise Invalid_argument on [boards < 1] or a non-positive [cap]. *)
 
 val policy : t -> policy
+(** The apportionment policy this controller runs. *)
 
 val cap : t -> float
+(** The shared rack budget, watts (fixed at {!make} time). *)
 
 val caps : t -> float array
 (** The current per-board apportionment, watts. The returned array is

@@ -5,6 +5,8 @@
     non-fatal [error] record, never an exception. *)
 
 val version : int
+(** Protocol version, echoed in the [welcome] line; a client should
+    refuse to speak to a server with a different one. *)
 
 (** An injected plant drift, scheduled at configure time (simulated
     seconds; severity as a fraction of the certified guardband, kind
@@ -31,17 +33,30 @@ type request =
   | Close
 
 val request_of_line : string -> (request, string) result
+(** Parse one request line; [Error] describes what was malformed (bad
+    JSON, unknown type, missing field) and never raises. *)
 
 (** {1 Response encoders} — each returns one encoded line (no
     trailing newline). *)
 
 val welcome : unit -> string
+(** The greeting line: protocol {!version} and server identity. *)
+
 val configured :
   session:int -> scheme:string -> layers:string list -> adapt:bool -> string
+(** Acknowledges [configure]: the session id, the resolved scheme and
+    its layer labels, and whether adaptation is armed. *)
 
 val error : ?fatal:bool -> string -> string
+(** An error record; [fatal] (default [false]) tells the client the
+    session is closing. *)
+
 val busy : retry_after_ms:int -> string
+(** Back-pressure: the server is at capacity; retry after the given
+    delay. *)
+
 val closed : unit -> string
+(** Acknowledges [close]; the last line of a session. *)
 
 val frame :
   epoch:int ->
@@ -64,8 +79,12 @@ val drained :
   metrics:Board.Xu3.metrics ->
   completed:bool ->
   string
+(** Response to [drain]: the run stepped to completion (or the
+    horizon), with final metrics. *)
 
 val health_snapshot : Obs.Health.t -> string
+(** Response to [health]: the current per-layer monitor values
+    ({!Obs.Health.to_json}). *)
 
 val adapt_notification :
   name:string ->

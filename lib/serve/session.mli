@@ -53,7 +53,11 @@ val closed : t -> bool
 (** The session saw [close] (or {!finish}); it answers nothing more. *)
 
 val frames_served : t -> int
+(** Frame lines emitted so far (one per stepped epoch). *)
+
 val errors : t -> int
+(** Malformed or mis-sequenced requests answered with an [error] line. *)
+
 val swaps : t -> int
 (** Adaptive controller swaps performed by this session's run. *)
 

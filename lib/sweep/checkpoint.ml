@@ -1,0 +1,145 @@
+(* Append-only JSONL checkpoints, one file per shard.
+
+   Line 1 is a header {type:"header", schema, fingerprint}; every other
+   line is {type:"point", ...entry fields..., synth_wall_s}. Appends
+   flush per line so a kill loses at most the line being written, and
+   loads drop an unparseable *final* line (the partial append) while
+   treating garbage in the middle as corruption. *)
+
+let schema = "yukta.sweep-checkpoint/v1"
+
+let path ~dir ~fingerprint ~shard ~shards =
+  Filename.concat dir
+    (Printf.sprintf "sweep-%s-shard-%d-of-%d.jsonl" fingerprint shard shards)
+
+type record = {
+  entry : Frontier.entry;
+  synth_wall_s : float;
+}
+
+exception Mismatch of string
+
+let record_json r =
+  match Frontier.entry_json r.entry with
+  | Obs.Json.Obj fields ->
+    Obs.Json.Obj
+      (("type", Obs.Json.String "point")
+      :: fields
+      @ [ ("synth_wall_s", Obs.Json.Float r.synth_wall_s) ])
+  | _ -> assert false
+
+let record_of_json j =
+  let ( let* ) = Option.bind in
+  let* entry = Frontier.entry_of_json j in
+  let* synth_wall_s =
+    Option.bind (Obs.Json.member "synth_wall_s" j) Obs.Json.to_float_opt
+  in
+  Some { entry; synth_wall_s }
+
+let header_json ~fingerprint =
+  Obs.Json.Obj
+    [
+      ("type", Obs.Json.String "header");
+      ("schema", Obs.Json.String schema);
+      ("fingerprint", Obs.Json.String fingerprint);
+    ]
+
+let check_header ~fingerprint file line =
+  let fail msg = raise (Mismatch (Printf.sprintf "%s: %s" file msg)) in
+  match Obs.Json.of_string line with
+  | exception Obs.Json.Parse_error _ -> fail "not a checkpoint file"
+  | j -> (
+    (match Option.bind (Obs.Json.member "schema" j) Obs.Json.to_string_opt with
+    | Some s when s = schema -> ()
+    | _ -> fail "not a sweep checkpoint (bad or missing schema)");
+    match
+      Option.bind (Obs.Json.member "fingerprint" j) Obs.Json.to_string_opt
+    with
+    | Some f when f = fingerprint -> ()
+    | Some f ->
+      fail
+        (Printf.sprintf
+           "checkpoint fingerprint %s does not match this sweep (%s) — the \
+            space, probe or sampling changed; remove the file to restart"
+           f fingerprint)
+    | None -> fail "header carries no fingerprint")
+
+let load ~fingerprint file =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        (match input_line ic with
+        | header -> check_header ~fingerprint file header
+        | exception End_of_file ->
+          raise (Mismatch (file ^ ": empty checkpoint file")));
+        (* Records, newest last. A line that fails to parse is fine iff
+           it is the last one (a partial append); otherwise corrupt. *)
+        let records = ref [] in
+        let pending_bad = ref None in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then begin
+               match !pending_bad with
+               | Some bad ->
+                 raise
+                   (Mismatch
+                      (Printf.sprintf "%s: corrupt checkpoint line %S" file bad))
+               | None -> (
+                 match record_of_json (Obs.Json.of_string line) with
+                 | Some r -> records := r :: !records
+                 | None | (exception Obs.Json.Parse_error _) ->
+                   pending_bad := Some line)
+             end
+           done
+         with End_of_file -> ());
+        List.rev !records)
+  end
+
+(* A file killed mid-append ends without a newline. Appending straight
+   after would glue the next record onto the partial line, turning a
+   tolerated truncation into mid-file corruption on the following load
+   — so trim the file back to its last complete line first. *)
+let trim_partial_tail file =
+  let len = (Unix.stat file).Unix.st_size in
+  if len > 0 then begin
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let at pos =
+          seek_in ic pos;
+          input_char ic
+        in
+        if at (len - 1) <> '\n' then begin
+          let rec last_newline pos =
+            if pos < 0 then 0 else if at pos = '\n' then pos + 1
+            else last_newline (pos - 1)
+          in
+          Unix.truncate file (last_newline (len - 1))
+        end)
+  end
+
+let append_channel ~fingerprint ~existing file =
+  let dir = Filename.dirname file in
+  if not (Sys.file_exists dir) then (
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ());
+  if existing then trim_partial_tail file;
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 file
+  in
+  if not existing then begin
+    output_string oc (Obs.Json.to_string (header_json ~fingerprint));
+    output_char oc '\n';
+    flush oc
+  end;
+  oc
+
+let append oc r =
+  output_string oc (Obs.Json.to_string (record_json r));
+  output_char oc '\n';
+  flush oc

@@ -1,0 +1,51 @@
+(** Per-shard sweep checkpoints: resumable JSONL result logs.
+
+    Every shard of a sweep owns one append-only JSONL file under the
+    checkpoint directory. The first line is a header naming the schema
+    and the plan fingerprint; each subsequent line records one evaluated
+    point (its axis assignment, the three frontier objectives, and the
+    informational synthesis wall time). The reduce phase appends and
+    flushes a line as each result streams back, so a killed shard keeps
+    every completed point; a rerun {!load}s the file, folds the recorded
+    results straight into the frontier, and evaluates only what is
+    missing.
+
+    A header whose fingerprint does not match the current plan aborts
+    the resume (the space, probe or sampling changed under the
+    checkpoint); a trailing partial line — the signature of a kill
+    mid-append — is dropped silently. *)
+
+val path : dir:string -> fingerprint:string -> shard:int -> shards:int -> string
+(** The shard's checkpoint file,
+    [DIR/sweep-FINGERPRINT-shard-I-of-N.jsonl] (shard indices are
+    1-based in file names, as on the command line). *)
+
+type record = {
+  entry : Frontier.entry;
+  synth_wall_s : float;
+      (** Wall-clock seconds the point spent in design synthesis when it
+          was first evaluated — near zero on a [.yukta_cache/] hit.
+          Informational: never part of the frontier artifact. *)
+}
+
+exception Mismatch of string
+(** Raised by {!load} when the file's header disagrees with the
+    expected fingerprint (or is not a checkpoint header at all). *)
+
+val load : fingerprint:string -> string -> record list
+(** The records of an existing checkpoint file, oldest first; [[]] when
+    the file does not exist. Unparseable trailing data (a partial last
+    line) is ignored; an unparseable line {e followed by} further valid
+    lines raises {!Mismatch} (the file is corrupt, not just truncated).
+    @raise Mismatch on a foreign or fingerprint-mismatched file. *)
+
+val append_channel : fingerprint:string -> existing:bool -> string -> out_channel
+(** Open the checkpoint for appending, creating the directory as
+    needed. With [existing = false] the header line is written first;
+    with [existing = true] a partial trailing line left by a kill is
+    truncated away first, so new records never glue onto it. The caller
+    owns the channel ({!append} flushes after every record). *)
+
+val append : out_channel -> record -> unit
+(** Append one record line and flush, so the line survives a kill
+    immediately after the call. *)

@@ -1,0 +1,55 @@
+(* Online Pareto frontier over (mu, exd, macs), all minimized.
+
+   The frontier is the set of maximal elements of everything inserted so
+   far — an order-independent function of the population, which is what
+   lets the reduce phase stream and lets shard frontiers merge into
+   exactly the single-shot frontier. Members are kept unsorted in a
+   list (frontiers stay small); [members] sorts by point id so the
+   emitted artifact is canonical. *)
+
+type entry = {
+  point : Space.point;
+  mu : float;
+  exd : float;
+  macs : int;
+}
+
+let dominates a b =
+  a.mu <= b.mu && a.exd <= b.exd && a.macs <= b.macs
+  && (a.mu < b.mu || a.exd < b.exd || a.macs < b.macs)
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+
+let insert t e =
+  if List.exists (fun m -> dominates m e) t.entries then false
+  else begin
+    t.entries <- e :: List.filter (fun m -> not (dominates e m)) t.entries;
+    true
+  end
+
+let size t = List.length t.entries
+
+let members t =
+  List.sort
+    (fun a b -> compare a.point.Space.id b.point.Space.id)
+    t.entries
+
+let entry_json e =
+  Obs.Json.Obj
+    (Space.point_fields e.point
+    @ [
+        ("mu_peak", Obs.Json.Float e.mu);
+        ("exd_js", Obs.Json.Float e.exd);
+        ("synth_macs", Obs.Json.Int e.macs);
+      ])
+
+let entry_of_json j =
+  let open Obs.Json in
+  let ( let* ) = Option.bind in
+  let* point = Space.point_of_fields j in
+  let* mu = Option.bind (member "mu_peak" j) to_float_opt in
+  let* exd = Option.bind (member "exd_js" j) to_float_opt in
+  let* macs = Option.bind (member "synth_macs" j) to_int_opt in
+  Some { point; mu; exd; macs }

@@ -14,6 +14,8 @@ type t = {
 }
 
 val default : t
+(** Seed 7, hold 4 — the training-run excitation the default
+    [Yukta.Designs] records are generated with. *)
 
 val multilevel : t -> levels:float array -> length:int -> Linalg.Vec.t
 (** Random piecewise-constant sequence over the given levels. *)

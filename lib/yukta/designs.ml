@@ -61,20 +61,47 @@ let cache_load : type a. string -> a option =
 
 (* Alongside every [.bin] sits a one-line [.meta] sidecar naming what
    the digest holds — the cache keys themselves embed marshalled
-   fingerprints, so the sidecar is what `yukta_cli cache` lists. *)
+   fingerprints, so the sidecar is what `yukta_cli cache` lists.
+
+   Writes are write-to-temp + rename: the memo mutex serializes domains
+   within one process, but nothing serializes *processes* (two sweep
+   shards cache-missing the same design concurrently), and a reader
+   must never observe a half-written blob. A unique temp name per
+   process in the same directory plus [Sys.rename] (atomic on POSIX)
+   makes the visible file always complete; colliding renames of the
+   same key are idempotent because both writers marshal the same value.
+   DESIGN.md section 9 states the rule. *)
+let write_atomically path write =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+  in
+  let oc = open_out_bin tmp in
+  (match write oc with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  match Sys.rename tmp path with
+  | () -> ()
+  | exception Sys_error _ ->
+    (* A concurrent writer won the rename on a platform where it is not
+       a silent replace; its bytes are equivalent, so just clean up. *)
+    (try Sys.remove tmp with Sys_error _ -> ())
+
 let cache_store ?label key v =
   if cache_enabled () then begin
-    if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
-    let path = cache_path key in
-    let oc = open_out_bin path in
-    Marshal.to_channel oc v [];
-    close_out oc;
+    (* Racing [mkdir] from two processes: losing the race is success. *)
+    if not (Sys.file_exists cache_dir) then (
+      try Sys.mkdir cache_dir 0o755
+      with Sys_error _ when Sys.file_exists cache_dir -> ());
+    write_atomically (cache_path key) (fun oc -> Marshal.to_channel oc v []);
     match label with
     | None -> ()
     | Some label ->
-      let oc = open_out (Filename.concat cache_dir (digest_of_key key ^ ".meta")) in
-      output_string oc (label ^ "\n");
-      close_out oc
+      write_atomically
+        (Filename.concat cache_dir (digest_of_key key ^ ".meta"))
+        (fun oc -> output_string oc (label ^ "\n"))
   end
 
 (* The cache key covers everything that determines a design: the training

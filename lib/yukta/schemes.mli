@@ -71,6 +71,11 @@ val qos_layer : ?target_fps:float -> unit -> Layer.t
 val yukta_full_stack : Design.synthesis -> Design.synthesis -> Stack.t
 (** Scheme (d) with explicit designs: HW under OS ([hw] last). *)
 
+val hw_ssv_os_heuristic_stack : Design.synthesis -> Stack.t
+(** Scheme (c) with an explicit hardware design: the SSV hardware layer
+    under the coordinated OS scheduler heuristic — the single-SSV-layer
+    arrangement the design-space sweep explores. *)
+
 val yukta_no_externals_stack : Design.synthesis -> Design.synthesis -> Stack.t
 (** Ablation: the same controllers with their external-signal channels
     fed the constant center value (the coordination channel cut). *)
