@@ -282,7 +282,9 @@ let all_kernels =
     gemm 8;
     gemm 16;
     gemm 32;
+    gemm 64;
     eig 16;
+    eig 32;
     svd 16 8;
     care 4;
     dk_design;

@@ -74,13 +74,13 @@ let register_trip t ~kind ~value =
   t.f.last_trip_time <- t.f.clock;
   if Obs.Collector.observing () then begin
     Obs.Metrics.incr trips_metric;
-    Obs.Collector.event ~name:"emergency.trip" ~sim:t.f.clock
-      [
-        ("kind", Obs.Json.String kind);
-        ("value", Obs.Json.Float value);
-        ("trip_index", Obs.Json.Int t.trips);
-        ("escalation", Obs.Json.Float t.f.escalation);
-      ]
+    Obs.Collector.event ~name:"emergency.trip" ~sim:t.f.clock (fun () ->
+        [
+          ("kind", Obs.Json.String kind);
+          ("value", Obs.Json.Float value);
+          ("trip_index", Obs.Json.Int t.trips);
+          ("escalation", Obs.Json.Float t.f.escalation);
+        ])
   end
 
 (* The steady-state verdict: shared so an untripped tick — the vast

@@ -45,11 +45,11 @@ let refresh t ~time ~power_big ~power_little =
        flight recorder when only the recorder is on. *)
     if Obs.Collector.observing () then begin
       Obs.Metrics.incr refreshes_metric;
-      Obs.Collector.event ~name:"sensors.refresh" ~sim:time
-        [
-          ("power_big", Obs.Json.Float t.held_big);
-          ("power_little", Obs.Json.Float t.held_little);
-        ]
+      Obs.Collector.event ~name:"sensors.refresh" ~sim:time (fun () ->
+          [
+            ("power_big", Obs.Json.Float t.held_big);
+            ("power_little", Obs.Json.Float t.held_little);
+          ])
     end
   end
 

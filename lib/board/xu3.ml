@@ -228,20 +228,20 @@ let set_config t c =
     in
     if freq_changes > 0 then begin
       Obs.Metrics.incr ~by:freq_changes dvfs_metric;
-      Obs.Collector.event ~name:"board.dvfs" ~sim:t.acc.time
-        [
-          ("freq_big", Obs.Json.Float c.freq_big);
-          ("freq_little", Obs.Json.Float c.freq_little);
-        ]
+      Obs.Collector.event ~name:"board.dvfs" ~sim:t.acc.time (fun () ->
+          [
+            ("freq_big", Obs.Json.Float c.freq_big);
+            ("freq_little", Obs.Json.Float c.freq_little);
+          ])
     end;
     if plug_changes > 0 then begin
       Obs.Metrics.incr ~by:plug_changes hotplug_metric;
-      Obs.Collector.event ~name:"board.hotplug" ~sim:t.acc.time
-        [
-          ("big_cores", Obs.Json.Int c.big_cores);
-          ("little_cores", Obs.Json.Int c.little_cores);
-          ("changed", Obs.Json.Int plug_changes);
-        ]
+      Obs.Collector.event ~name:"board.hotplug" ~sim:t.acc.time (fun () ->
+          [
+            ("big_cores", Obs.Json.Int c.big_cores);
+            ("little_cores", Obs.Json.Int c.little_cores);
+            ("changed", Obs.Json.Int plug_changes);
+          ])
     end
   end;
   t.requested <- c
@@ -527,13 +527,13 @@ let set_power_cap t cap =
   if cap <> t.power_cap then begin
     t.power_cap <- cap;
     if Obs.Collector.observing () then
-      Obs.Collector.event ~name:"board.cap" ~sim:t.acc.time
-        [
-          ( "cap_w",
-            match cap with
-            | None -> Obs.Json.Null
-            | Some w -> Obs.Json.Float w );
-        ]
+      Obs.Collector.event ~name:"board.cap" ~sim:t.acc.time (fun () ->
+          [
+            ( "cap_w",
+              match cap with
+              | None -> Obs.Json.Null
+              | Some w -> Obs.Json.Float w );
+          ])
   end
 
 let power_cap t = t.power_cap

@@ -262,10 +262,7 @@ let freq_response sys w =
       | Continuous -> { Complex.re = 0.0; im = w }
       | Discrete p -> Complex.exp { Complex.re = 0.0; im = w *. p }
     in
-    let zi_minus_a =
-      Cmat.sub (Cmat.scale z (Cmat.identity n)) (Cmat.of_real sys.a)
-    in
-    let x = Cmat.solve zi_minus_a (Cmat.of_real sys.b) in
+    let x = Cmat.resolvent z (Cmat.of_real sys.a) (Cmat.of_real sys.b) in
     Cmat.add (Cmat.mul (Cmat.of_real sys.c) x) (Cmat.of_real sys.d)
   end
 
@@ -287,20 +284,17 @@ let hinf_norm ?(points = 200) sys =
     (* Hoist the real->complex conversions of A, B, C, D (and the
        identity) out of the ~240 grid evaluations; the per-frequency
        arithmetic is unchanged from [freq_response]. *)
-    let n = order sys in
     let ca = Cmat.of_real sys.a
     and cb = Cmat.of_real sys.b
     and cc = Cmat.of_real sys.c
-    and cd = Cmat.of_real sys.d
-    and ci = Cmat.identity n in
+    and cd = Cmat.of_real sys.d in
     let eval w =
       let z =
         match sys.domain with
         | Continuous -> { Complex.re = 0.0; im = w }
         | Discrete p -> Complex.exp { Complex.re = 0.0; im = w *. p }
       in
-      let zi_minus_a = Cmat.sub (Cmat.scale z ci) ca in
-      let x = Cmat.solve zi_minus_a cb in
+      let x = Cmat.resolvent z ca cb in
       Svd.norm2_complex (Cmat.add (Cmat.mul cc x) cd)
     in
     let grid = log_grid wmin wmax points in

@@ -63,7 +63,8 @@ let on_tick t ~time =
           Obs.Metrics.incr injections_metric;
           (* Injection is a registered dump trigger: the window shows
              what the stack was doing when the fault landed. *)
-          Obs.Collector.event ~name:"fault.inject" ~sim:time (fault_fields f)
+          Obs.Collector.event ~name:"fault.inject" ~sim:time (fun () ->
+              fault_fields f)
         end
       end
       else if (not now) && t.active.(i) then begin
@@ -78,7 +79,8 @@ let on_tick t ~time =
         | _ -> ());
         if Obs.Collector.observing () then begin
           Obs.Metrics.incr clears_metric;
-          Obs.Collector.event ~name:"fault.clear" ~sim:time (fault_fields f)
+          Obs.Collector.event ~name:"fault.clear" ~sim:time (fun () ->
+              fault_fields f)
         end
       end)
     t.faults

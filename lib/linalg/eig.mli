@@ -1,9 +1,11 @@
 (** Eigenvalue computations.
 
     General (non-symmetric) real matrices are handled by Householder
-    reduction to upper Hessenberg form followed by a complex shifted-QR
-    iteration with Wilkinson shifts; symmetric matrices by the cyclic
-    Jacobi method, which also yields eigenvectors. *)
+    reduction to upper Hessenberg form followed by the real Francis
+    implicit double-shift QR iteration (complex conjugate pairs are
+    extracted from trailing 2x2 blocks at the end, so no complex
+    arithmetic runs in the iteration itself); symmetric matrices by the
+    cyclic Jacobi method, which also yields eigenvectors. *)
 
 val hessenberg : Mat.t -> Mat.t
 (** Orthogonal reduction of a square matrix to upper Hessenberg form
@@ -11,6 +13,13 @@ val hessenberg : Mat.t -> Mat.t
 
 val eigenvalues : Mat.t -> Complex.t array
 (** All eigenvalues of a square real matrix, in no particular order.
+    @raise Failure if the QR iteration fails to converge. *)
+
+val eigenvalues_complex_ref : Mat.t -> Complex.t array
+(** Reference implementation: the pre-Francis complex shifted-QR path
+    (Hessenberg form lifted to [Cmat], Wilkinson single shifts, Givens
+    sweeps). Slower than {!eigenvalues}; retained as an independent
+    oracle for cross-validation tests.
     @raise Failure if the QR iteration fails to converge. *)
 
 val spectral_radius : Mat.t -> float

@@ -148,24 +148,110 @@ let scale s a = { a with data = Array.map (fun x -> s *. x) a.data }
 
 let neg a = scale (-1.0) a
 
+(* Shared matrix-multiply kernel: writes a*b over [rd], where [a] is
+   m x k and [b] is k x n, both row-major. Register-tiled 2x4: the hot
+   loop keeps eight accumulators live across the whole k dimension, so
+   each b element fetched serves two rows and each a element four
+   columns (the refs never escape, so ocamlopt unboxes them into
+   registers). Tails fall back to 2x1 / 1x4 / 1x1 strips.
+
+   Every destination element is one independent k-ascending sum starting
+   from 0.0, identical in value across tile shapes; [mul] and [mul_into]
+   both call this kernel, so converting a hot loop between them keeps
+   bit-identical results. *)
+let gemm_kernel ~m ~k ~n ad bd rd =
+  let i = ref 0 in
+  while !i + 1 < m do
+    let i0 = !i in
+    let a0 = i0 * k and a1 = (i0 + 1) * k in
+    let r0 = i0 * n and r1 = (i0 + 1) * n in
+    let j = ref 0 in
+    while !j + 3 < n do
+      let j0 = !j in
+      let acc00 = ref 0.0 and acc01 = ref 0.0
+      and acc02 = ref 0.0 and acc03 = ref 0.0
+      and acc10 = ref 0.0 and acc11 = ref 0.0
+      and acc12 = ref 0.0 and acc13 = ref 0.0 in
+      for l = 0 to k - 1 do
+        let av0 = Array.unsafe_get ad (a0 + l)
+        and av1 = Array.unsafe_get ad (a1 + l) in
+        let boff = (l * n) + j0 in
+        let b0 = Array.unsafe_get bd boff
+        and b1 = Array.unsafe_get bd (boff + 1)
+        and b2 = Array.unsafe_get bd (boff + 2)
+        and b3 = Array.unsafe_get bd (boff + 3) in
+        acc00 := !acc00 +. (av0 *. b0);
+        acc01 := !acc01 +. (av0 *. b1);
+        acc02 := !acc02 +. (av0 *. b2);
+        acc03 := !acc03 +. (av0 *. b3);
+        acc10 := !acc10 +. (av1 *. b0);
+        acc11 := !acc11 +. (av1 *. b1);
+        acc12 := !acc12 +. (av1 *. b2);
+        acc13 := !acc13 +. (av1 *. b3)
+      done;
+      Array.unsafe_set rd (r0 + j0) !acc00;
+      Array.unsafe_set rd (r0 + j0 + 1) !acc01;
+      Array.unsafe_set rd (r0 + j0 + 2) !acc02;
+      Array.unsafe_set rd (r0 + j0 + 3) !acc03;
+      Array.unsafe_set rd (r1 + j0) !acc10;
+      Array.unsafe_set rd (r1 + j0 + 1) !acc11;
+      Array.unsafe_set rd (r1 + j0 + 2) !acc12;
+      Array.unsafe_set rd (r1 + j0 + 3) !acc13;
+      j := j0 + 4
+    done;
+    while !j < n do
+      let j0 = !j in
+      let acc0 = ref 0.0 and acc1 = ref 0.0 in
+      for l = 0 to k - 1 do
+        let bv = Array.unsafe_get bd ((l * n) + j0) in
+        acc0 := !acc0 +. (Array.unsafe_get ad (a0 + l) *. bv);
+        acc1 := !acc1 +. (Array.unsafe_get ad (a1 + l) *. bv)
+      done;
+      Array.unsafe_set rd (r0 + j0) !acc0;
+      Array.unsafe_set rd (r1 + j0) !acc1;
+      j := j0 + 1
+    done;
+    i := i0 + 2
+  done;
+  if !i < m then begin
+    let a0 = !i * k and r0 = !i * n in
+    let j = ref 0 in
+    while !j + 3 < n do
+      let j0 = !j in
+      let acc0 = ref 0.0 and acc1 = ref 0.0
+      and acc2 = ref 0.0 and acc3 = ref 0.0 in
+      for l = 0 to k - 1 do
+        let av = Array.unsafe_get ad (a0 + l) in
+        let boff = (l * n) + j0 in
+        acc0 := !acc0 +. (av *. Array.unsafe_get bd boff);
+        acc1 := !acc1 +. (av *. Array.unsafe_get bd (boff + 1));
+        acc2 := !acc2 +. (av *. Array.unsafe_get bd (boff + 2));
+        acc3 := !acc3 +. (av *. Array.unsafe_get bd (boff + 3))
+      done;
+      Array.unsafe_set rd (r0 + j0) !acc0;
+      Array.unsafe_set rd (r0 + j0 + 1) !acc1;
+      Array.unsafe_set rd (r0 + j0 + 2) !acc2;
+      Array.unsafe_set rd (r0 + j0 + 3) !acc3;
+      j := j0 + 4
+    done;
+    while !j < n do
+      let j0 = !j in
+      let acc = ref 0.0 in
+      for l = 0 to k - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get ad (a0 + l)
+             *. Array.unsafe_get bd ((l * n) + j0))
+      done;
+      Array.unsafe_set rd (r0 + j0) !acc;
+      j := j0 + 1
+    done
+  end
+
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
   let r = create a.rows b.cols in
-  let ad = a.data and bd = b.data and rd = r.data in
-  (* Loop order i-k-j keeps the inner loop stride-1 over both [b] and [r]. *)
-  for i = 0 to a.rows - 1 do
-    for k = 0 to a.cols - 1 do
-      let aik = Array.unsafe_get ad ((i * a.cols) + k) in
-      if aik <> 0.0 then begin
-        let boff = k * b.cols and roff = i * b.cols in
-        for j = 0 to b.cols - 1 do
-          Array.unsafe_set rd (roff + j)
-            (Array.unsafe_get rd (roff + j)
-            +. (aik *. Array.unsafe_get bd (boff + j)))
-        done
-      end
-    done
-  done;
+  gemm_kernel ~m:a.rows ~k:a.cols ~n:b.cols a.data b.data r.data;
   r
 
 let mul_vec a v =
@@ -281,22 +367,9 @@ let mul_into ~dst a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul_into: dimension mismatch";
   check_dst "Mat.mul_into" ~rows:a.rows ~cols:b.cols dst;
   check_not_aliased "Mat.mul_into" dst [ a; b ];
-  let ad = a.data and bd = b.data and rd = dst.data in
-  Array.fill rd 0 (Array.length rd) 0.0;
-  (* Same i-k-j order (and zero-skip) as [mul]. *)
-  for i = 0 to a.rows - 1 do
-    for k = 0 to a.cols - 1 do
-      let aik = Array.unsafe_get ad ((i * a.cols) + k) in
-      if aik <> 0.0 then begin
-        let boff = k * b.cols and roff = i * b.cols in
-        for j = 0 to b.cols - 1 do
-          Array.unsafe_set rd (roff + j)
-            (Array.unsafe_get rd (roff + j)
-            +. (aik *. Array.unsafe_get bd (boff + j)))
-        done
-      end
-    done
-  done
+  (* Same tiled kernel as [mul]: every element is fully overwritten, so
+     no zero fill is needed. *)
+  gemm_kernel ~m:a.rows ~k:a.cols ~n:b.cols a.data b.data dst.data
 
 let mul_vec_into ~dst a v =
   if a.cols <> Vec.dim v then

@@ -1,5 +1,46 @@
 type factors = { q : Mat.t; r : Mat.t }
 
+(* Reflector application on the flat data array: one add per element
+   instead of a bounds-checked [Mat.get] with an index multiply. The
+   accumulation order (row index ascending) matches the naive loops
+   these replaced, so factorizations are bit-identical. *)
+
+(* w <- H w on rows [k..] across columns [k..jmax], H = I - 2 v v^T. *)
+let apply_reflector_left w ~k ~jmax (v : float array) =
+  let d = w.Mat.data and cols = w.Mat.cols in
+  let len = Array.length v in
+  for j = k to jmax do
+    let base = (k * cols) + j in
+    let dot = ref 0.0 in
+    for i = 0 to len - 1 do
+      dot :=
+        !dot +. (Array.unsafe_get v i *. Array.unsafe_get d (base + (i * cols)))
+    done;
+    let d2 = 2.0 *. !dot in
+    for i = 0 to len - 1 do
+      let idx = base + (i * cols) in
+      Array.unsafe_set d idx
+        (Array.unsafe_get d idx -. (d2 *. Array.unsafe_get v i))
+    done
+  done
+
+(* q <- q H: every row of q corrected over columns [k..k+len-1]. *)
+let apply_reflector_right q ~k (v : float array) =
+  let d = q.Mat.data and cols = q.Mat.cols in
+  let len = Array.length v in
+  for i = 0 to q.Mat.rows - 1 do
+    let base = (i * cols) + k in
+    let dot = ref 0.0 in
+    for l = 0 to len - 1 do
+      dot := !dot +. (Array.unsafe_get d (base + l) *. Array.unsafe_get v l)
+    done;
+    let d2 = 2.0 *. !dot in
+    for l = 0 to len - 1 do
+      Array.unsafe_set d (base + l)
+        (Array.unsafe_get d (base + l) -. (d2 *. Array.unsafe_get v l))
+    done
+  done
+
 (* Householder QR. We accumulate the reflectors into an explicit Q because
    the matrices in this project are small (tens of rows), where clarity
    beats the usual packed-reflector storage. *)
@@ -18,28 +59,8 @@ let householder_triangularize a =
       let vnorm = Vec.norm2 v in
       if vnorm > 1e-300 then begin
         let v = Vec.scale (1.0 /. vnorm) v in
-        (* Apply H = I - 2 v v^T to the trailing block of r. *)
-        for j = k to n - 1 do
-          let dot = ref 0.0 in
-          for i = 0 to m - k - 1 do
-            dot := !dot +. (v.(i) *. Mat.get r (k + i) j)
-          done;
-          let d2 = 2.0 *. !dot in
-          for i = 0 to m - k - 1 do
-            Mat.set r (k + i) j (Mat.get r (k + i) j -. (d2 *. v.(i)))
-          done
-        done;
-        (* Accumulate into q: q <- q * H (applied on the right). *)
-        for i = 0 to m - 1 do
-          let dot = ref 0.0 in
-          for l = 0 to m - k - 1 do
-            dot := !dot +. (Mat.get q i (k + l) *. v.(l))
-          done;
-          let d2 = 2.0 *. !dot in
-          for l = 0 to m - k - 1 do
-            Mat.set q i (k + l) (Mat.get q i (k + l) -. (d2 *. v.(l)))
-          done
-        done
+        apply_reflector_left r ~k ~jmax:(n - 1) v;
+        apply_reflector_right q ~k v
       end
     end
   done;
@@ -81,16 +102,7 @@ let triangularize_augmented a rhs =
       let vnorm = Vec.norm2 v in
       if vnorm > 1e-300 then begin
         let v = Vec.scale (1.0 /. vnorm) v in
-        for j = k to total - 1 do
-          let dot = ref 0.0 in
-          for i = 0 to m - k - 1 do
-            dot := !dot +. (v.(i) *. Mat.get w (k + i) j)
-          done;
-          let d2 = 2.0 *. !dot in
-          for i = 0 to m - k - 1 do
-            Mat.set w (k + i) j (Mat.get w (k + i) j -. (d2 *. v.(i)))
-          done
-        done
+        apply_reflector_left w ~k ~jmax:(total - 1) v
       end
     end
   done;

@@ -19,11 +19,32 @@ type vbucket = { mutable vecs : Vec.t list; mutable vfree : Vec.t list }
 type t = {
   buckets : (int * int, bucket) Hashtbl.t;
   vbuckets : (int, vbucket) Hashtbl.t;
+  mutable resets : int;
 }
 
-let create () = { buckets = Hashtbl.create 8; vbuckets = Hashtbl.create 8 }
+(* Debug aid: when on, a lease that misses the free list after the pool
+   has been warmed up (two full resets) raises instead of silently
+   allocating. A correct lease/reset discipline reaches its allocation
+   fixed point after the first iteration, so a fresh allocation in
+   steady state means the caller leases in a shape- or count-varying
+   pattern — exactly the "allocation-free iterations" promise leaking. *)
+let leak_check = Atomic.make false
+
+let set_leak_check on = Atomic.set leak_check on
+
+let leak what t =
+  if Atomic.get leak_check && t.resets >= 2 then
+    failwith
+      (Printf.sprintf
+         "Workspace leak check: fresh %s allocated after %d resets \
+          (lease pattern is not iteration-stable)"
+         what t.resets)
+
+let create () =
+  { buckets = Hashtbl.create 8; vbuckets = Hashtbl.create 8; resets = 0 }
 
 let reset t =
+  t.resets <- t.resets + 1;
   Hashtbl.iter (fun _ b -> b.free <- b.mats) t.buckets;
   Hashtbl.iter (fun _ b -> b.vfree <- b.vecs) t.vbuckets
 
@@ -43,6 +64,7 @@ let mat t rows cols =
     b.free <- rest;
     m
   | [] ->
+    leak (Printf.sprintf "%dx%d matrix" rows cols) t;
     let m = Mat.create rows cols in
     b.mats <- m :: b.mats;
     m
@@ -62,6 +84,7 @@ let vec t n =
     b.vfree <- rest;
     v
   | [] ->
+    leak (Printf.sprintf "length-%d vector" n) t;
     let v = Vec.create n in
     b.vecs <- v :: b.vecs;
     v

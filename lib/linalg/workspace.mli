@@ -19,6 +19,14 @@ val create : unit -> t
 val reset : t -> unit
 (** Return every leased buffer to the pool (contents untouched). *)
 
+val set_leak_check : bool -> unit
+(** Debug aid, process-global, off by default. When on, a lease that has
+    to allocate a fresh buffer after the workspace has seen two [reset]s
+    raises [Failure] instead. A correct cursor discipline reaches its
+    allocation fixed point after the first iteration, so a steady-state
+    allocation means the caller's lease pattern varies across iterations
+    — the "later iterations are allocation-free" promise is leaking. *)
+
 val mat : t -> int -> int -> Mat.t
 (** [mat ws m n] leases an [m]x[n] scratch matrix. *)
 

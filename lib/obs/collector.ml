@@ -111,6 +111,9 @@ let emit json = emit_line (Json.to_string json)
    one-way. *)
 let () = Recorder.set_emitter (fun json -> if enabled () then emit json)
 
+(* [fields] is a thunk: payloads are only built when a sink (trace
+   stream or flight recorder) will actually consume them, so call sites
+   pay a closure, not a JSON tree, when nobody is listening. *)
 let event ~name ~sim fields =
   let trace = enabled () in
   let record = Recorder.enabled () in
@@ -121,7 +124,7 @@ let event ~name ~sim fields =
           ("type", Json.String "event");
           ("name", Json.String name);
           ("sim_s", Json.Float sim);
-          ("fields", Json.Obj fields);
+          ("fields", Json.Obj (fields ()));
         ]
     in
     if record then Recorder.note_event ~name ~sim json;

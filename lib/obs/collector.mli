@@ -83,11 +83,14 @@ val replay : string list -> unit
 
 (** {1 Emission} *)
 
-val event : name:string -> sim:float -> (string * Json.t) list -> unit
+val event : name:string -> sim:float -> (unit -> (string * Json.t) list) -> unit
 (** Simulated-time event: [{"type":"event","name":...,"sim_s":...,
     "fields":{...}}]. Emitted to the sink when {!enabled}; also noted in
-    the {!Recorder} ring when that is enabled. No-op when neither
-    listens. *)
+    the {!Recorder} ring when that is enabled. The field list is a
+    thunk, forced only when a sink will consume it — uninstrumented runs
+    pay one closure per call site, never the JSON construction. Sites
+    whose fields are expensive to even close over may still guard on
+    {!observing}. *)
 
 val debug : name:string -> (string * Json.t) list -> unit
 (** Diagnostic record with neither time domain attached:

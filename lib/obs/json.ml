@@ -11,8 +11,20 @@ type t =
 (* Encoding                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let escape_to buf s =
-  Buffer.add_char buf '"';
+(* Most strings passing through the encoder (event names, field keys,
+   scheme labels) need no escaping; one scan finds those and blits them
+   whole instead of walking char by char. *)
+let needs_escape s =
+  let n = String.length s in
+  let rec scan i =
+    i < n
+    &&
+    let c = String.unsafe_get s i in
+    c < ' ' || c = '"' || c = '\\' || scan (i + 1)
+  in
+  scan 0
+
+let escape_slow buf s =
   String.iter
     (fun c ->
       match c with
@@ -26,20 +38,48 @@ let escape_to buf s =
       | c when Char.code c < 0x20 ->
         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
-    s;
+    s
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  if needs_escape s then escape_slow buf s else Buffer.add_string buf s;
   Buffer.add_char buf '"'
 
+(* The C primitive behind [string_of_float] and printf's %g: identical
+   bytes to [Printf.sprintf fmt f] for float conversions, without the
+   format-string interpretation that dominates sprintf's cost. Encoding
+   floats is the trace stream's hottest operation. *)
+external format_float : string -> float -> string = "caml_format_float"
+
 (* Shortest representation that round-trips; forced to contain a '.' or
-   exponent so the value re-parses as a float, not an int. *)
+   exponent so the value re-parses as a float, not an int. Integral
+   values (epoch counters, step counts) skip the printf/parse round-trip
+   entirely; the magnitude bound keeps them inside %.12g's digit budget
+   and the sign check keeps "-0.0" on the slow path. *)
 let float_repr f =
   if not (Float.is_finite f) then "null"
   else begin
-    let s =
-      let short = Printf.sprintf "%.12g" f in
-      if float_of_string short = f then short else Printf.sprintf "%.17g" f
-    in
-    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
-    else s ^ ".0"
+    let i = Float.to_int f in
+    if Float.of_int i = f && Float.abs f < 1e12 && (f <> 0.0 || 1.0 /. f > 0.0)
+    then string_of_int i ^ ".0"
+    else if
+      (* Exact halves — simulated time advances in 0.5 s epochs, so
+         [sim_s] nearly always lands here. The non-integrality test
+         keeps -0.0 (integral-valued but sign-bearing) out. *)
+      Float.of_int i <> f
+      && Float.of_int (Float.to_int (2.0 *. f)) = 2.0 *. f
+      && Float.abs f < 1e11
+    then
+      if f > 0.0 || i <> 0 then string_of_int i ^ ".5"
+      else "-0.5"
+    else begin
+      let s =
+        let short = format_float "%.12g" f in
+        if float_of_string short = f then short else format_float "%.17g" f
+      in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+      else s ^ ".0"
+    end
   end
 
 let rec to_buffer buf = function

@@ -193,7 +193,7 @@ let synthesize_now t =
 let observing () = Obs.Collector.observing ()
 
 let emit_event ~name ~sim fields =
-  if observing () then Obs.Collector.event ~name ~sim fields
+  if observing () then Obs.Collector.event ~name ~sim (fun () -> fields)
 
 let observe t ~epoch board o =
   let sim = Xu3.time board in

@@ -155,11 +155,12 @@ let step ?health ?cap t board o =
     if Obs.Collector.observing () then begin
       Obs.Metrics.incr decisions_metric;
       Obs.Collector.event ~name:"runtime.decision" ~sim:(Xu3.time board)
-        [
-          ("layer", Obs.Json.String t.label);
-          ("epoch", Obs.Json.Int h.h_epoch);
-          ("kind", Obs.Json.String "heuristic");
-        ]
+        (fun () ->
+          [
+            ("layer", Obs.Json.String t.label);
+            ("epoch", Obs.Json.Int h.h_epoch);
+            ("kind", Obs.Json.String "heuristic");
+          ])
     end
   | Controlled c ->
     c.epoch_index <- c.epoch_index + 1;
@@ -190,26 +191,28 @@ let step ?health ?cap t board o =
         ~saturated:(Controller.last_saturated c.controller)
     | None -> ());
     if Obs.Collector.observing () then begin
-      (* The pre-quantization normalized command shows which inputs the
-         controller drove into saturation this epoch. *)
-      let raw = Controller.last_raw_command c.controller in
-      let saturated =
-        Array.fold_left
-          (fun acc x -> if Float.abs x >= 1.0 -. 1e-9 then acc + 1 else acc)
-          0 raw
-      in
       Obs.Metrics.incr decisions_metric;
       Obs.Collector.event ~name:"runtime.decision" ~sim:(Xu3.time board)
-        [
-          ("layer", Obs.Json.String t.label);
-          ("epoch", Obs.Json.Int c.epoch_index);
-          ("kind", Obs.Json.String "controlled");
-          ("objective_exd", Obs.Json.Float objective);
-          ("measurements", floats_json meas);
-          ("targets", floats_json targets);
-          ("command", floats_json u);
-          ("saturated_inputs", Obs.Json.Int saturated);
-        ]
+        (fun () ->
+          (* The pre-quantization normalized command shows which inputs
+             the controller drove into saturation this epoch. *)
+          let raw = Controller.last_raw_command c.controller in
+          let saturated =
+            Array.fold_left
+              (fun acc x ->
+                if Float.abs x >= 1.0 -. 1e-9 then acc + 1 else acc)
+              0 raw
+          in
+          [
+            ("layer", Obs.Json.String t.label);
+            ("epoch", Obs.Json.Int c.epoch_index);
+            ("kind", Obs.Json.String "controlled");
+            ("objective_exd", Obs.Json.Float objective);
+            ("measurements", floats_json meas);
+            ("targets", floats_json targets);
+            ("command", floats_json u);
+            ("saturated_inputs", Obs.Json.Int saturated);
+          ])
     end
 
 module Wire = struct

@@ -62,7 +62,7 @@ let epochs_metric = Obs.Metrics.counter "runtime.epochs"
    branch, no allocation — when neither consumer is active. *)
 let emit_epoch_event (p : trace_point) =
   Obs.Metrics.incr epochs_metric;
-  Obs.Collector.event ~name:"runtime.epoch" ~sim:p.time
+  Obs.Collector.event ~name:"runtime.epoch" ~sim:p.time (fun () ->
     [
       ("power_big", Obs.Json.Float p.power_big);
       ("power_big_sensor", Obs.Json.Float p.power_big_sensor);
@@ -71,7 +71,7 @@ let emit_epoch_event (p : trace_point) =
       ("temperature", Obs.Json.Float p.temperature);
       ("freq_big", Obs.Json.Float p.freq_big);
       ("big_cores", Obs.Json.Int p.big_cores);
-    ]
+    ])
 
 let record_epoch board o ~collect trace =
   if collect || Obs.Collector.observing () then begin
@@ -191,15 +191,16 @@ let complete_event s =
   if Obs.Collector.observing () then begin
     let m = Xu3.metrics s.board in
     Obs.Collector.event ~name:"runtime.run_complete" ~sim:(Xu3.time s.board)
-      [
-        ("stack", Obs.Json.String s.s_stack.label);
-        ("layers", Obs.Json.Int (List.length s.s_stack.layers));
-        ("execution_time_s", Obs.Json.Float m.Xu3.execution_time);
-        ("energy_j", Obs.Json.Float m.Xu3.total_energy);
-        ("energy_delay_js", Obs.Json.Float m.Xu3.energy_delay);
-        ("trips", Obs.Json.Int m.Xu3.trips);
-        ("completed", Obs.Json.Bool (Xu3.finished s.board));
-      ]
+      (fun () ->
+        [
+          ("stack", Obs.Json.String s.s_stack.label);
+          ("layers", Obs.Json.Int (List.length s.s_stack.layers));
+          ("execution_time_s", Obs.Json.Float m.Xu3.execution_time);
+          ("energy_j", Obs.Json.Float m.Xu3.total_energy);
+          ("energy_delay_js", Obs.Json.Float m.Xu3.energy_delay);
+          ("trips", Obs.Json.Int m.Xu3.trips);
+          ("completed", Obs.Json.Bool (Xu3.finished s.board));
+        ])
   end
 
 let result_of_stepper s ~trace =

@@ -357,8 +357,8 @@ let test_emergency_trip_dumps_recorder () =
   Obs.Recorder.clear ();
   Obs.Recorder.enable ~capacity:8 ();
   (* Pre-trip context lands in the ring even though tracing is off. *)
-  Obs.Collector.event ~name:"pre.context" ~sim:0.0
-    [ ("k", Obs.Json.Int 1) ];
+  Obs.Collector.event ~name:"pre.context" ~sim:0.0 (fun () ->
+      [ ("k", Obs.Json.Int 1) ]);
   let e = Emergency.create () in
   ignore
     (Emergency.step e ~dt:0.01 ~temperature:86.0 ~power_big:2.0

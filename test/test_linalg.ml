@@ -552,6 +552,34 @@ let test_workspace_reuses_buffers () =
   Alcotest.check mat_exact "ws mul3" (Mat.mul3 a b c)
     (Workspace.mul3 ws a b c)
 
+let test_workspace_leak_check () =
+  let ws = Workspace.create () in
+  Workspace.set_leak_check true;
+  Fun.protect
+    ~finally:(fun () -> Workspace.set_leak_check false)
+    (fun () ->
+      (* Iteration-stable lease pattern: allocates on the first pass,
+         re-leases forever after — never trips the check. *)
+      for _pass = 1 to 4 do
+        Workspace.reset ws;
+        ignore (Workspace.mat ws 3 3);
+        ignore (Workspace.vec ws 4)
+      done;
+      (* Growing pattern: a second 3x3 lease appearing only after the
+         pool has warmed up is exactly the leak the check exists for. *)
+      Workspace.reset ws;
+      ignore (Workspace.mat ws 3 3);
+      (match Workspace.mat ws 3 3 with
+      | _ -> Alcotest.fail "leaky matrix lease pattern not detected"
+      | exception Failure _ -> ());
+      (match Workspace.vec ws 9 with
+      | _ -> Alcotest.fail "leaky vector lease pattern not detected"
+      | exception Failure _ -> ());
+      (* A fresh workspace still warms up freely with the check on. *)
+      let ws2 = Workspace.create () in
+      Workspace.reset ws2;
+      ignore (Workspace.mat ws2 2 2))
+
 let contains_substring s sub =
   let ls = String.length s and lb = String.length sub in
   let rec scan i = i + lb <= ls && (String.sub s i lb = sub || scan (i + 1)) in
@@ -588,6 +616,107 @@ let test_svd_unconverged_reported () =
     (Array.for_all (fun x -> x <= s_full.(0)) s_full)
 
 (* ------------------------------------------------------------------ *)
+(* Francis real QR vs the complex-arithmetic reference                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy nearest-match pairing. Sorting eigenvalues lexicographically
+   mispairs conjugate partners that differ by one ulp in the real part,
+   so instead match each reference eigenvalue to its closest remaining
+   computed one and report the worst matched distance. *)
+let max_pair_distance reference computed =
+  let used = Array.make (Array.length computed) false in
+  Array.fold_left
+    (fun worst (z : Complex.t) ->
+      let best = ref (-1) and bestd = ref infinity in
+      Array.iteri
+        (fun i (w : Complex.t) ->
+          if not used.(i) then begin
+            let d = Complex.norm (Complex.sub z w) in
+            if d < !bestd then begin
+              bestd := d;
+              best := i
+            end
+          end)
+        computed;
+      used.(!best) <- true;
+      Float.max worst !bestd)
+    0.0 reference
+
+let francis_matches_ref ?(tol = 1e-6) a =
+  let reference = Eig.eigenvalues_complex_ref a in
+  let computed = Eig.eigenvalues a in
+  Array.length computed = Array.length reference
+  && max_pair_distance reference computed
+     <= tol *. Float.max 1.0 (Mat.norm_inf a)
+
+let random_orthogonal ~seed n =
+  let { Qr.q; _ } = Qr.factorize (Mat.random ~seed n n) in
+  q
+
+let test_eig_francis_repeated () =
+  (* Dense matrix orthogonally similar to a triangular one carrying
+     eigenvalue 2 with multiplicity 4 and eigenvalue 5 with
+     multiplicity 2. The defective cluster perturbs like eps^(1/4), so
+     the per-eigenvalue tolerance is loose; the trace identity stays
+     tight. *)
+  let n = 6 in
+  let t =
+    Mat.init n n (fun i j ->
+        if i = j then if i < 4 then 2.0 else 5.0
+        else if j > i then 0.7
+        else 0.0)
+  in
+  let q = random_orthogonal ~seed:31 n in
+  let a = Mat.mul3 q t (Mat.transpose q) in
+  let es = Eig.eigenvalues a in
+  check_int "count" n (Array.length es);
+  let near c (z : Complex.t) = Complex.norm { re = z.re -. c; im = z.im } < 5e-3 in
+  check_int "multiplicity of 2" 4
+    (Array.length (Array.of_list (List.filter (near 2.0) (Array.to_list es))));
+  check_int "multiplicity of 5" 2
+    (Array.length (Array.of_list (List.filter (near 5.0) (Array.to_list es))));
+  let sum = Array.fold_left (fun acc (z : Complex.t) -> acc +. z.re) 0.0 es in
+  check_float_loose "trace" (Mat.trace a) sum
+
+let test_eig_francis_interior_deflation () =
+  (* Exactly block-triangular Hessenberg input: the zero at (4,3) splits
+     the 8x8 into two independent 4x4 problems, so Francis must deflate
+     at the interior zero instead of chasing bulges across it. *)
+  let n = 8 in
+  let h =
+    Mat.init n n (fun i j ->
+        if i > j + 1 then 0.0
+        else if i = 4 && j = 3 then 0.0
+        else Float.of_int (((i * n) + j) mod 7 - 3) /. 2.0)
+  in
+  check_bool "matches complex reference" true
+    (francis_matches_ref ~tol:1e-7 h);
+  (* And with several committed zero subdiagonals at once. *)
+  let h2 =
+    Mat.init n n (fun i j ->
+        if i > j + 1 then 0.0
+        else if i = j + 1 && (i = 2 || i = 5) then 0.0
+        else Float.of_int (((3 * i) + (2 * j)) mod 5 - 2))
+  in
+  check_bool "multiple splits" true (francis_matches_ref ~tol:1e-7 h2)
+
+let test_eig_francis_clustered_symmetric () =
+  (* Tight spectral clusters (gaps of 1e-8) are the classic stall case
+     for naive shift strategies; the exact spectrum is known by
+     construction. *)
+  let d =
+    Vec.of_list [ 1.0; 1.0 +. 1e-8; 1.0 +. 2e-8; 4.0; 4.0 +. 1e-8; 7.0 ]
+  in
+  let n = Vec.dim d in
+  let q = random_orthogonal ~seed:57 n in
+  let a = Mat.mul3 q (Mat.diag d) (Mat.transpose q) in
+  let reference = Array.map (fun x -> { Complex.re = x; im = 0.0 }) d in
+  let computed = Eig.eigenvalues a in
+  check_int "count" n (Array.length computed);
+  check_bool "clustered spectrum recovered" true
+    (max_pair_distance reference computed < 1e-6)
+
+(* ------------------------------------------------------------------ *)
 (* Properties (qcheck)                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -604,6 +733,15 @@ let arb_mat_pair =
   QCheck.make
     ~print:(fun (a, b) -> Format.asprintf "%a@.%a" Mat.pp a Mat.pp b)
     QCheck.Gen.(pair (gen_mat 3) (gen_mat 3))
+
+let arb_mat_sized =
+  QCheck.make
+    ~print:(Format.asprintf "%a" Mat.pp)
+    QCheck.Gen.(int_range 4 16 >>= gen_mat)
+
+let prop_francis_matches_reference =
+  QCheck.Test.make ~name:"francis real qr = complex qr reference" ~count:60
+    arb_mat_sized francis_matches_ref
 
 let prop_transpose_product =
   QCheck.Test.make ~name:"(ab)^T = b^T a^T" ~count:100 arb_mat_pair
@@ -688,6 +826,7 @@ let qcheck_cases =
       prop_svd_norm_bounds;
       prop_spectral_radius_bounded;
       prop_symmetric_eig_bounds;
+      prop_francis_matches_reference;
       prop_expm_det;
       prop_inplace_mul_exact;
       prop_inplace_add_sub_exact;
@@ -830,6 +969,12 @@ let () =
             test_eig_hessenberg_preserves_spectrum;
           Alcotest.test_case "symmetric" `Quick test_eig_symmetric;
           Alcotest.test_case "psd checks" `Quick test_eig_psd;
+          Alcotest.test_case "francis repeated eigenvalues" `Quick
+            test_eig_francis_repeated;
+          Alcotest.test_case "francis interior deflation" `Quick
+            test_eig_francis_interior_deflation;
+          Alcotest.test_case "francis clustered symmetric" `Quick
+            test_eig_francis_clustered_symmetric;
         ] );
       ( "svd",
         [
@@ -867,6 +1012,8 @@ let () =
           Alcotest.test_case "aliasing rules" `Quick test_inplace_aliasing_rules;
           Alcotest.test_case "workspace reuse" `Quick
             test_workspace_reuses_buffers;
+          Alcotest.test_case "workspace leak check" `Quick
+            test_workspace_leak_check;
           Alcotest.test_case "svd unconverged reported" `Quick
             test_svd_unconverged_reported;
         ] );

@@ -193,7 +193,7 @@ let sfield name j = Option.bind (field name j) Obs.Json.to_string_opt
 let test_disabled_is_silent () =
   Obs.Collector.disable ();
   Obs.Collector.buffer_sink ();
-  Obs.Collector.event ~name:"x" ~sim:1.0 [];
+  Obs.Collector.event ~name:"x" ~sim:1.0 (fun () -> []);
   Obs.Collector.record_span ~name:"y" ~dur_s:0.1 [];
   Alcotest.(check int) "nothing emitted" 0 (List.length (Obs.Collector.drain ()))
 
@@ -243,8 +243,8 @@ let test_span_exception () =
 let test_with_collection () =
   let v =
     Obs.Collector.with_collection (fun () ->
-        Obs.Collector.event ~name:"probe" ~sim:2.0
-          [ ("k", Obs.Json.Int 1) ];
+        Obs.Collector.event ~name:"probe" ~sim:2.0 (fun () ->
+            [ ("k", Obs.Json.Int 1) ]);
         Obs.Metrics.incr (Obs.Metrics.counter "probe.counter");
         "done")
   in
@@ -437,7 +437,7 @@ let test_recorder_feeds_from_collector () =
   Obs.Collector.buffer_sink ();
   Obs.Recorder.clear ();
   Obs.Recorder.enable ~capacity:4 ();
-  Obs.Collector.event ~name:"quiet" ~sim:0.5 [];
+  Obs.Collector.event ~name:"quiet" ~sim:0.5 (fun () -> []);
   Alcotest.(check int) "collector disabled: nothing traced" 0
     (List.length (Obs.Collector.drain ()));
   Alcotest.(check int) "...but the ring saw the event" 1

@@ -277,7 +277,7 @@ let test_worker_exception_propagates () =
 
 let emit_cell i =
   Obs.Collector.event ~name:"test.cell" ~sim:(Float.of_int i)
-    [ ("cell", Obs.Json.Int i) ];
+    (fun () -> [ ("cell", Obs.Json.Int i) ]);
   i
 
 let with_buffer_collection f =
